@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Microbenchmarks of the substrate itself (google-benchmark, real
+ * wall-clock): crypto primitives, translator passes, simulated-CPU
+ * execution. These measure the *implementation*, not the simulated
+ * system — useful to keep the simulator fast and to size experiments.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/exec.hh"
+#include "compiler/translator.hh"
+#include "crypto/aes.hh"
+#include "crypto/drbg.hh"
+#include "crypto/hmac.hh"
+#include "crypto/rsa.hh"
+#include "crypto/sha256.hh"
+#include "hw/layout.hh"
+#include "vir/text.hh"
+
+using namespace vg;
+using namespace vg::crypto;
+
+static void
+BM_Sha256(benchmark::State &state)
+{
+    std::vector<uint8_t> data(size_t(state.range(0)), 0x5a);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(Sha256::hash(data.data(),
+                                              data.size()));
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(1 << 16);
+
+static void
+BM_AesCtr(benchmark::State &state)
+{
+    AesKey key{};
+    Aes128 aes(key);
+    AesBlock nonce{};
+    std::vector<uint8_t> data(size_t(state.range(0)), 0x11);
+    for (auto _ : state) {
+        aes.ctrCrypt(data.data(), data.size(), nonce);
+        benchmark::DoNotOptimize(data.data());
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_AesCtr)->Arg(4096)->Arg(1 << 16);
+
+static void
+BM_HmacSha256(benchmark::State &state)
+{
+    std::vector<uint8_t> key(32, 0x22);
+    std::vector<uint8_t> data(4096, 0x33);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hmacSha256(key, data));
+    state.SetBytesProcessed(int64_t(state.iterations()) * 4096);
+}
+BENCHMARK(BM_HmacSha256);
+
+static void
+BM_RsaSign(benchmark::State &state)
+{
+    CtrDrbg rng({'b', 'm'});
+    RsaPrivateKey key = rsaGenerate(rng, size_t(state.range(0)));
+    std::vector<uint8_t> msg(128, 0x44);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rsaSign(key, msg));
+}
+BENCHMARK(BM_RsaSign)->Arg(384)->Arg(512);
+
+static void
+BM_RsaVerify(benchmark::State &state)
+{
+    CtrDrbg rng({'b', 'v'});
+    RsaPrivateKey key = rsaGenerate(rng, 384);
+    std::vector<uint8_t> msg(128, 0x44);
+    auto sig = rsaSign(key, msg);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rsaVerify(key.publicKey(), msg, sig));
+}
+BENCHMARK(BM_RsaVerify);
+
+namespace
+{
+
+const char *kModuleSrc = R"(
+func @work(1) {
+entry:
+  %1 = const 0
+  %2 = const 0
+  br head
+head:
+  %3 = icmp ult %2, %0
+  condbr %3, body, done
+body:
+  %4 = alloca 64
+  store.i64 %4, %2
+  %5 = load.i64 %4
+  %1 = add %1, %5
+  %6 = const 1
+  %2 = add %2, %6
+  br head
+done:
+  ret %1
+}
+)";
+
+class NullPort : public cc::MemPort
+{
+  public:
+    bool
+    read(uint64_t, unsigned, uint64_t &out) override
+    {
+        out = 0;
+        return true;
+    }
+    bool write(uint64_t, unsigned, uint64_t) override { return true; }
+    bool copy(uint64_t, uint64_t, uint64_t) override { return true; }
+};
+
+} // namespace
+
+static void
+BM_TranslateModule(benchmark::State &state)
+{
+    sim::SimContext ctx;
+    std::vector<uint8_t> key(32, 1);
+    for (auto _ : state) {
+        // Fresh translator each time so the cache doesn't shortcut.
+        cc::Translator tr(key, ctx);
+        auto r = tr.translateText(kModuleSrc, 0xffffff9000000000ull);
+        benchmark::DoNotOptimize(r.ok);
+    }
+}
+BENCHMARK(BM_TranslateModule);
+
+static void
+BM_ExecutorInstrumented(benchmark::State &state)
+{
+    sim::SimContext ctx(sim::VgConfig::full());
+    std::vector<uint8_t> key(32, 1);
+    cc::Translator tr(key, ctx);
+    auto r = tr.translateText(kModuleSrc, 0xffffff9000000000ull);
+    NullPort port;
+    cc::ExternTable externs;
+    cc::Executor exec(*r.image, port, externs, ctx,
+                      0xffffffa000000000ull, 1 << 20);
+    for (auto _ : state) {
+        auto res = exec.call("work", {uint64_t(state.range(0))});
+        benchmark::DoNotOptimize(res.value);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_ExecutorInstrumented)->Arg(1000);
+
+static void
+BM_SandboxPass(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto parsed = vir::parse(kModuleSrc);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(cc::sandboxPass(parsed.module));
+    }
+}
+BENCHMARK(BM_SandboxPass);
+
+BENCHMARK_MAIN();

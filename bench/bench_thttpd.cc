@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Figure 2: thttpd web-server bandwidth vs file size (ApacheBench
+ * workload), baseline vs Virtual Ghost. The paper's result: the
+ * impact of Virtual Ghost on web transfer bandwidth is negligible.
+ */
+
+#include "apps/thttpd.hh"
+#include "common.hh"
+
+using namespace vg;
+using namespace vg::bench;
+using namespace vg::apps;
+
+namespace
+{
+
+double
+bandwidthFor(sim::VgConfig vg, uint64_t file_size, uint64_t requests)
+{
+    kern::System sys(benchConfig(vg));
+    sys.boot();
+
+    // Plant the content file (generated from random data in the
+    // paper; content doesn't affect timing here).
+    kern::Ino ino = 0;
+    sys.kernel().fs().create("/file.bin", ino);
+    std::vector<uint8_t> data(file_size, 0x42);
+    sys.kernel().fs().write(ino, 0, data.data(), data.size());
+
+    // ApacheBench-style concurrency: several client processes issue
+    // requests at once, so wire time and server compute overlap (the
+    // paper used 100 simultaneous connections).
+    constexpr int concurrency = 4;
+    uint64_t total_bytes = 0;
+    sim::Cycles elapsed = 0;
+    sys.runProcess("init", [&](kern::UserApi &api) {
+        uint64_t srv = api.fork([&](kern::UserApi &capi) {
+            ThttpdConfig cfg;
+            cfg.maxRequests = requests;
+            return thttpd(capi, cfg);
+        });
+        for (int i = 0; i < 4; i++)
+            api.yield();
+
+        sim::Stopwatch sw(sys.ctx().clock());
+        std::vector<uint64_t> clients;
+        for (int c = 0; c < concurrency; c++) {
+            uint64_t share = requests / concurrency +
+                             (c < int(requests % concurrency) ? 1 : 0);
+            if (share == 0)
+                continue;
+            clients.push_back(api.fork([&, share](kern::UserApi &capi) {
+                AbResult ab = apacheBench(capi, "/file.bin", share);
+                total_bytes += ab.bytes;
+                return 0;
+            }));
+        }
+        int status;
+        for (uint64_t cli : clients)
+            api.waitpid(cli, status);
+        elapsed = sw.elapsed();
+        api.waitpid(srv, status);
+        return 0;
+    });
+    double secs = sim::Clock::toSec(elapsed);
+    return secs > 0 ? double(total_bytes) / 1024.0 / secs : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    bool paper = paperScale();
+    uint64_t requests = paper ? 10000 : 50;
+
+    banner("Figure 2. thttpd average bandwidth (KB/s) vs file size\n"
+           "(ApacheBench workload; paper: VG impact negligible)");
+    std::printf("%-10s %12s %12s %10s\n", "File Size", "Native",
+                "VGhost", "VG/Native");
+
+    for (uint64_t size = 1024; size <= (1 << 20); size *= 4) {
+        double nat = bandwidthFor(sim::VgConfig::native(), size,
+                                  requests);
+        double vgb = bandwidthFor(sim::VgConfig::full(), size,
+                                  requests);
+        std::printf("%-10s %12.0f %12.0f %9.1f%%\n",
+                    sizeLabel(size).c_str(), nat, vgb,
+                    100.0 * vgb / nat);
+    }
+
+    std::printf("\nPaper's Figure 2 shows overlapping curves from "
+                "1 KB to 1 MB (y-axis 512\nto 131072 KB/s): the "
+                "transfer path is wire/copy bound, so kernel\n"
+                "instrumentation is hidden.\n");
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Shared benchmark-harness helpers.
+ *
+ * Every bench binary prints the table or data series of one table or
+ * figure from the paper's evaluation (S 8), with the paper's reported
+ * numbers alongside for shape comparison. Scale: by default the
+ * harnesses run reduced iteration counts suited to CI; set
+ * VG_BENCH_SCALE=paper for the paper's full parameters.
+ */
+
+#ifndef VG_BENCH_COMMON_HH
+#define VG_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kernel/system.hh"
+
+namespace vg::bench
+{
+
+/** True when VG_BENCH_SCALE=paper. */
+inline bool
+paperScale()
+{
+    const char *env = std::getenv("VG_BENCH_SCALE");
+    return env && std::strcmp(env, "paper") == 0;
+}
+
+/** Standard machine sizing for benchmarks. */
+inline kern::SystemConfig
+benchConfig(sim::VgConfig vg)
+{
+    kern::SystemConfig cfg;
+    cfg.vg = vg;
+    cfg.memFrames = 16 * 1024;  // 64 MB
+    cfg.diskBlocks = 32 * 1024; // 128 MB
+    cfg.rsaBits = 384;
+    return cfg;
+}
+
+/** Run @p fn in a process on a freshly booted machine and return its
+ *  double result. */
+inline double
+measureOn(sim::VgConfig vg,
+          const std::function<double(kern::UserApi &)> &fn)
+{
+    kern::System sys(benchConfig(vg));
+    sys.boot();
+    double out = 0;
+    sys.runProcess("bench", [&](kern::UserApi &api) {
+        out = fn(api);
+        return 0;
+    });
+    return out;
+}
+
+/** Mean of @p runs executions (fresh machine each run). */
+inline double
+meanOf(int runs, sim::VgConfig vg,
+       const std::function<double(kern::UserApi &)> &fn)
+{
+    double sum = 0;
+    for (int i = 0; i < runs; i++)
+        sum += measureOn(vg, fn);
+    return sum / runs;
+}
+
+/** Pretty size for labels ("4 KB", "1 MB"). */
+inline std::string
+sizeLabel(uint64_t bytes)
+{
+    char buf[32];
+    if (bytes >= (1 << 20))
+        std::snprintf(buf, sizeof(buf), "%lu MB",
+                      (unsigned long)(bytes >> 20));
+    else if (bytes >= 1024)
+        std::snprintf(buf, sizeof(buf), "%lu KB",
+                      (unsigned long)(bytes >> 10));
+    else
+        std::snprintf(buf, sizeof(buf), "%lu B", (unsigned long)bytes);
+    return buf;
+}
+
+/** Section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n================================================="
+                "=====================\n%s\n"
+                "================================================="
+                "=====================\n",
+                title.c_str());
+}
+
+} // namespace vg::bench
+
+#endif // VG_BENCH_COMMON_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Secure vault: a ghosting application keeps its working set in ghost
+ * memory and persists secrets with encrypt-then-MAC files under its
+ * application key (S 3.3/S 4.4). The demo then plays the hostile OS:
+ * it greps the raw disk for the plaintext and tampers with the file,
+ * showing confidentiality and integrity hold.
+ *
+ *   $ ./build/examples/secure_vault
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "ghost/runtime.hh"
+#include "kernel/system.hh"
+
+using namespace vg;
+using namespace vg::kern;
+
+int
+main()
+{
+    System sys;
+    sys.boot();
+
+    // Install-time: package the app with its key; the key section in
+    // the binary is RSA-encrypted to the VM.
+    crypto::AesKey app_key{};
+    for (int i = 0; i < 16; i++)
+        app_key[size_t(i)] = uint8_t(0xa0 + i);
+    sva::AppBinary binary =
+        sys.vm().packageApp("vault", "vault-code-v1", app_key);
+
+    const std::string secret =
+        "master password: correct horse battery staple";
+
+    // 1. The vault application stores the secret.
+    int code = sys.runProcess("vault", [&](UserApi &api) {
+        return api.execve(&binary, [&](UserApi &napi) {
+            ghost::GhostRuntime rt(napi);
+            if (!rt.appKey())
+                return 1;
+
+            // Working copy lives in ghost memory.
+            hw::Vaddr gva = rt.stashSecret(std::vector<uint8_t>(
+                secret.begin(), secret.end()));
+            std::printf("vault: secret staged in ghost memory at "
+                        "%#lx\n",
+                        (unsigned long)gva);
+
+            // Persist through the hostile OS.
+            if (!rt.writeSecureFile(
+                    "/vault.db", std::vector<uint8_t>(secret.begin(),
+                                                      secret.end())))
+                return 2;
+            std::printf("vault: sealed to /vault.db\n");
+            return 0;
+        });
+    });
+    if (code != 0) {
+        std::printf("vault failed: %d\n", code);
+        return 1;
+    }
+
+    // 2. The hostile OS inspects the raw file: ciphertext only.
+    Ino ino = 0;
+    sys.kernel().fs().lookup("/vault.db", ino);
+    FileStat st;
+    sys.kernel().fs().stat(ino, st);
+    std::vector<uint8_t> raw(st.size);
+    sys.kernel().fs().read(ino, 0, raw.data(), st.size);
+    std::string raw_str(raw.begin(), raw.end());
+    std::printf("OS view of /vault.db: %zu bytes, plaintext %s\n",
+                raw.size(),
+                raw_str.find(secret) == std::string::npos
+                    ? "NOT findable"
+                    : "LEAKED!");
+
+    // 3. Reading it back works...
+    sys.runProcess("reader", [&](UserApi &api) {
+        return api.execve(&binary, [&](UserApi &napi) {
+            ghost::GhostRuntime rt(napi);
+            std::vector<uint8_t> plain;
+            if (rt.readSecureFile("/vault.db", plain) &&
+                std::string(plain.begin(), plain.end()) == secret)
+                std::printf("vault: read-back OK\n");
+            else
+                std::printf("vault: read-back FAILED\n");
+            return 0;
+        });
+    });
+
+    // 4. ...until the OS tampers with a byte.
+    uint8_t byte = 0;
+    sys.kernel().fs().read(ino, 52, &byte, 1);
+    byte ^= 0x80;
+    sys.kernel().fs().write(ino, 52, &byte, 1);
+    std::printf("OS flips one ciphertext bit...\n");
+
+    sys.runProcess("reader2", [&](UserApi &api) {
+        return api.execve(&binary, [&](UserApi &napi) {
+            ghost::GhostRuntime rt(napi);
+            std::vector<uint8_t> plain;
+            if (!rt.readSecureFile("/vault.db", plain))
+                std::printf("vault: tampering DETECTED, refusing the "
+                            "data\n");
+            else
+                std::printf("vault: tampering NOT detected (bad!)\n");
+            return 0;
+        });
+    });
+
+    // 5. A forged binary cannot impersonate the app to get the key.
+    sva::AppBinary forged = binary;
+    forged.codeIdentity = "trojan-code";
+    int forged_code = sys.runProcess("trojan", [&](UserApi &api) {
+        return api.execve(&forged, [](UserApi &) { return 0; });
+    });
+    std::printf("forged binary exec: %s\n",
+                forged_code == -1 ? "refused by the VM (S 4.5)"
+                                  : "ran (bad!)");
+    return 0;
+}

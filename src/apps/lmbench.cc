@@ -1,0 +1,202 @@
+#include "apps/lmbench.hh"
+
+#include <vector>
+
+namespace vg::apps
+{
+
+namespace
+{
+
+double
+usecPerOp(sim::Cycles cycles, uint64_t iters)
+{
+    return sim::Clock::toUsec(cycles) / double(iters);
+}
+
+} // namespace
+
+double
+latNullSyscall(kern::UserApi &api, uint64_t iters)
+{
+    sim::Stopwatch sw(api.kernel().ctx().clock());
+    for (uint64_t i = 0; i < iters; i++)
+        api.getpid();
+    return usecPerOp(sw.elapsed(), iters);
+}
+
+double
+latOpenClose(kern::UserApi &api, uint64_t iters)
+{
+    int fd0 = api.open("/lat_open_file", true);
+    api.close(fd0);
+
+    sim::Stopwatch sw(api.kernel().ctx().clock());
+    for (uint64_t i = 0; i < iters; i++) {
+        int fd = api.open("/lat_open_file");
+        api.close(fd);
+    }
+    double usec = usecPerOp(sw.elapsed(), iters);
+    api.unlink("/lat_open_file");
+    return usec;
+}
+
+double
+latMmap(kern::UserApi &api, uint64_t iters)
+{
+    constexpr uint64_t len = 64 * 1024;
+    sim::Stopwatch sw(api.kernel().ctx().clock());
+    for (uint64_t i = 0; i < iters; i++) {
+        hw::Vaddr va = api.mmap(len);
+        api.munmap(va, len);
+    }
+    return usecPerOp(sw.elapsed(), iters);
+}
+
+double
+latPageFault(kern::UserApi &api, uint64_t iters)
+{
+    // lat_pagefault: fault file-backed pages in from a cold cache, so
+    // the device is on the fault path (as in LMBench, which faults an
+    // mmap'd file).
+    int fd = api.open("/lat_pf_file", true);
+    constexpr uint64_t chunk = 8 * hw::pageSize;
+    hw::Vaddr wbuf = api.mmap(chunk);
+    std::vector<uint8_t> junk(chunk, 0x50);
+    api.copyToUser(wbuf, junk.data(), junk.size());
+    uint64_t total = iters * hw::pageSize;
+    for (uint64_t off = 0; off < total; off += chunk)
+        api.write(fd, wbuf, std::min(chunk, total - off));
+    api.fsync(fd);
+    api.munmap(wbuf, chunk);
+    api.kernel().dropCaches();
+
+    hw::Vaddr va = api.mmapFile(fd, total);
+    sim::Stopwatch sw(api.kernel().ctx().clock());
+    for (uint64_t i = 0; i < iters; i++) {
+        uint64_t v = 0;
+        api.peek(va + i * hw::pageSize, 8, v);
+    }
+    double usec = usecPerOp(sw.elapsed(), iters);
+    api.munmap(va, total);
+    api.close(fd);
+    api.unlink("/lat_pf_file");
+    return usec;
+}
+
+double
+latSignalInstall(kern::UserApi &api, uint64_t iters)
+{
+    sim::Stopwatch sw(api.kernel().ctx().clock());
+    for (uint64_t i = 0; i < iters; i++)
+        api.installSignalHandler(30, [](int) {}, true);
+    return usecPerOp(sw.elapsed(), iters);
+}
+
+double
+latSignalDelivery(kern::UserApi &api, uint64_t iters)
+{
+    volatile uint64_t hits = 0;
+    api.installSignalHandler(
+        31, [&hits](int) { hits = hits + 1; }, true);
+    sim::Stopwatch sw(api.kernel().ctx().clock());
+    for (uint64_t i = 0; i < iters; i++)
+        api.kill(api.pid(), 31); // delivered at syscall exit
+    return usecPerOp(sw.elapsed(), iters);
+}
+
+double
+latForkExit(kern::UserApi &api, uint64_t iters)
+{
+    // Give the parent a small working set for fork to copy, like
+    // lmbench's lat_proc.
+    hw::Vaddr ws = api.mmap(16 * hw::pageSize);
+    for (int i = 0; i < 16; i++)
+        api.poke(ws + uint64_t(i) * hw::pageSize, 8, uint64_t(i));
+
+    sim::Stopwatch sw(api.kernel().ctx().clock());
+    for (uint64_t i = 0; i < iters; i++) {
+        uint64_t child =
+            api.fork([](kern::UserApi &capi) {
+                capi.exit(0);
+                return 0;
+            });
+        int status = 0;
+        api.waitpid(child, status);
+    }
+    double usec = usecPerOp(sw.elapsed(), iters);
+    api.munmap(ws, 16 * hw::pageSize);
+    return usec;
+}
+
+double
+latForkExec(kern::UserApi &api, uint64_t iters)
+{
+    hw::Vaddr ws = api.mmap(16 * hw::pageSize);
+    for (int i = 0; i < 16; i++)
+        api.poke(ws + uint64_t(i) * hw::pageSize, 8, uint64_t(i));
+
+    sim::Stopwatch sw(api.kernel().ctx().clock());
+    for (uint64_t i = 0; i < iters; i++) {
+        uint64_t child = api.fork([](kern::UserApi &capi) {
+            return capi.execve(nullptr, [](kern::UserApi &napi) {
+                napi.getpid();
+                return 0;
+            });
+        });
+        int status = 0;
+        api.waitpid(child, status);
+    }
+    double usec = usecPerOp(sw.elapsed(), iters);
+    api.munmap(ws, 16 * hw::pageSize);
+    return usec;
+}
+
+double
+latSelect(kern::UserApi &api, uint64_t iters, uint64_t nfds)
+{
+    std::vector<int> fds;
+    for (uint64_t i = 0; i < nfds; i++)
+        fds.push_back(api.open("/sel" + std::to_string(i), true));
+
+    sim::Stopwatch sw(api.kernel().ctx().clock());
+    for (uint64_t i = 0; i < iters; i++)
+        api.select(fds, 0);
+    double usec = usecPerOp(sw.elapsed(), iters);
+
+    for (uint64_t i = 0; i < nfds; i++) {
+        api.close(fds[i]);
+        api.unlink("/sel" + std::to_string(i));
+    }
+    return usec;
+}
+
+double
+rateCreateFiles(kern::UserApi &api, uint64_t count, uint64_t size)
+{
+    hw::Vaddr buf = api.mmap((size + hw::pageSize) & ~(hw::pageSize - 1));
+    std::vector<uint8_t> junk(size, 0x61);
+    if (size > 0)
+        api.copyToUser(buf, junk.data(), junk.size());
+
+    sim::Stopwatch sw(api.kernel().ctx().clock());
+    for (uint64_t i = 0; i < count; i++) {
+        int fd = api.open("/cr" + std::to_string(i), true);
+        if (size > 0)
+            api.write(fd, buf, size);
+        api.close(fd);
+    }
+    sim::Cycles elapsed = sw.elapsed();
+    return double(count) / sim::Clock::toSec(elapsed);
+}
+
+double
+rateDeleteFiles(kern::UserApi &api, uint64_t count)
+{
+    sim::Stopwatch sw(api.kernel().ctx().clock());
+    for (uint64_t i = 0; i < count; i++)
+        api.unlink("/cr" + std::to_string(i));
+    return double(count) / sim::Clock::toSec(sw.elapsed());
+}
+
+} // namespace vg::apps

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * LMBench-style micro-operation drivers (Table 2, Tables 3/4).
+ *
+ * Each driver runs the operation for a number of iterations inside a
+ * simulated process and reports the mean latency in simulated
+ * microseconds, exactly mirroring lat_syscall, lat_sig, lat_proc,
+ * lat_select and the create/delete file benchmarks.
+ */
+
+#ifndef VG_APPS_LMBENCH_HH
+#define VG_APPS_LMBENCH_HH
+
+#include <cstdint>
+
+#include "kernel/kernel.hh"
+
+namespace vg::apps
+{
+
+/** Latency of the null syscall (getpid), usec/op. */
+double latNullSyscall(kern::UserApi &api, uint64_t iters);
+
+/** Latency of open()+close() of an existing file, usec/op. */
+double latOpenClose(kern::UserApi &api, uint64_t iters);
+
+/** Latency of mmap()+munmap() of 64 KB, usec/op. */
+double latMmap(kern::UserApi &api, uint64_t iters);
+
+/** Latency of a hardware page fault (touch fresh page), usec/fault. */
+double latPageFault(kern::UserApi &api, uint64_t iters);
+
+/** Latency of installing a signal handler, usec/op. */
+double latSignalInstall(kern::UserApi &api, uint64_t iters);
+
+/** Latency of delivering a signal to a handler, usec/op. */
+double latSignalDelivery(kern::UserApi &api, uint64_t iters);
+
+/** fork() + child exit + wait, usec/op. */
+double latForkExit(kern::UserApi &api, uint64_t iters);
+
+/** fork() + child execve + wait, usec/op. */
+double latForkExec(kern::UserApi &api, uint64_t iters);
+
+/** select() on @p nfds file descriptors with zero timeout, usec/op. */
+double latSelect(kern::UserApi &api, uint64_t iters,
+                 uint64_t nfds = 100);
+
+/** Create @p count files of @p size bytes; returns files/second. */
+double rateCreateFiles(kern::UserApi &api, uint64_t count,
+                       uint64_t size);
+
+/** Delete the files created by rateCreateFiles; files/second. */
+double rateDeleteFiles(kern::UserApi &api, uint64_t count);
+
+} // namespace vg::apps
+
+#endif // VG_APPS_LMBENCH_HH

@@ -1,0 +1,126 @@
+#include "apps/postmark.hh"
+
+#include <vector>
+
+#include "crypto/drbg.hh"
+
+namespace vg::apps
+{
+
+namespace
+{
+
+std::string
+fileName(uint64_t id)
+{
+    return "/pm/f" + std::to_string(id);
+}
+
+} // namespace
+
+PostmarkResult
+postmark(kern::UserApi &api, const PostmarkConfig &config)
+{
+    PostmarkResult result;
+    crypto::CtrDrbg rng({uint8_t(config.seed), uint8_t(config.seed >> 8),
+                         'p', 'm'});
+
+    api.mkdir("/pm");
+    sim::Stopwatch sw(api.kernel().ctx().clock());
+
+    hw::Vaddr buf = api.mmap(config.maxSize + hw::pageSize);
+    std::vector<uint8_t> junk(config.maxSize, 0x6d);
+    api.copyToUser(buf, junk.data(), junk.size());
+
+    std::vector<uint64_t> pool;
+    uint64_t next_id = 0;
+
+    auto create_file = [&]() {
+        uint64_t size = config.minSize +
+                        rng.nextBounded(config.maxSize -
+                                        config.minSize + 1);
+        uint64_t id = next_id++;
+        int fd = api.open(fileName(id), true);
+        if (fd < 0)
+            return;
+        uint64_t written = 0;
+        while (written < size) {
+            uint64_t n = std::min(config.blockSize, size - written);
+            if (api.write(fd, buf, n) != int64_t(n))
+                break;
+            written += n;
+        }
+        api.close(fd);
+        pool.push_back(id);
+        result.filesCreated++;
+        result.bytesWritten += written;
+    };
+
+    auto delete_file = [&]() {
+        if (pool.empty())
+            return;
+        uint64_t idx = rng.nextBounded(pool.size());
+        uint64_t id = pool[idx];
+        pool[idx] = pool.back();
+        pool.pop_back();
+        api.unlink(fileName(id));
+        result.filesDeleted++;
+    };
+
+    auto read_file = [&]() {
+        if (pool.empty())
+            return;
+        uint64_t id = pool[rng.nextBounded(pool.size())];
+        int fd = api.open(fileName(id));
+        if (fd < 0)
+            return;
+        int64_t n;
+        while ((n = api.read(fd, buf, config.blockSize)) > 0)
+            result.bytesRead += uint64_t(n);
+        api.close(fd);
+    };
+
+    auto append_file = [&]() {
+        if (pool.empty())
+            return;
+        uint64_t id = pool[rng.nextBounded(pool.size())];
+        int fd = api.open(fileName(id));
+        if (fd < 0)
+            return;
+        api.lseek(fd, 0, 2);
+        uint64_t n = config.blockSize;
+        if (api.write(fd, buf, n) == int64_t(n))
+            result.bytesWritten += n;
+        api.close(fd);
+    };
+
+    // Phase 1: build the base pool.
+    for (uint64_t i = 0; i < config.baseFiles; i++)
+        create_file();
+
+    // Phase 2: transactions.
+    for (uint64_t t = 0; t < config.transactions; t++) {
+        if (rng.nextBounded(10) < uint64_t(config.createBias)) {
+            if (rng.nextBounded(2) == 0)
+                create_file();
+            else
+                delete_file();
+        } else {
+            if (rng.nextBounded(10) < uint64_t(config.readBias))
+                read_file();
+            else
+                append_file();
+        }
+        result.transactions++;
+    }
+
+    // Phase 3: delete everything left.
+    while (!pool.empty())
+        delete_file();
+    api.fsync(0);
+
+    result.cycles = sw.elapsed();
+    return result;
+}
+
+} // namespace vg::apps

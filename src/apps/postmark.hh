@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Postmark: the mail-server file-system benchmark (Table 5).
+ *
+ * Phases: create a pool of base files, run create/delete and
+ * read/append transactions against the pool, then delete everything.
+ * Paper parameters: 500 base files of 500 B - 9.77 KB, 512 B blocks,
+ * read/append and create/delete biases of 5, buffered I/O, 500,000
+ * transactions.
+ */
+
+#ifndef VG_APPS_POSTMARK_HH
+#define VG_APPS_POSTMARK_HH
+
+#include <cstdint>
+
+#include "kernel/kernel.hh"
+
+namespace vg::apps
+{
+
+/** Postmark parameters (defaults match the paper). */
+struct PostmarkConfig
+{
+    uint64_t baseFiles = 500;
+    uint64_t minSize = 500;
+    uint64_t maxSize = 10000; // ~9.77 KB
+    uint64_t blockSize = 512;
+    int readBias = 5;   ///< of 10: read vs append
+    int createBias = 5; ///< of 10: create vs delete
+    uint64_t transactions = 500000;
+    uint64_t seed = 42;
+};
+
+/** Results. */
+struct PostmarkResult
+{
+    uint64_t transactions = 0;
+    uint64_t filesCreated = 0;
+    uint64_t filesDeleted = 0;
+    uint64_t bytesRead = 0;
+    uint64_t bytesWritten = 0;
+    sim::Cycles cycles = 0;
+
+    double
+    seconds() const
+    {
+        return sim::Clock::toSec(cycles);
+    }
+};
+
+/** Run Postmark in the calling process. */
+PostmarkResult postmark(kern::UserApi &api,
+                        const PostmarkConfig &config);
+
+} // namespace vg::apps
+
+#endif // VG_APPS_POSTMARK_HH

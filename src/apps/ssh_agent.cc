@@ -1,0 +1,113 @@
+/**
+ * @file
+ * ssh-agent: holds private authentication keys — and the secret string
+ * the S 7 experiments target — in ghost memory, and signs challenges
+ * for clients over the agent socket. The agent never outputs the
+ * secret; the only way it leaves the process is through an attack.
+ */
+
+#include <cstring>
+
+#include "apps/ssh_common.hh"
+
+namespace vg::apps
+{
+
+namespace
+{
+
+uint64_t g_agent_secret_addr = 0;
+
+} // namespace
+
+uint64_t
+agentSecretAddress()
+{
+    return g_agent_secret_addr;
+}
+
+int
+sshAgent(kern::UserApi &api, const AgentConfig &config)
+{
+    g_agent_secret_addr = 0; // fresh run (harness synchronization)
+    ghost::GhostRuntime runtime(api);
+
+    // Load the authentication key (decrypted with the app key).
+    std::vector<uint8_t> auth_raw;
+    bool have_key = runtime.readSecureFile(authKeyPath, auth_raw);
+
+    std::vector<uint8_t> secret(config.secret.begin(),
+                                config.secret.end());
+
+    if (config.useGhostMemory) {
+        // Heap objects (keys and the secret) go into ghost memory,
+        // exactly as the modified malloc() of S 6 arranges.
+        hw::Vaddr va = runtime.stashSecret(secret);
+        if (va == 0)
+            return 1;
+        g_agent_secret_addr = va;
+        if (have_key) {
+            hw::Vaddr kva = runtime.stashSecret(auth_raw);
+            auth_raw = runtime.fetchSecret(kva, auth_raw.size());
+        }
+    } else {
+        // Baseline configuration: the secret lives in traditional
+        // memory where the OS can reach it.
+        hw::Vaddr va = api.mmap(hw::pageSize);
+        if (va == 0 || !api.copyToUser(va, secret.data(),
+                                       secret.size()))
+            return 1;
+        g_agent_secret_addr = va;
+    }
+
+    crypto::RsaPrivateKey auth;
+    if (have_key) {
+        bool ok = false;
+        auth = crypto::RsaPrivateKey::deserialize(auth_raw, ok);
+        have_key = ok;
+    }
+
+    // Idle window: the attack harness mounts its rootkit while the
+    // agent performs routine syscalls.
+    int fd_idle = api.open("/dev_null_agent", true);
+    hw::Vaddr idle_buf = api.mmap(hw::pageSize);
+    api.copyToUser(idle_buf, "idle", 4);
+    for (int i = 0; i < config.idleSpins; i++) {
+        // read() — the syscall the rootkit interposes.
+        api.lseek(fd_idle, 0, 0);
+        api.read(fd_idle, idle_buf, 4);
+        api.yield();
+    }
+    api.close(fd_idle);
+
+    // Serve sign requests.
+    int ls = api.socket();
+    if (api.bind(ls, agentPort) != 0 || api.listen(ls) != 0)
+        return 2;
+    for (int served = 0; served < config.maxRequests; served++) {
+        int conn = api.accept(ls);
+        if (conn < 0)
+            break;
+        std::string request;
+        while (recvStr(api, conn, request)) {
+            if (request == "PING") {
+                sendStr(api, conn, "PONG");
+            } else if (request.rfind("SIGN ", 0) == 0 && have_key) {
+                std::vector<uint8_t> challenge(request.begin() + 5,
+                                               request.end());
+                sendMsg(api, conn, appRsaSign(api, auth, challenge));
+            } else if (request == "QUIT") {
+                api.close(conn);
+                api.close(ls);
+                return 0;
+            } else {
+                sendStr(api, conn, "ERR");
+            }
+        }
+        api.close(conn);
+    }
+    api.close(ls);
+    return 0;
+}
+
+} // namespace vg::apps

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * ssh: the client. In ghosting mode (S 6) every sensitive allocation —
+ * the decrypted authentication key, the session key, and the received
+ * plaintext — lives in ghost memory via the ghost heap; only protocol
+ * ciphertext passes through traditional memory.
+ */
+
+#include <cstring>
+
+#include "apps/ssh_common.hh"
+
+namespace vg::apps
+{
+
+SshResult
+sshFetch(kern::UserApi &api, const std::string &path, bool ghosting,
+         bool keep_data, uint16_t port)
+{
+    SshResult result;
+    ghost::GhostRuntime runtime(api);
+    if (!runtime.appKey())
+        return result;
+
+    // Load and decrypt the authentication key. Ghosting mode parks
+    // the plaintext in ghost memory and re-reads it from there, so
+    // the OS never holds it; the extra copies are the ghosting cost.
+    std::vector<uint8_t> auth_raw;
+    if (!runtime.readSecureFile(authKeyPath, auth_raw))
+        return result;
+    if (ghosting) {
+        hw::Vaddr key_ghost = runtime.stashSecret(auth_raw);
+        if (key_ghost == 0)
+            return result;
+        auth_raw = runtime.fetchSecret(key_ghost, auth_raw.size());
+    }
+    bool ok = false;
+    crypto::RsaPrivateKey auth =
+        crypto::RsaPrivateKey::deserialize(auth_raw, ok);
+    if (!ok)
+        return result;
+
+    std::vector<uint8_t> seed(32);
+    api.secureRandom(seed.data(), seed.size());
+    crypto::CtrDrbg rng(seed);
+
+    int fd = api.connect(port);
+    if (fd < 0)
+        return result;
+
+    // Handshake.
+    if (!sendStr(api, fd, "VGSSH-1"))
+        return result;
+    std::vector<uint8_t> challenge;
+    if (!recvMsg(api, fd, challenge))
+        return result;
+    if (!sendMsg(api, fd, appRsaSign(api, auth, challenge)))
+        return result;
+    std::string verdict;
+    if (!recvStr(api, fd, verdict) || verdict != "OK")
+        return result;
+
+    // Session key: generated from the trusted RNG, optionally stored
+    // in ghost memory, and wrapped to the server's host public key
+    // (which we learn from the authorized file's pair — the public
+    // half of the host key is world-readable).
+    std::vector<uint8_t> host_raw;
+    if (!runtime.readFile(hostKeyPath, host_raw))
+        return result;
+    crypto::RsaPrivateKey host_pair =
+        crypto::RsaPrivateKey::deserialize(host_raw, ok);
+    if (!ok)
+        return result;
+
+    crypto::AesKey session{};
+    api.secureRandom(session.data(), session.size());
+    if (ghosting) {
+        hw::Vaddr kva = runtime.stashSecret(
+            std::vector<uint8_t>(session.begin(), session.end()));
+        auto back = runtime.fetchSecret(kva, session.size());
+        std::memcpy(session.data(), back.data(), session.size());
+    }
+    std::vector<uint8_t> key_bytes(session.begin(), session.end());
+    if (!sendMsg(api, fd,
+                 appRsaEncrypt(api, host_pair.publicKey(), rng,
+                               key_bytes)))
+        return result;
+
+    // Fetch the file.
+    if (!sendStr(api, fd, "GET " + path))
+        return result;
+    std::string size_line;
+    if (!recvStr(api, fd, size_line) ||
+        size_line.rfind("SIZE ", 0) != 0)
+        return result;
+    uint64_t total = std::stoull(size_line.substr(5));
+
+    uint64_t received = 0;
+    hw::Vaddr ghost_buf = 0;
+    uint64_t ghost_buf_len = 0;
+    while (received < total) {
+        std::vector<uint8_t> frame;
+        if (!recvMsg(api, fd, frame))
+            break;
+        crypto::SealedBlob blob =
+            crypto::SealedBlob::deserialize(frame, ok);
+        if (!ok)
+            break;
+        std::vector<uint8_t> plain = appUnseal(api, session, blob, ok);
+        if (!ok)
+            break;
+        if (ghosting) {
+            // Plaintext goes straight into ghost memory.
+            if (plain.size() > ghost_buf_len) {
+                if (ghost_buf)
+                    runtime.heap().gfree(ghost_buf);
+                ghost_buf = runtime.heap().gmalloc(plain.size());
+                ghost_buf_len = plain.size();
+            }
+            if (ghost_buf == 0 ||
+                !runtime.heap().write(ghost_buf, plain.data(),
+                                      plain.size()))
+                break;
+        }
+        if (keep_data)
+            result.data.insert(result.data.end(), plain.begin(),
+                               plain.end());
+        received += plain.size();
+    }
+    sendStr(api, fd, "BYE");
+    api.close(fd);
+
+    result.bytes = received;
+    result.ok = received == total;
+    return result;
+}
+
+} // namespace vg::apps

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * ssh-keygen: generates RSA authentication keys. The private key file
+ * is encrypted with the shared application key (S 6), so the hostile
+ * OS — which has full access to the disk — sees only ciphertext; the
+ * public half is installed for sshd in the clear.
+ */
+
+#include "apps/ssh_common.hh"
+
+namespace vg::apps
+{
+
+int
+sshKeygen(kern::UserApi &api, size_t bits)
+{
+    ghost::GhostRuntime runtime(api);
+    if (!runtime.appKey())
+        return 1; // no application key bound: refuse to run
+
+    // Deterministic-per-boot keygen entropy from the trusted RNG.
+    std::vector<uint8_t> seed(32);
+    api.secureRandom(seed.data(), seed.size());
+    crypto::CtrDrbg rng(seed);
+
+    // Generating the key pair is real compute.
+    api.kernel().ctx().clock().advance(
+        20 * api.kernel().ctx().costs().rsaPrivOp);
+    crypto::RsaPrivateKey auth = crypto::rsaGenerate(rng, bits);
+
+    api.mkdir("/home");
+    api.mkdir("/etc");
+
+    // Private key: sealed under the app key before the OS sees it.
+    if (!runtime.writeSecureFile(authKeyPath, auth.serialize()))
+        return 2;
+
+    // Public key: plaintext, like id_rsa.pub.
+    if (!runtime.writeFile(authPubPath, auth.publicKey().serialize()))
+        return 3;
+
+    // "Install" the public key on the server side (authorized_keys).
+    if (!runtime.writeFile(authorizedPath,
+                           auth.publicKey().serialize()))
+        return 4;
+
+    return 0;
+}
+
+} // namespace vg::apps

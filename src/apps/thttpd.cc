@@ -1,0 +1,183 @@
+#include "apps/thttpd.hh"
+
+#include <cstring>
+
+namespace vg::apps
+{
+
+namespace
+{
+
+/** Buffered socket line reader (one recv per ~512 bytes, as a real
+ *  server buffers, rather than one syscall per byte). */
+class LineReader
+{
+  public:
+    LineReader(kern::UserApi &api, int fd) : _api(api), _fd(fd) {}
+
+    bool
+    readLine(std::string &line)
+    {
+        line.clear();
+        while (line.size() < 4096) {
+            if (_pos == _len) {
+                int64_t n = _api.recvHost(_fd, _buf, sizeof(_buf));
+                if (n <= 0)
+                    return false;
+                _pos = 0;
+                _len = size_t(n);
+            }
+            char c = _buf[_pos++];
+            if (c == '\n') {
+                if (!line.empty() && line.back() == '\r')
+                    line.pop_back();
+                return true;
+            }
+            line.push_back(c);
+        }
+        return false;
+    }
+
+  private:
+    kern::UserApi &_api;
+    int _fd;
+    char _buf[512];
+    size_t _pos = 0;
+    size_t _len = 0;
+};
+
+bool
+sendAll(kern::UserApi &api, int fd, const void *data, uint64_t len)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    uint64_t sent = 0;
+    while (sent < len) {
+        int64_t n = api.sendHost(fd, p + sent, len - sent);
+        if (n <= 0)
+            return false;
+        sent += uint64_t(n);
+    }
+    return true;
+}
+
+} // namespace
+
+int
+thttpd(kern::UserApi &api, const ThttpdConfig &config)
+{
+    int ls = api.socket();
+    if (api.bind(ls, config.port) != 0 || api.listen(ls) != 0)
+        return 1;
+
+    uint64_t served = 0;
+    std::vector<uint8_t> file_buf;
+    while (config.maxRequests == 0 || served < config.maxRequests) {
+        int conn = api.accept(ls);
+        if (conn < 0)
+            break;
+
+        LineReader reader(api, conn);
+        std::string request_line;
+        if (!reader.readLine(request_line)) {
+            api.close(conn);
+            continue;
+        }
+        // Drain headers until the blank line.
+        std::string header;
+        while (reader.readLine(header) && !header.empty()) {
+        }
+
+        std::string path = "/";
+        if (request_line.rfind("GET ", 0) == 0) {
+            size_t sp = request_line.find(' ', 4);
+            path = request_line.substr(4, sp - 4);
+        }
+
+        kern::FileStat st;
+        if (api.stat(path, st) != 0) {
+            const char *resp = "HTTP/1.0 404 Not Found\r\n"
+                               "Content-Length: 0\r\n\r\n";
+            sendAll(api, conn, resp, std::strlen(resp));
+            api.close(conn);
+            served++;
+            continue;
+        }
+
+        std::string hdr = "HTTP/1.0 200 OK\r\nContent-Length: " +
+                          std::to_string(st.size) + "\r\n\r\n";
+        sendAll(api, conn, hdr.data(), hdr.size());
+
+        int fd = api.open(path);
+        constexpr uint64_t chunk = 32 * 1024;
+        hw::Vaddr buf = api.mmap(chunk);
+        if (file_buf.size() < chunk)
+            file_buf.resize(chunk);
+        uint64_t remaining = st.size;
+        while (remaining > 0) {
+            uint64_t n = std::min(remaining, chunk);
+            if (api.read(fd, buf, n) != int64_t(n))
+                break;
+            api.copyFromUser(buf, file_buf.data(), n);
+            if (!sendAll(api, conn, file_buf.data(), n))
+                break;
+            remaining -= n;
+        }
+        api.munmap(buf, chunk);
+        api.close(fd);
+        api.close(conn);
+        served++;
+    }
+    api.close(ls);
+    return 0;
+}
+
+AbResult
+apacheBench(kern::UserApi &api, const std::string &path,
+            uint64_t requests, uint16_t port)
+{
+    AbResult result;
+    sim::Stopwatch sw(api.kernel().ctx().clock());
+
+    std::vector<uint8_t> buf(64 * 1024);
+    for (uint64_t i = 0; i < requests; i++) {
+        int fd = api.connect(port);
+        if (fd < 0) {
+            result.failures++;
+            continue;
+        }
+        std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+        if (api.sendHost(fd, req.data(), req.size()) !=
+            int64_t(req.size())) {
+            result.failures++;
+            api.close(fd);
+            continue;
+        }
+        // Read the status line + headers + body until EOF.
+        uint64_t got = 0;
+        bool headers_done = false;
+        std::string head;
+        while (true) {
+            int64_t n = api.recvHost(fd, buf.data(), buf.size());
+            if (n <= 0)
+                break;
+            if (!headers_done) {
+                head.append(reinterpret_cast<char *>(buf.data()),
+                            size_t(n));
+                size_t hdr_end = head.find("\r\n\r\n");
+                if (hdr_end != std::string::npos) {
+                    headers_done = true;
+                    got += head.size() - hdr_end - 4;
+                }
+            } else {
+                got += uint64_t(n);
+            }
+        }
+        api.close(fd);
+        result.requests++;
+        result.bytes += got;
+    }
+    result.cycles = sw.elapsed();
+    return result;
+}
+
+} // namespace vg::apps

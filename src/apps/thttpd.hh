@@ -1,0 +1,53 @@
+/**
+ * @file
+ * thttpd — a tiny/turbo HTTP server — and an ApacheBench-style load
+ * generator, for the Figure 2 experiment.
+ */
+
+#ifndef VG_APPS_THTTPD_HH
+#define VG_APPS_THTTPD_HH
+
+#include <string>
+
+#include "kernel/kernel.hh"
+
+namespace vg::apps
+{
+
+/** thttpd configuration. */
+struct ThttpdConfig
+{
+    uint16_t port = 80;
+    /** Serve this many requests, then exit (0 = forever). */
+    uint64_t maxRequests = 0;
+};
+
+/** Serve files from the filesystem over HTTP/1.0. */
+int thttpd(kern::UserApi &api, const ThttpdConfig &config);
+
+/** ApacheBench-style results. */
+struct AbResult
+{
+    uint64_t requests = 0;
+    uint64_t failures = 0;
+    uint64_t bytes = 0;
+    /** Simulated cycles spent across the run. */
+    uint64_t cycles = 0;
+
+    double
+    bandwidthKBps(double cycles_per_usec) const
+    {
+        if (cycles == 0)
+            return 0.0;
+        double secs = double(cycles) / (cycles_per_usec * 1e6);
+        return double(bytes) / 1024.0 / secs;
+    }
+};
+
+/** Issue @p requests GETs for @p path against @p port. */
+AbResult apacheBench(kern::UserApi &api, const std::string &path,
+                     uint64_t requests, uint16_t port = 80);
+
+} // namespace vg::apps
+
+#endif // VG_APPS_THTTPD_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The S 7 rootkit: a malicious kernel module (after Joseph Kong's
+ * "Designing BSD Rootkits") that a non-privileged user configures to
+ * attack a victim process. Two attacks:
+ *
+ *  1. Direct memory access: replace the read() syscall handler with a
+ *     module function that loads the victim's secret directly from its
+ *     (ghost or traditional) address and logs it.
+ *  2. Code injection via signal dispatch: open an exfiltration file in
+ *     the victim's fd table, mmap a buffer into the victim, point the
+ *     victim's signal-handler table at exploit code in the module, and
+ *     send the signal; the exploit (running in the victim's user
+ *     context) copies the secret into traditional memory and write()s
+ *     it out.
+ *
+ * The module is shipped as VIR text and compiled by the trusted
+ * translator like any other module — under Virtual Ghost that means
+ * its loads/stores are sandboxed and sva.ipush.function refuses the
+ * unregistered handler; on the baseline kernel both attacks succeed.
+ */
+
+#ifndef VG_ATTACKS_ROOTKIT_HH
+#define VG_ATTACKS_ROOTKIT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "kernel/kernel.hh"
+
+namespace vg::attacks
+{
+
+/** Result of mounting an attack. */
+struct AttackResult
+{
+    bool mounted = false;       ///< infrastructure steps succeeded
+    bool dataStolen = false;    ///< the secret left the victim
+    std::string detail;
+    std::vector<uint8_t> loot;  ///< what the attacker obtained
+};
+
+/**
+ * Attack 1: interpose read() with a handler that loads @p secret_len
+ * bytes at @p secret_va and logs them, then chains to the native
+ * handler. Call check1() after the victim performs a read() to see
+ * what the attacker captured.
+ */
+bool mountAttack1(kern::Kernel &kernel, uint64_t secret_va,
+                  std::string *err);
+
+/** Inspect the console log for attack 1's capture; @p secret is the
+ *  true secret, used to decide dataStolen. */
+AttackResult checkAttack1(kern::Kernel &kernel,
+                          const std::vector<uint8_t> &secret);
+
+/** Remove attack 1's interposition. */
+void unmountAttack1(kern::Kernel &kernel);
+
+/**
+ * Attack 2: full code-injection chain against @p victim_pid. The
+ * secret (of @p secret_len bytes, at @p secret_va in the victim) is
+ * exfiltrated to the file /exfil when it works.
+ */
+AttackResult mountAttack2(kern::Kernel &kernel, uint64_t victim_pid,
+                          uint64_t secret_va, uint64_t secret_len);
+
+/** Read /exfil and compare against the secret. */
+AttackResult checkAttack2(kern::Kernel &kernel,
+                          const std::vector<uint8_t> &secret);
+
+} // namespace vg::attacks
+
+#endif // VG_ATTACKS_ROOTKIT_HH

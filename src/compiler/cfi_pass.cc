@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Machine-level CFI instrumentation (S 4.3.1, S 5).
+ *
+ * One conservative label is used for all function entries and return
+ * sites (matching the paper's precision, which avoids link-time call
+ * graph construction). Returns and indirect calls are rewritten into
+ * checked forms that the processor model enforces; the checked indirect
+ * call also masks its target out of user space.
+ */
+
+#include "compiler/passes.hh"
+#include "sim/log.hh"
+
+namespace vg::cc
+{
+
+PassStats
+cfiPass(std::vector<MInst> &code)
+{
+    PassStats stats;
+    std::vector<MInst> out;
+    out.reserve(code.size() * 2);
+    std::vector<uint64_t> remap(code.size(), 0);
+
+    auto label = []() {
+        MInst l;
+        l.op = MOp::CfiLabel;
+        l.imm = cfiLabelValue;
+        return l;
+    };
+
+    // Function entry label.
+    out.push_back(label());
+    stats.instsAdded++;
+
+    for (size_t i = 0; i < code.size(); i++) {
+        remap[i] = out.size();
+        MInst m = code[i];
+        bool is_call = false;
+        switch (m.op) {
+          case MOp::Ret:
+            m.op = MOp::CheckRet;
+            stats.sitesInstrumented++;
+            break;
+          case MOp::CallInd:
+            m.op = MOp::CallIndChecked;
+            stats.sitesInstrumented++;
+            is_call = true;
+            break;
+          case MOp::CallDirect:
+          case MOp::CallExt:
+            is_call = true;
+            break;
+          default:
+            break;
+        }
+        out.push_back(std::move(m));
+        if (is_call) {
+            // Return-site label directly after the call.
+            out.push_back(label());
+            stats.instsAdded++;
+        }
+    }
+
+    // Remap local jump targets through the insertion map.
+    for (MInst &m : out) {
+        if (m.op == MOp::Jump || m.op == MOp::JumpIfZero) {
+            if (m.imm >= remap.size())
+                sim::panic("cfiPass: jump target %lu out of range",
+                           (unsigned long)m.imm);
+            m.imm = remap[m.imm];
+        }
+    }
+
+    code = std::move(out);
+    return stats;
+}
+
+} // namespace vg::cc

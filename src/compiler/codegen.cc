@@ -1,0 +1,217 @@
+#include "compiler/codegen.hh"
+
+#include "sim/log.hh"
+
+namespace vg::cc
+{
+
+namespace
+{
+
+MOp
+lowerBinop(vir::Opcode op)
+{
+    switch (op) {
+      case vir::Opcode::Add:
+        return MOp::Add;
+      case vir::Opcode::Sub:
+        return MOp::Sub;
+      case vir::Opcode::Mul:
+        return MOp::Mul;
+      case vir::Opcode::UDiv:
+        return MOp::UDiv;
+      case vir::Opcode::URem:
+        return MOp::URem;
+      case vir::Opcode::And:
+        return MOp::And;
+      case vir::Opcode::Or:
+        return MOp::Or;
+      case vir::Opcode::Xor:
+        return MOp::Xor;
+      case vir::Opcode::Shl:
+        return MOp::Shl;
+      case vir::Opcode::LShr:
+        return MOp::LShr;
+      case vir::Opcode::AShr:
+        return MOp::AShr;
+      default:
+        sim::panic("lowerBinop: not a binop");
+    }
+}
+
+} // namespace
+
+LoweredFunc
+lowerFunction(const vir::Function &fn)
+{
+    LoweredFunc out;
+    out.name = fn.name;
+    out.numParams = fn.numParams;
+    out.numRegs = fn.numRegs;
+
+    // First pass: emit, recording each block's start index and leaving
+    // jump imms as *block* indices.
+    std::vector<uint64_t> block_start(fn.blocks.size(), 0);
+
+    for (size_t bi = 0; bi < fn.blocks.size(); bi++) {
+        block_start[bi] = out.code.size();
+        for (const vir::Inst &inst : fn.blocks[bi].insts) {
+            MInst m;
+            m.width = inst.width;
+            m.pred = inst.pred;
+            m.dst = inst.dst;
+            m.a = inst.a;
+            m.b = inst.b;
+            m.c = inst.c;
+            m.imm = inst.imm;
+            m.args = inst.args;
+
+            switch (inst.op) {
+              case vir::Opcode::ConstI:
+                m.op = MOp::ConstI;
+                out.code.push_back(m);
+                break;
+              case vir::Opcode::Mov:
+                m.op = MOp::Mov;
+                out.code.push_back(m);
+                break;
+              case vir::Opcode::Add:
+              case vir::Opcode::Sub:
+              case vir::Opcode::Mul:
+              case vir::Opcode::UDiv:
+              case vir::Opcode::URem:
+              case vir::Opcode::And:
+              case vir::Opcode::Or:
+              case vir::Opcode::Xor:
+              case vir::Opcode::Shl:
+              case vir::Opcode::LShr:
+              case vir::Opcode::AShr:
+                m.op = lowerBinop(inst.op);
+                out.code.push_back(m);
+                break;
+              case vir::Opcode::ICmp:
+                m.op = MOp::ICmp;
+                out.code.push_back(m);
+                break;
+              case vir::Opcode::Load:
+                m.op = MOp::Load;
+                out.code.push_back(m);
+                break;
+              case vir::Opcode::Store:
+                m.op = MOp::Store;
+                out.code.push_back(m);
+                break;
+              case vir::Opcode::Memcpy:
+                m.op = MOp::Memcpy;
+                out.code.push_back(m);
+                break;
+              case vir::Opcode::Alloca: {
+                // 8-byte align each allocation within the frame.
+                uint64_t size = (inst.imm + 7) & ~uint64_t(7);
+                m.op = MOp::FrameAddr;
+                m.imm = out.frameBytes;
+                out.frameBytes += size;
+                out.code.push_back(m);
+                break;
+              }
+              case vir::Opcode::Br:
+                m.op = MOp::Jump;
+                m.imm = uint64_t(inst.target0);
+                out.code.push_back(m);
+                break;
+              case vir::Opcode::CondBr:
+                // if (a == 0) goto else; goto then;
+                m.op = MOp::JumpIfZero;
+                m.imm = uint64_t(inst.target1);
+                out.code.push_back(m);
+                {
+                    MInst j;
+                    j.op = MOp::Jump;
+                    j.imm = uint64_t(inst.target0);
+                    out.code.push_back(j);
+                }
+                break;
+              case vir::Opcode::Call:
+                m.op = MOp::CallExt; // may become CallDirect at layout
+                m.callee = inst.callee;
+                out.code.push_back(m);
+                break;
+              case vir::Opcode::CallInd:
+                m.op = MOp::CallInd;
+                out.code.push_back(m);
+                break;
+              case vir::Opcode::FuncAddr:
+                m.op = MOp::ConstI;
+                m.callee = inst.callee; // relocated at layout
+                out.code.push_back(m);
+                break;
+              case vir::Opcode::Ret:
+                m.op = MOp::Ret;
+                out.code.push_back(m);
+                break;
+            }
+        }
+    }
+
+    // Second pass: convert block-index jump targets into local
+    // instruction indices.
+    for (MInst &m : out.code) {
+        if (m.op == MOp::Jump || m.op == MOp::JumpIfZero) {
+            if (m.imm >= block_start.size())
+                sim::panic("lowerFunction: bad block target %lu",
+                           (unsigned long)m.imm);
+            m.imm = block_start[m.imm];
+        }
+    }
+    return out;
+}
+
+MachineImage
+layoutImage(const std::string &module_name, std::vector<LoweredFunc> funcs,
+            uint64_t code_base)
+{
+    MachineImage image;
+    image.moduleName = module_name;
+    image.codeBase = code_base;
+
+    // Assign entry addresses.
+    uint64_t offset = 0;
+    for (const LoweredFunc &f : funcs) {
+        FuncInfo info;
+        info.name = f.name;
+        info.entryAddr = code_base + offset * mInstBytes;
+        info.frameBytes = f.frameBytes;
+        info.numParams = f.numParams;
+        info.numRegs = f.numRegs;
+        image.functions[f.name] = info;
+        offset += f.code.size();
+    }
+
+    // Concatenate code, resolving local jumps and symbolic references.
+    for (const LoweredFunc &f : funcs) {
+        uint64_t base = image.functions[f.name].entryAddr;
+        for (MInst m : f.code) {
+            if (m.op == MOp::Jump || m.op == MOp::JumpIfZero) {
+                m.imm = base + m.imm * mInstBytes;
+            } else if (m.op == MOp::CallExt) {
+                auto it = image.functions.find(m.callee);
+                if (it != image.functions.end()) {
+                    m.op = MOp::CallDirect;
+                    m.imm = it->second.entryAddr;
+                    m.callee.clear();
+                }
+            } else if (m.op == MOp::ConstI && !m.callee.empty()) {
+                auto it = image.functions.find(m.callee);
+                if (it == image.functions.end())
+                    sim::panic("layoutImage: funcaddr of unknown %s",
+                               m.callee.c_str());
+                m.imm = it->second.entryAddr;
+                m.callee.clear();
+            }
+            image.code.push_back(std::move(m));
+        }
+    }
+    return image;
+}
+
+} // namespace vg::cc

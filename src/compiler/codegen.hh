@@ -1,0 +1,46 @@
+/**
+ * @file
+ * VIR -> machine code lowering.
+ */
+
+#ifndef VG_COMPILER_CODEGEN_HH
+#define VG_COMPILER_CODEGEN_HH
+
+#include <vector>
+
+#include "compiler/mcode.hh"
+#include "vir/module.hh"
+
+namespace vg::cc
+{
+
+/** One function lowered to machine code with *local* jump targets
+ *  (instruction indices within the function). */
+struct LoweredFunc
+{
+    std::string name;
+    int numParams = 0;
+    int numRegs = 0;
+    uint64_t frameBytes = 0;
+    std::vector<MInst> code;
+};
+
+/**
+ * Lower @p fn. Jump/JumpIfZero imm fields hold local instruction
+ * indices; calls are symbolic (CallExt) until layout; ConstI with a
+ * non-empty callee is an address-of-function awaiting relocation.
+ */
+LoweredFunc lowerFunction(const vir::Function &fn);
+
+/**
+ * Lay out lowered functions into a contiguous image at @p code_base,
+ * resolving local jumps to absolute addresses, intra-module calls to
+ * CallDirect and address-of-function constants to entry addresses.
+ */
+MachineImage layoutImage(const std::string &module_name,
+                         std::vector<LoweredFunc> funcs,
+                         uint64_t code_base);
+
+} // namespace vg::cc
+
+#endif // VG_COMPILER_CODEGEN_HH

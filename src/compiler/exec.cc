@@ -1,0 +1,417 @@
+#include "compiler/exec.hh"
+
+#include "hw/layout.hh"
+#include "sim/log.hh"
+
+namespace vg::cc
+{
+
+const char *
+faultName(ExecFault fault)
+{
+    switch (fault) {
+      case ExecFault::None:
+        return "none";
+      case ExecFault::CfiViolation:
+        return "cfi-violation";
+      case ExecFault::MemFault:
+        return "memory-fault";
+      case ExecFault::BadInstruction:
+        return "bad-instruction";
+      case ExecFault::DivideByZero:
+        return "divide-by-zero";
+      case ExecFault::FuelExhausted:
+        return "fuel-exhausted";
+      case ExecFault::UnknownExtern:
+        return "unknown-extern";
+      case ExecFault::StackOverflow:
+        return "stack-overflow";
+      case ExecFault::BadCallTarget:
+        return "bad-call-target";
+    }
+    return "?";
+}
+
+Executor::Executor(const MachineImage &image, MemPort &mem,
+                   const ExternTable &externs, sim::SimContext &ctx,
+                   uint64_t stack_base, uint64_t stack_size)
+    : _image(image), _mem(mem), _externs(externs), _ctx(ctx),
+      _stackBase(stack_base), _stackSize(stack_size)
+{
+    for (const auto &[name, info] : _image.functions)
+        _byAddr[info.entryAddr] = &info;
+}
+
+const FuncInfo *
+Executor::funcAt(uint64_t entry_addr) const
+{
+    auto it = _byAddr.find(entry_addr);
+    return it == _byAddr.end() ? nullptr : it->second;
+}
+
+ExecResult
+Executor::call(const std::string &name, const std::vector<uint64_t> &args)
+{
+    auto it = _image.functions.find(name);
+    if (it == _image.functions.end()) {
+        ExecResult r;
+        r.fault = ExecFault::BadCallTarget;
+        r.detail = "no such function " + name;
+        return r;
+    }
+    return run(it->second, args);
+}
+
+ExecResult
+Executor::callAddr(uint64_t entry_addr, const std::vector<uint64_t> &args)
+{
+    const FuncInfo *info = funcAt(entry_addr);
+    if (!info) {
+        ExecResult r;
+        r.fault = ExecFault::BadCallTarget;
+        r.detail = sim::strprintf("no function at %#lx",
+                                  (unsigned long)entry_addr);
+        return r;
+    }
+    return run(*info, args);
+}
+
+ExecResult
+Executor::run(const FuncInfo &entry_fn, const std::vector<uint64_t> &args)
+{
+    ExecResult result;
+    uint64_t sp = _stackBase + _stackSize;
+    std::vector<Frame> stack;
+
+    auto push_frame = [&](const FuncInfo &fn,
+                          const std::vector<uint64_t> &fn_args,
+                          uint64_t ret_addr, int caller_dst) -> bool {
+        if (fn.frameBytes + 4096 > sp - _stackBase)
+            return false;
+        sp -= fn.frameBytes;
+        Frame f;
+        f.regs.assign(size_t(std::max(fn.numRegs, 1)), 0);
+        for (size_t i = 0;
+             i < fn_args.size() && i < size_t(fn.numParams); i++)
+            f.regs[i] = fn_args[i];
+        f.framePtr = sp;
+        f.returnAddr = ret_addr;
+        f.callerDst = caller_dst;
+        stack.push_back(std::move(f));
+        return true;
+    };
+
+    if (!push_frame(entry_fn, args, 0, -1)) {
+        result.fault = ExecFault::StackOverflow;
+        return result;
+    }
+
+    uint64_t pc = entry_fn.entryAddr;
+    const FuncInfo *cur_fn = &entry_fn;
+
+    auto fault = [&](ExecFault kind, const std::string &detail) {
+        result.fault = kind;
+        result.detail = detail;
+        _ctx.stats().add(std::string("exec.fault.") + faultName(kind));
+    };
+
+    // Return from the current frame; true if the whole run finished.
+    auto do_return = [&](uint64_t value, bool checked) -> bool {
+        Frame done = std::move(stack.back());
+        stack.pop_back();
+        sp += cur_fn->frameBytes;
+        if (stack.empty()) {
+            result.ok = true;
+            result.value = value;
+            return true;
+        }
+        if (checked) {
+            // Validate the CFI label at the return site.
+            const MInst *site = _image.at(done.returnAddr);
+            _ctx.clock().advance(_ctx.costs().cfiPerTransfer);
+            if (!site || site->op != MOp::CfiLabel ||
+                site->imm != cfiLabelValue) {
+                fault(ExecFault::CfiViolation,
+                      "return to unlabeled site");
+                return true;
+            }
+        }
+        if (done.callerDst >= 0)
+            stack.back().regs[size_t(done.callerDst)] = value;
+        pc = done.returnAddr;
+        // Re-derive the enclosing function for frame accounting.
+        const FuncInfo *enclosing = nullptr;
+        for (const auto &[addr, info] : _byAddr) {
+            if (addr <= pc)
+                enclosing = info;
+            else
+                break;
+        }
+        cur_fn = enclosing;
+        return false;
+    };
+
+    auto enter_call = [&](uint64_t target, const std::vector<uint64_t> &a,
+                          uint64_t ret_addr, int dst,
+                          bool checked) -> bool {
+        if (checked) {
+            _ctx.clock().advance(_ctx.costs().cfiPerTransfer);
+            // Mask the target out of user space (paper: the CFI check
+            // "masks the target address to ensure that it is not a
+            // user-space address").
+            target |= hw::kernelBase;
+            const MInst *at_target = _image.at(target);
+            if (!at_target || at_target->op != MOp::CfiLabel ||
+                at_target->imm != cfiLabelValue) {
+                fault(ExecFault::CfiViolation,
+                      sim::strprintf("indirect call to %#lx without "
+                                     "label",
+                                     (unsigned long)target));
+                return false;
+            }
+        }
+        const FuncInfo *callee = funcAt(target);
+        if (!callee) {
+            fault(ExecFault::BadCallTarget,
+                  sim::strprintf("call to %#lx which is not a function "
+                                 "entry",
+                                 (unsigned long)target));
+            return false;
+        }
+        if (!push_frame(*callee, a, ret_addr, dst)) {
+            fault(ExecFault::StackOverflow, "module stack exhausted");
+            return false;
+        }
+        pc = callee->entryAddr;
+        cur_fn = callee;
+        return true;
+    };
+
+    while (true) {
+        if (result.instsExecuted >= _fuel) {
+            fault(ExecFault::FuelExhausted, "instruction budget spent");
+            break;
+        }
+        const MInst *m = _image.at(pc);
+        if (!m) {
+            fault(ExecFault::BadInstruction,
+                  sim::strprintf("pc %#lx outside code",
+                                 (unsigned long)pc));
+            break;
+        }
+        result.instsExecuted++;
+        _ctx.clock().advance(1);
+
+        Frame &frame = stack.back();
+        auto reg = [&](int r) -> uint64_t {
+            return r < 0 ? 0 : frame.regs[size_t(r)];
+        };
+        auto set = [&](int r, uint64_t v) {
+            if (r >= 0)
+                frame.regs[size_t(r)] = v;
+        };
+
+        uint64_t next_pc = pc + mInstBytes;
+        bool stop = false;
+
+        switch (m->op) {
+          case MOp::ConstI:
+            set(m->dst, m->imm);
+            break;
+          case MOp::Mov:
+            set(m->dst, reg(m->a));
+            break;
+          case MOp::Add:
+            set(m->dst, reg(m->a) + reg(m->b));
+            break;
+          case MOp::Sub:
+            set(m->dst, reg(m->a) - reg(m->b));
+            break;
+          case MOp::Mul:
+            set(m->dst, reg(m->a) * reg(m->b));
+            break;
+          case MOp::UDiv:
+          case MOp::URem: {
+            uint64_t d = reg(m->b);
+            if (d == 0) {
+                fault(ExecFault::DivideByZero, "division by zero");
+                stop = true;
+                break;
+            }
+            set(m->dst, m->op == MOp::UDiv ? reg(m->a) / d
+                                           : reg(m->a) % d);
+            break;
+          }
+          case MOp::And:
+            set(m->dst, reg(m->a) & reg(m->b));
+            break;
+          case MOp::Or:
+            set(m->dst, reg(m->a) | reg(m->b));
+            break;
+          case MOp::Xor:
+            set(m->dst, reg(m->a) ^ reg(m->b));
+            break;
+          case MOp::Shl:
+            set(m->dst, reg(m->a) << (reg(m->b) & 63));
+            break;
+          case MOp::LShr:
+            set(m->dst, reg(m->a) >> (reg(m->b) & 63));
+            break;
+          case MOp::AShr:
+            set(m->dst,
+                uint64_t(int64_t(reg(m->a)) >> (reg(m->b) & 63)));
+            break;
+          case MOp::ICmp: {
+            uint64_t a = reg(m->a), b = reg(m->b);
+            int64_t sa = int64_t(a), sb = int64_t(b);
+            bool v = false;
+            switch (m->pred) {
+              case vir::CmpPred::Eq:
+                v = a == b;
+                break;
+              case vir::CmpPred::Ne:
+                v = a != b;
+                break;
+              case vir::CmpPred::Ult:
+                v = a < b;
+                break;
+              case vir::CmpPred::Ule:
+                v = a <= b;
+                break;
+              case vir::CmpPred::Ugt:
+                v = a > b;
+                break;
+              case vir::CmpPred::Uge:
+                v = a >= b;
+                break;
+              case vir::CmpPred::Slt:
+                v = sa < sb;
+                break;
+              case vir::CmpPred::Sle:
+                v = sa <= sb;
+                break;
+              case vir::CmpPred::Sgt:
+                v = sa > sb;
+                break;
+              case vir::CmpPred::Sge:
+                v = sa >= sb;
+                break;
+            }
+            set(m->dst, v ? 1 : 0);
+            break;
+          }
+          case MOp::Load: {
+            uint64_t v = 0;
+            if (!_mem.read(reg(m->a), unsigned(widthBytes(m->width)),
+                           v)) {
+                fault(ExecFault::MemFault,
+                      sim::strprintf("load fault at %#lx",
+                                     (unsigned long)reg(m->a)));
+                stop = true;
+                break;
+            }
+            _ctx.clock().advance(1);
+            set(m->dst, v);
+            break;
+          }
+          case MOp::Store:
+            if (!_mem.write(reg(m->a), unsigned(widthBytes(m->width)),
+                            reg(m->b))) {
+                fault(ExecFault::MemFault,
+                      sim::strprintf("store fault at %#lx",
+                                     (unsigned long)reg(m->a)));
+                stop = true;
+                break;
+            }
+            _ctx.clock().advance(1);
+            break;
+          case MOp::Memcpy: {
+            uint64_t len = reg(m->c);
+            if (!_mem.copy(reg(m->a), reg(m->b), len)) {
+                fault(ExecFault::MemFault, "memcpy fault");
+                stop = true;
+                break;
+            }
+            _ctx.clock().advance(len / _ctx.costs().bulkBytesPerCycle +
+                                 1);
+            break;
+          }
+          case MOp::FrameAddr:
+            set(m->dst, frame.framePtr + m->imm);
+            break;
+          case MOp::Jump:
+            next_pc = m->imm;
+            break;
+          case MOp::JumpIfZero:
+            if (reg(m->a) == 0)
+                next_pc = m->imm;
+            break;
+          case MOp::CallDirect: {
+            std::vector<uint64_t> call_args;
+            call_args.reserve(m->args.size());
+            for (int r : m->args)
+                call_args.push_back(reg(r));
+            if (!enter_call(m->imm, call_args, next_pc, m->dst, false))
+                stop = true;
+            else
+                next_pc = pc; // pc already updated by enter_call
+            if (!stop)
+                continue;
+            break;
+          }
+          case MOp::CallInd:
+          case MOp::CallIndChecked: {
+            std::vector<uint64_t> call_args;
+            call_args.reserve(m->args.size());
+            for (int r : m->args)
+                call_args.push_back(reg(r));
+            bool checked = m->op == MOp::CallIndChecked;
+            if (!enter_call(reg(m->a), call_args, next_pc, m->dst,
+                            checked))
+                stop = true;
+            if (!stop)
+                continue;
+            break;
+          }
+          case MOp::CallExt: {
+            auto it = _externs.fns.find(m->callee);
+            if (it == _externs.fns.end()) {
+                fault(ExecFault::UnknownExtern,
+                      "unresolved symbol " + m->callee);
+                stop = true;
+                break;
+            }
+            std::vector<uint64_t> call_args;
+            call_args.reserve(m->args.size());
+            for (int r : m->args)
+                call_args.push_back(reg(r));
+            _ctx.clock().advance(2);
+            set(m->dst, it->second(call_args));
+            break;
+          }
+          case MOp::Ret:
+          case MOp::CheckRet: {
+            uint64_t value = reg(m->a >= 0 ? m->a : -1);
+            // VIR Ret carries its value in `a`; lowered Ret keeps it.
+            value = m->a >= 0 ? reg(m->a) : 0;
+            if (do_return(value, m->op == MOp::CheckRet))
+                stop = true;
+            if (!stop)
+                continue;
+            break;
+          }
+          case MOp::CfiLabel:
+            // Executes as a no-op (an x86 prefetch-style label).
+            break;
+        }
+
+        if (stop)
+            break;
+        pc = next_pc;
+    }
+
+    _ctx.stats().add("exec.insts", result.instsExecuted);
+    return result;
+}
+
+} // namespace vg::cc

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The simulated processor executing compiled machine images.
+ *
+ * Models native execution of translated kernel-module code. Memory
+ * accesses go through a MemPort (implemented by the kernel over the
+ * simulated MMU), external symbols resolve through an ExternTable (the
+ * kernel API exported to modules), and the CFI-checked instructions
+ * enforce label semantics — a violation terminates the run, exactly as
+ * Virtual Ghost terminates a kernel thread whose control flow goes
+ * astray (S 4.5).
+ */
+
+#ifndef VG_COMPILER_EXEC_HH
+#define VG_COMPILER_EXEC_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/mcode.hh"
+#include "sim/context.hh"
+
+namespace vg::cc
+{
+
+/** Data-memory access interface for executing code. */
+class MemPort
+{
+  public:
+    virtual ~MemPort() = default;
+
+    /** Read @p bytes (1/2/4/8) at @p va; false on fault. */
+    virtual bool read(uint64_t va, unsigned bytes, uint64_t &out) = 0;
+
+    /** Write @p bytes at @p va; false on fault. */
+    virtual bool write(uint64_t va, unsigned bytes, uint64_t val) = 0;
+
+    /** Bulk copy; false on fault. */
+    virtual bool copy(uint64_t dst, uint64_t src, uint64_t len) = 0;
+};
+
+/** External (kernel API) function: args in, return value out. */
+using ExternFn = std::function<uint64_t(const std::vector<uint64_t> &)>;
+
+/** Symbol table the kernel exports to loaded modules. */
+struct ExternTable
+{
+    std::map<std::string, ExternFn> fns;
+};
+
+/** Why execution stopped abnormally. */
+enum class ExecFault
+{
+    None,
+    CfiViolation,
+    MemFault,
+    BadInstruction,
+    DivideByZero,
+    FuelExhausted,
+    UnknownExtern,
+    StackOverflow,
+    BadCallTarget,
+};
+
+/** Outcome of running a function. */
+struct ExecResult
+{
+    bool ok = false;
+    uint64_t value = 0;
+    ExecFault fault = ExecFault::None;
+    std::string detail;
+    uint64_t instsExecuted = 0;
+};
+
+/** Human-readable fault name. */
+const char *faultName(ExecFault fault);
+
+/** Executes one image's code. */
+class Executor
+{
+  public:
+    /**
+     * @param stack_base  lowest address of the module stack region
+     * @param stack_size  bytes available for frames
+     */
+    Executor(const MachineImage &image, MemPort &mem,
+             const ExternTable &externs, sim::SimContext &ctx,
+             uint64_t stack_base, uint64_t stack_size);
+
+    /** Invoke @p name with @p args; returns when it returns/faults. */
+    ExecResult call(const std::string &name,
+                    const std::vector<uint64_t> &args);
+
+    /** Invoke by entry address (SVA uses this for checked dispatch). */
+    ExecResult callAddr(uint64_t entry_addr,
+                        const std::vector<uint64_t> &args);
+
+    /** Maximum instructions per invocation (default 50M). */
+    void setFuel(uint64_t fuel) { _fuel = fuel; }
+
+  private:
+    struct Frame
+    {
+        std::vector<uint64_t> regs;
+        uint64_t framePtr = 0;
+        uint64_t returnAddr = 0;
+        int callerDst = -1;
+    };
+
+    const FuncInfo *funcAt(uint64_t entry_addr) const;
+    ExecResult run(const FuncInfo &entry_fn,
+                   const std::vector<uint64_t> &args);
+
+    const MachineImage &_image;
+    MemPort &_mem;
+    const ExternTable &_externs;
+    sim::SimContext &_ctx;
+    uint64_t _stackBase;
+    uint64_t _stackSize;
+    uint64_t _fuel = 50'000'000;
+    std::map<uint64_t, const FuncInfo *> _byAddr;
+};
+
+} // namespace vg::cc
+
+#endif // VG_COMPILER_EXEC_HH

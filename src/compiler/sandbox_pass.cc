@@ -1,0 +1,168 @@
+/**
+ * @file
+ * IR-level load/store sandboxing (S 4.3.1, S 5).
+ *
+ * For each memory operand %a the pass emits, branch-free:
+ *
+ *   %g  = const ghostBase
+ *   %c1 = icmp uge %a, %g          ; 1 if ghost-or-higher
+ *   %s  = const 39
+ *   %m  = shl %c1, %s              ; 2^39 or 0
+ *   %a' = or %a, %m                ; pushed out of the ghost region
+ *   %sb = const svaBase
+ *   %se = const svaEnd
+ *   %c2 = icmp uge %a', %sb
+ *   %c3 = icmp ult %a', %se
+ *   %in = and %c2, %c3             ; 1 if inside SVA internal memory
+ *   %k1 = const 1
+ *   %kp = xor %in, %k1             ; keep flag
+ *   %a''= mul %a', %kp             ; SVA-internal accesses -> address 0
+ *
+ * and rewrites the memory instruction to use %a''. Memcpy gets the
+ * same treatment on both its source and destination operands — one
+ * range check per operand per call, matching the paper's O(1) memcpy
+ * instrumentation.
+ */
+
+#include "compiler/passes.hh"
+#include "hw/layout.hh"
+
+namespace vg::cc
+{
+
+namespace
+{
+
+/** Emit the masking sequence for register @p addr; returns the masked
+ *  register. Appends instructions to @p out. */
+int
+emitMask(vir::Function &fn, std::vector<vir::Inst> &out, int addr,
+         PassStats &stats)
+{
+    using vir::Inst;
+    using vir::Opcode;
+
+    auto fresh = [&]() { return fn.numRegs++; };
+    auto push = [&](Inst inst) {
+        out.push_back(inst);
+        stats.instsAdded++;
+    };
+    auto constI = [&](uint64_t v) {
+        Inst i;
+        i.op = Opcode::ConstI;
+        i.dst = fresh();
+        i.imm = v;
+        push(i);
+        return i.dst;
+    };
+    auto binop = [&](Opcode op, int a, int b) {
+        Inst i;
+        i.op = op;
+        i.dst = fresh();
+        i.a = a;
+        i.b = b;
+        push(i);
+        return i.dst;
+    };
+    auto icmp = [&](vir::CmpPred pred, int a, int b) {
+        Inst i;
+        i.op = Opcode::ICmp;
+        i.pred = pred;
+        i.dst = fresh();
+        i.a = a;
+        i.b = b;
+        push(i);
+        return i.dst;
+    };
+
+    int ghost_base = constI(hw::ghostBase);
+    int is_high = icmp(vir::CmpPred::Uge, addr, ghost_base);
+    int shift = constI(39);
+    int or_mask = binop(Opcode::Shl, is_high, shift);
+    int masked = binop(Opcode::Or, addr, or_mask);
+
+    int sva_base = constI(hw::svaBase);
+    int sva_end = constI(hw::svaEnd);
+    int ge_sva = icmp(vir::CmpPred::Uge, masked, sva_base);
+    int lt_end = icmp(vir::CmpPred::Ult, masked, sva_end);
+    int in_sva = binop(Opcode::And, ge_sva, lt_end);
+    int one = constI(1);
+    int keep = binop(Opcode::Xor, in_sva, one);
+    int final_addr = binop(Opcode::Mul, masked, keep);
+
+    stats.sitesInstrumented++;
+    return final_addr;
+}
+
+} // namespace
+
+PassStats
+sandboxPass(vir::Module &mod)
+{
+    PassStats stats;
+    for (auto &fn : mod.functions) {
+        for (auto &bb : fn.blocks) {
+            std::vector<vir::Inst> out;
+            out.reserve(bb.insts.size());
+            for (auto inst : bb.insts) {
+                switch (inst.op) {
+                  case vir::Opcode::Load:
+                  case vir::Opcode::Store:
+                    inst.a = emitMask(fn, out, inst.a, stats);
+                    break;
+                  case vir::Opcode::Memcpy:
+                    inst.a = emitMask(fn, out, inst.a, stats);
+                    inst.b = emitMask(fn, out, inst.b, stats);
+                    break;
+                  default:
+                    break;
+                }
+                out.push_back(std::move(inst));
+            }
+            bb.insts = std::move(out);
+        }
+    }
+    return stats;
+}
+
+PassStats
+mmapMaskPass(vir::Module &mod, const std::vector<std::string> &mmap_like)
+{
+    PassStats stats;
+    auto is_mmap = [&](const std::string &name) {
+        for (const auto &m : mmap_like) {
+            if (m == name)
+                return true;
+        }
+        return false;
+    };
+
+    for (auto &fn : mod.functions) {
+        for (auto &bb : fn.blocks) {
+            std::vector<vir::Inst> out;
+            out.reserve(bb.insts.size());
+            for (auto &inst : bb.insts) {
+                bool instrument = inst.op == vir::Opcode::Call &&
+                                  is_mmap(inst.callee) && inst.dst >= 0;
+                int dst = inst.dst;
+                out.push_back(inst);
+                if (instrument) {
+                    // dst = sandbox(dst): same sequence, then copy the
+                    // masked value back into the original register so
+                    // downstream uses see the safe pointer.
+                    int masked = emitMask(fn, out, dst, stats);
+                    vir::Inst mv;
+                    mv.op = vir::Opcode::Mov;
+                    mv.dst = dst;
+                    mv.a = masked;
+                    out.push_back(mv);
+                    stats.instsAdded++;
+                }
+            }
+            bb.insts = std::move(out);
+        }
+    }
+    return stats;
+}
+
+} // namespace vg::cc

@@ -1,0 +1,110 @@
+#include "compiler/translator.hh"
+
+#include "crypto/hmac.hh"
+#include "vir/text.hh"
+#include "vir/verifier.hh"
+
+namespace vg::cc
+{
+
+Translator::Translator(const std::vector<uint8_t> &signing_key,
+                       sim::SimContext &ctx)
+    : _signingKey(signing_key), _ctx(ctx)
+{}
+
+crypto::Digest
+Translator::sign(const MachineImage &image) const
+{
+    return crypto::hmacSha256(_signingKey, image.serializeForSigning());
+}
+
+bool
+Translator::verifySignature(const MachineImage &image) const
+{
+    MachineImage unsigned_copy = image;
+    unsigned_copy.signature = crypto::Digest{};
+    crypto::Digest expect =
+        crypto::hmacSha256(_signingKey,
+                           unsigned_copy.serializeForSigning());
+    return crypto::digestEqual(expect, image.signature);
+}
+
+TranslateResult
+Translator::translateText(const std::string &text, uint64_t code_base)
+{
+    // Cache key: hash of source + base + instrumentation flags.
+    crypto::Sha256 h;
+    h.update(text.data(), text.size());
+    h.update(&code_base, sizeof(code_base));
+    uint8_t flags = uint8_t((_ctx.config().sandboxMemory ? 1 : 0) |
+                            (_ctx.config().cfi ? 2 : 0));
+    h.update(&flags, 1);
+    std::string key = crypto::toHex(h.final());
+
+    auto it = _cache.find(key);
+    if (it != _cache.end()) {
+        TranslateResult r;
+        r.ok = true;
+        r.image = it->second;
+        r.fromCache = true;
+        _cacheHits++;
+        _ctx.stats().add("translator.cache_hits");
+        return r;
+    }
+
+    vir::ParseResult parsed = vir::parse(text);
+    if (!parsed.ok) {
+        TranslateResult r;
+        r.error = "parse error: " + parsed.error;
+        return r;
+    }
+
+    TranslateResult r = translateModule(std::move(parsed.module),
+                                        code_base);
+    if (r.ok)
+        _cache[key] = r.image;
+    return r;
+}
+
+TranslateResult
+Translator::translateModule(vir::Module mod, uint64_t code_base)
+{
+    TranslateResult result;
+
+    vir::VerifyResult verified = vir::verify(mod);
+    if (!verified.ok()) {
+        result.error = "verifier rejected module:\n" + verified.message();
+        _ctx.stats().add("translator.rejected");
+        return result;
+    }
+
+    bool instrumented = _ctx.config().anyInstrumentation();
+    if (_ctx.config().sandboxMemory)
+        result.sandboxStats = sandboxPass(mod);
+
+    std::vector<LoweredFunc> lowered;
+    lowered.reserve(mod.functions.size());
+    for (const auto &fn : mod.functions) {
+        LoweredFunc lf = lowerFunction(fn);
+        if (_ctx.config().cfi) {
+            PassStats s = cfiPass(lf.code);
+            result.cfiStats.sitesInstrumented += s.sitesInstrumented;
+            result.cfiStats.instsAdded += s.instsAdded;
+        }
+        lowered.push_back(std::move(lf));
+    }
+
+    auto image = std::make_shared<MachineImage>(
+        layoutImage(mod.name, std::move(lowered), code_base));
+    image->instrumented = instrumented;
+    image->signature = sign(*image);
+
+    _ctx.stats().add("translator.modules");
+    _ctx.stats().add("translator.insts_emitted", image->code.size());
+
+    result.ok = true;
+    result.image = std::move(image);
+    return result;
+}
+
+} // namespace vg::cc

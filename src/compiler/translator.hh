@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The trusted translator: the only way code enters the kernel.
+ *
+ * Pipeline (S 4.2, S 5): parse VIR text -> verify -> sandbox pass (IR)
+ * -> lower to machine code -> CFI pass (machine) -> layout -> sign the
+ * translation with the VM's HMAC key -> cache. Translations are looked
+ * up by the SHA-256 of their source, so recompilation of unchanged
+ * modules is free and tampered caches are detected via the signature.
+ */
+
+#ifndef VG_COMPILER_TRANSLATOR_HH
+#define VG_COMPILER_TRANSLATOR_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/codegen.hh"
+#include "compiler/mcode.hh"
+#include "compiler/passes.hh"
+#include "sim/context.hh"
+#include "vir/module.hh"
+
+namespace vg::cc
+{
+
+/** Result of a translation request. */
+struct TranslateResult
+{
+    bool ok = false;
+    std::string error;
+    std::shared_ptr<const MachineImage> image;
+    PassStats sandboxStats;
+    PassStats cfiStats;
+    bool fromCache = false;
+};
+
+/** Ahead-of-time translator with a signed translation cache. */
+class Translator
+{
+  public:
+    /**
+     * @param signing_key HMAC key owned by the SVA VM
+     * @param ctx         simulation context (instrumentation flags)
+     */
+    Translator(const std::vector<uint8_t> &signing_key,
+               sim::SimContext &ctx);
+
+    /** Translate VIR text; code is placed at @p code_base. */
+    TranslateResult translateText(const std::string &text,
+                                  uint64_t code_base);
+
+    /** Translate an already-parsed module (consumed by the passes). */
+    TranslateResult translateModule(vir::Module mod, uint64_t code_base);
+
+    /**
+     * Verify an image's signature; the SVA VM refuses to execute
+     * images that fail (S 4.5: no unsigned native code).
+     */
+    bool verifySignature(const MachineImage &image) const;
+
+    /** Number of cache hits (stats / tests). */
+    uint64_t cacheHits() const { return _cacheHits; }
+
+  private:
+    crypto::Digest sign(const MachineImage &image) const;
+
+    std::vector<uint8_t> _signingKey;
+    sim::SimContext &_ctx;
+    std::map<std::string, std::shared_ptr<const MachineImage>> _cache;
+    uint64_t _cacheHits = 0;
+};
+
+} // namespace vg::cc
+
+#endif // VG_COMPILER_TRANSLATOR_HH

@@ -1,0 +1,292 @@
+#include "crypto/aes.hh"
+
+#include <cstring>
+
+namespace vg::crypto
+{
+
+namespace
+{
+
+/** GF(2^8) multiply by x (xtime). */
+inline uint8_t
+xtime(uint8_t a)
+{
+    return uint8_t((a << 1) ^ ((a & 0x80) ? 0x1b : 0x00));
+}
+
+/** Full GF(2^8) multiply. */
+inline uint8_t
+gmul(uint8_t a, uint8_t b)
+{
+    uint8_t p = 0;
+    for (int i = 0; i < 8; i++) {
+        if (b & 1)
+            p ^= a;
+        a = xtime(a);
+        b >>= 1;
+    }
+    return p;
+}
+
+struct Tables
+{
+    uint8_t sbox[256];
+    uint8_t inv_sbox[256];
+
+    Tables()
+    {
+        // Build the S-box from the multiplicative inverse composed with
+        // the affine transform, rather than transcribing the table.
+        uint8_t inv[256];
+        inv[0] = 0;
+        for (int a = 1; a < 256; a++) {
+            for (int b = 1; b < 256; b++) {
+                if (gmul(uint8_t(a), uint8_t(b)) == 1) {
+                    inv[a] = uint8_t(b);
+                    break;
+                }
+            }
+        }
+        for (int i = 0; i < 256; i++) {
+            uint8_t x = inv[i];
+            uint8_t y = uint8_t(x ^ (uint8_t)(x << 1 | x >> 7) ^
+                                (uint8_t)(x << 2 | x >> 6) ^
+                                (uint8_t)(x << 3 | x >> 5) ^
+                                (uint8_t)(x << 4 | x >> 4) ^ 0x63);
+            sbox[i] = y;
+            inv_sbox[y] = uint8_t(i);
+        }
+    }
+};
+
+const Tables &
+tables()
+{
+    static const Tables t;
+    return t;
+}
+
+constexpr uint8_t kRcon[11] = {0x00, 0x01, 0x02, 0x04, 0x08, 0x10,
+                               0x20, 0x40, 0x80, 0x1b, 0x36};
+
+} // namespace
+
+Aes128::Aes128(const AesKey &key)
+{
+    const Tables &t = tables();
+    for (int i = 0; i < 4; i++) {
+        _roundKeys[i] = (uint32_t(key[4 * i]) << 24) |
+                        (uint32_t(key[4 * i + 1]) << 16) |
+                        (uint32_t(key[4 * i + 2]) << 8) |
+                        uint32_t(key[4 * i + 3]);
+    }
+    for (int i = 4; i < 44; i++) {
+        uint32_t temp = _roundKeys[i - 1];
+        if (i % 4 == 0) {
+            // RotWord + SubWord + Rcon.
+            temp = (temp << 8) | (temp >> 24);
+            temp = (uint32_t(t.sbox[(temp >> 24) & 0xff]) << 24) |
+                   (uint32_t(t.sbox[(temp >> 16) & 0xff]) << 16) |
+                   (uint32_t(t.sbox[(temp >> 8) & 0xff]) << 8) |
+                   uint32_t(t.sbox[temp & 0xff]);
+            temp ^= uint32_t(kRcon[i / 4]) << 24;
+        }
+        _roundKeys[i] = _roundKeys[i - 4] ^ temp;
+    }
+}
+
+namespace
+{
+
+inline void
+addRoundKey(uint8_t s[16], const uint32_t *rk)
+{
+    for (int c = 0; c < 4; c++) {
+        s[4 * c] ^= uint8_t(rk[c] >> 24);
+        s[4 * c + 1] ^= uint8_t(rk[c] >> 16);
+        s[4 * c + 2] ^= uint8_t(rk[c] >> 8);
+        s[4 * c + 3] ^= uint8_t(rk[c]);
+    }
+}
+
+inline void
+subBytes(uint8_t s[16])
+{
+    const Tables &t = tables();
+    for (int i = 0; i < 16; i++)
+        s[i] = t.sbox[s[i]];
+}
+
+inline void
+invSubBytes(uint8_t s[16])
+{
+    const Tables &t = tables();
+    for (int i = 0; i < 16; i++)
+        s[i] = t.inv_sbox[s[i]];
+}
+
+inline void
+shiftRows(uint8_t s[16])
+{
+    // State is column-major: s[4*c + r].
+    uint8_t tmp[16];
+    for (int c = 0; c < 4; c++)
+        for (int r = 0; r < 4; r++)
+            tmp[4 * c + r] = s[4 * ((c + r) % 4) + r];
+    std::memcpy(s, tmp, 16);
+}
+
+inline void
+invShiftRows(uint8_t s[16])
+{
+    uint8_t tmp[16];
+    for (int c = 0; c < 4; c++)
+        for (int r = 0; r < 4; r++)
+            tmp[4 * ((c + r) % 4) + r] = s[4 * c + r];
+    std::memcpy(s, tmp, 16);
+}
+
+inline void
+mixColumns(uint8_t s[16])
+{
+    for (int c = 0; c < 4; c++) {
+        uint8_t *p = s + 4 * c;
+        uint8_t a0 = p[0], a1 = p[1], a2 = p[2], a3 = p[3];
+        p[0] = uint8_t(gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3);
+        p[1] = uint8_t(a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3);
+        p[2] = uint8_t(a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3));
+        p[3] = uint8_t(gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2));
+    }
+}
+
+inline void
+invMixColumns(uint8_t s[16])
+{
+    for (int c = 0; c < 4; c++) {
+        uint8_t *p = s + 4 * c;
+        uint8_t a0 = p[0], a1 = p[1], a2 = p[2], a3 = p[3];
+        p[0] = uint8_t(gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^
+                       gmul(a3, 9));
+        p[1] = uint8_t(gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^
+                       gmul(a3, 13));
+        p[2] = uint8_t(gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^
+                       gmul(a3, 11));
+        p[3] = uint8_t(gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^
+                       gmul(a3, 14));
+    }
+}
+
+} // namespace
+
+void
+Aes128::encryptBlock(uint8_t block[16]) const
+{
+    addRoundKey(block, _roundKeys.data());
+    for (int round = 1; round < 10; round++) {
+        subBytes(block);
+        shiftRows(block);
+        mixColumns(block);
+        addRoundKey(block, _roundKeys.data() + 4 * round);
+    }
+    subBytes(block);
+    shiftRows(block);
+    addRoundKey(block, _roundKeys.data() + 40);
+}
+
+void
+Aes128::decryptBlock(uint8_t block[16]) const
+{
+    addRoundKey(block, _roundKeys.data() + 40);
+    for (int round = 9; round >= 1; round--) {
+        invShiftRows(block);
+        invSubBytes(block);
+        addRoundKey(block, _roundKeys.data() + 4 * round);
+        invMixColumns(block);
+    }
+    invShiftRows(block);
+    invSubBytes(block);
+    addRoundKey(block, _roundKeys.data());
+}
+
+std::vector<uint8_t>
+Aes128::cbcEncrypt(const std::vector<uint8_t> &plain,
+                   const AesBlock &iv) const
+{
+    size_t pad = 16 - plain.size() % 16;
+    std::vector<uint8_t> out(plain);
+    out.insert(out.end(), pad, uint8_t(pad));
+
+    uint8_t chain[16];
+    std::memcpy(chain, iv.data(), 16);
+    for (size_t off = 0; off < out.size(); off += 16) {
+        for (int i = 0; i < 16; i++)
+            out[off + i] ^= chain[i];
+        encryptBlock(out.data() + off);
+        std::memcpy(chain, out.data() + off, 16);
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+Aes128::cbcDecrypt(const std::vector<uint8_t> &cipher, const AesBlock &iv,
+                   bool &ok) const
+{
+    ok = false;
+    if (cipher.empty() || cipher.size() % 16 != 0)
+        return {};
+
+    std::vector<uint8_t> out(cipher);
+    uint8_t chain[16];
+    std::memcpy(chain, iv.data(), 16);
+    for (size_t off = 0; off < out.size(); off += 16) {
+        uint8_t saved[16];
+        std::memcpy(saved, out.data() + off, 16);
+        decryptBlock(out.data() + off);
+        for (int i = 0; i < 16; i++)
+            out[off + i] ^= chain[i];
+        std::memcpy(chain, saved, 16);
+    }
+
+    uint8_t pad = out.back();
+    if (pad == 0 || pad > 16 || pad > out.size())
+        return {};
+    for (size_t i = out.size() - pad; i < out.size(); i++) {
+        if (out[i] != pad)
+            return {};
+    }
+    out.resize(out.size() - pad);
+    ok = true;
+    return out;
+}
+
+void
+Aes128::ctrCrypt(uint8_t *data, size_t len, const AesBlock &nonce) const
+{
+    uint8_t counter[16];
+    std::memcpy(counter, nonce.data(), 16);
+    uint8_t keystream[16];
+    for (size_t off = 0; off < len; off += 16) {
+        std::memcpy(keystream, counter, 16);
+        encryptBlock(keystream);
+        size_t n = std::min<size_t>(16, len - off);
+        for (size_t i = 0; i < n; i++)
+            data[off + i] ^= keystream[i];
+        // Increment the big-endian counter in the low 8 bytes.
+        for (int i = 15; i >= 8; i--) {
+            if (++counter[i] != 0)
+                break;
+        }
+    }
+}
+
+std::vector<uint8_t>
+Aes128::ctrCrypt(const std::vector<uint8_t> &data,
+                 const AesBlock &nonce) const
+{
+    std::vector<uint8_t> out(data);
+    ctrCrypt(out.data(), out.size(), nonce);
+    return out;
+}
+
+} // namespace vg::crypto

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * AES-128 implemented from scratch (FIPS 197), with CBC and CTR modes.
+ *
+ * This is the symmetric cipher behind application keys (S 3.3), ghost
+ * page swapping (S 3.3), and the ssh session transport (S 6). The
+ * paper's prototype hard-codes a 128-bit AES application key; we keep
+ * the same key size.
+ */
+
+#ifndef VG_CRYPTO_AES_HH
+#define VG_CRYPTO_AES_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vg::crypto
+{
+
+/** A 128-bit symmetric key. */
+using AesKey = std::array<uint8_t, 16>;
+
+/** A 128-bit block / IV / counter. */
+using AesBlock = std::array<uint8_t, 16>;
+
+/** AES-128 block cipher with expanded round keys. */
+class Aes128
+{
+  public:
+    explicit Aes128(const AesKey &key);
+
+    /** Encrypt one 16-byte block in place. */
+    void encryptBlock(uint8_t block[16]) const;
+
+    /** Decrypt one 16-byte block in place. */
+    void decryptBlock(uint8_t block[16]) const;
+
+    /**
+     * CBC-encrypt with PKCS#7 padding.
+     * @return ciphertext, always a non-empty multiple of 16 bytes.
+     */
+    std::vector<uint8_t> cbcEncrypt(const std::vector<uint8_t> &plain,
+                                    const AesBlock &iv) const;
+
+    /**
+     * CBC-decrypt and strip PKCS#7 padding.
+     * @param ok set to false on malformed input or bad padding.
+     */
+    std::vector<uint8_t> cbcDecrypt(const std::vector<uint8_t> &cipher,
+                                    const AesBlock &iv, bool &ok) const;
+
+    /** CTR-mode keystream XOR (encryption == decryption). */
+    std::vector<uint8_t> ctrCrypt(const std::vector<uint8_t> &data,
+                                  const AesBlock &nonce) const;
+
+    /** CTR-mode in place over a raw buffer. */
+    void ctrCrypt(uint8_t *data, size_t len, const AesBlock &nonce) const;
+
+  private:
+    std::array<uint32_t, 44> _roundKeys;
+};
+
+} // namespace vg::crypto
+
+#endif // VG_CRYPTO_AES_HH

@@ -1,0 +1,522 @@
+#include "crypto/bignum.hh"
+
+#include <algorithm>
+
+#include "crypto/drbg.hh"
+#include "sim/log.hh"
+
+namespace vg::crypto
+{
+
+BigNum::BigNum(uint64_t v)
+{
+    if (v != 0) {
+        _limbs.push_back(uint32_t(v));
+        if (v >> 32)
+            _limbs.push_back(uint32_t(v >> 32));
+    }
+}
+
+void
+BigNum::trim()
+{
+    while (!_limbs.empty() && _limbs.back() == 0)
+        _limbs.pop_back();
+}
+
+BigNum
+BigNum::fromBytes(const std::vector<uint8_t> &bytes)
+{
+    BigNum n;
+    for (uint8_t b : bytes) {
+        n = n << 8;
+        if (b) {
+            if (n._limbs.empty())
+                n._limbs.push_back(b);
+            else
+                n._limbs[0] |= b;
+        }
+    }
+    return n;
+}
+
+std::vector<uint8_t>
+BigNum::toBytes() const
+{
+    if (isZero())
+        return {0};
+    size_t bytes = (bitLength() + 7) / 8;
+    return toBytesPadded(bytes);
+}
+
+std::vector<uint8_t>
+BigNum::toBytesPadded(size_t len) const
+{
+    std::vector<uint8_t> out(len, 0);
+    for (size_t i = 0; i < len; i++) {
+        size_t bit_off = 8 * i;
+        size_t limb = bit_off / 32;
+        if (limb >= _limbs.size())
+            break;
+        out[len - 1 - i] = uint8_t(_limbs[limb] >> (bit_off % 32));
+    }
+    return out;
+}
+
+BigNum
+BigNum::fromHex(const std::string &hex)
+{
+    BigNum n;
+    for (char c : hex) {
+        uint32_t digit;
+        if (c >= '0' && c <= '9')
+            digit = uint32_t(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = uint32_t(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F')
+            digit = uint32_t(c - 'A' + 10);
+        else
+            continue;
+        n = n << 4;
+        if (digit) {
+            if (n._limbs.empty())
+                n._limbs.push_back(digit);
+            else
+                n._limbs[0] |= digit;
+        }
+    }
+    return n;
+}
+
+std::string
+BigNum::toHex() const
+{
+    if (isZero())
+        return "0";
+    static const char *hex = "0123456789abcdef";
+    std::string s;
+    for (size_t i = _limbs.size(); i-- > 0;) {
+        for (int shift = 28; shift >= 0; shift -= 4)
+            s.push_back(hex[(_limbs[i] >> shift) & 0xf]);
+    }
+    size_t first = s.find_first_not_of('0');
+    return s.substr(first);
+}
+
+size_t
+BigNum::bitLength() const
+{
+    if (_limbs.empty())
+        return 0;
+    uint32_t top = _limbs.back();
+    size_t bits = (_limbs.size() - 1) * 32;
+    while (top) {
+        bits++;
+        top >>= 1;
+    }
+    return bits;
+}
+
+bool
+BigNum::bit(size_t i) const
+{
+    size_t limb = i / 32;
+    if (limb >= _limbs.size())
+        return false;
+    return (_limbs[limb] >> (i % 32)) & 1;
+}
+
+void
+BigNum::setBit(size_t i)
+{
+    size_t limb = i / 32;
+    if (limb >= _limbs.size())
+        _limbs.resize(limb + 1, 0);
+    _limbs[limb] |= uint32_t(1) << (i % 32);
+}
+
+int
+BigNum::compare(const BigNum &other) const
+{
+    if (_limbs.size() != other._limbs.size())
+        return _limbs.size() < other._limbs.size() ? -1 : 1;
+    for (size_t i = _limbs.size(); i-- > 0;) {
+        if (_limbs[i] != other._limbs[i])
+            return _limbs[i] < other._limbs[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+BigNum
+BigNum::operator+(const BigNum &o) const
+{
+    BigNum out;
+    size_t n = std::max(_limbs.size(), o._limbs.size());
+    out._limbs.resize(n, 0);
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; i++) {
+        uint64_t sum = carry;
+        if (i < _limbs.size())
+            sum += _limbs[i];
+        if (i < o._limbs.size())
+            sum += o._limbs[i];
+        out._limbs[i] = uint32_t(sum);
+        carry = sum >> 32;
+    }
+    if (carry)
+        out._limbs.push_back(uint32_t(carry));
+    return out;
+}
+
+BigNum
+BigNum::operator-(const BigNum &o) const
+{
+    if (*this < o)
+        sim::panic("BigNum subtraction underflow");
+    BigNum out;
+    out._limbs.resize(_limbs.size(), 0);
+    int64_t borrow = 0;
+    for (size_t i = 0; i < _limbs.size(); i++) {
+        int64_t diff = int64_t(_limbs[i]) - borrow;
+        if (i < o._limbs.size())
+            diff -= int64_t(o._limbs[i]);
+        if (diff < 0) {
+            diff += int64_t(1) << 32;
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        out._limbs[i] = uint32_t(diff);
+    }
+    out.trim();
+    return out;
+}
+
+BigNum
+BigNum::operator*(const BigNum &o) const
+{
+    if (isZero() || o.isZero())
+        return BigNum();
+    BigNum out;
+    out._limbs.assign(_limbs.size() + o._limbs.size(), 0);
+    for (size_t i = 0; i < _limbs.size(); i++) {
+        uint64_t carry = 0;
+        for (size_t j = 0; j < o._limbs.size(); j++) {
+            uint64_t cur = uint64_t(out._limbs[i + j]) +
+                           uint64_t(_limbs[i]) * o._limbs[j] + carry;
+            out._limbs[i + j] = uint32_t(cur);
+            carry = cur >> 32;
+        }
+        out._limbs[i + o._limbs.size()] += uint32_t(carry);
+    }
+    out.trim();
+    return out;
+}
+
+BigNum
+BigNum::operator<<(size_t bits) const
+{
+    if (isZero())
+        return BigNum();
+    size_t limb_shift = bits / 32;
+    size_t bit_shift = bits % 32;
+    BigNum out;
+    out._limbs.assign(_limbs.size() + limb_shift + 1, 0);
+    for (size_t i = 0; i < _limbs.size(); i++) {
+        out._limbs[i + limb_shift] |= _limbs[i] << bit_shift;
+        if (bit_shift)
+            out._limbs[i + limb_shift + 1] |=
+                uint32_t(uint64_t(_limbs[i]) >> (32 - bit_shift));
+    }
+    out.trim();
+    return out;
+}
+
+BigNum
+BigNum::operator>>(size_t bits) const
+{
+    size_t limb_shift = bits / 32;
+    size_t bit_shift = bits % 32;
+    if (limb_shift >= _limbs.size())
+        return BigNum();
+    BigNum out;
+    out._limbs.assign(_limbs.size() - limb_shift, 0);
+    for (size_t i = 0; i < out._limbs.size(); i++) {
+        out._limbs[i] = _limbs[i + limb_shift] >> bit_shift;
+        if (bit_shift && i + limb_shift + 1 < _limbs.size())
+            out._limbs[i] |= uint32_t(
+                uint64_t(_limbs[i + limb_shift + 1]) << (32 - bit_shift));
+    }
+    out.trim();
+    return out;
+}
+
+void
+BigNum::divmod(const BigNum &divisor, BigNum &quotient,
+               BigNum &remainder) const
+{
+    if (divisor.isZero())
+        sim::panic("BigNum division by zero");
+    quotient = BigNum();
+    remainder = BigNum();
+    if (*this < divisor) {
+        remainder = *this;
+        return;
+    }
+
+    // Single-limb divisor: schoolbook short division.
+    if (divisor._limbs.size() == 1) {
+        uint64_t d = divisor._limbs[0];
+        quotient._limbs.assign(_limbs.size(), 0);
+        uint64_t rem = 0;
+        for (size_t i = _limbs.size(); i-- > 0;) {
+            uint64_t cur = (rem << 32) | _limbs[i];
+            quotient._limbs[i] = uint32_t(cur / d);
+            rem = cur % d;
+        }
+        quotient.trim();
+        remainder = BigNum(rem);
+        return;
+    }
+
+    // Knuth Algorithm D (TAOCP 4.3.1) with 32-bit limbs.
+    size_t n = divisor._limbs.size();
+    size_t m = _limbs.size() - n;
+
+    // D1: normalize so the divisor's top limb has its high bit set.
+    unsigned shift = 0;
+    uint32_t top = divisor._limbs[n - 1];
+    while (!(top & 0x80000000u)) {
+        top <<= 1;
+        shift++;
+    }
+    BigNum u = *this << shift;
+    BigNum v = divisor << shift;
+    u._limbs.resize(_limbs.size() + 1, 0); // u has m+n+1 limbs
+
+    quotient._limbs.assign(m + 1, 0);
+    const uint64_t base = uint64_t(1) << 32;
+
+    for (size_t j = m + 1; j-- > 0;) {
+        // D3: estimate q_hat from the top two limbs of u against the
+        // top limb of v, then refine with the second limb.
+        uint64_t num = (uint64_t(u._limbs[j + n]) << 32) |
+                       u._limbs[j + n - 1];
+        uint64_t q_hat = num / v._limbs[n - 1];
+        uint64_t r_hat = num % v._limbs[n - 1];
+        if (q_hat >= base) {
+            q_hat = base - 1;
+            r_hat = num - q_hat * v._limbs[n - 1];
+        }
+        while (r_hat < base &&
+               q_hat * v._limbs[n - 2] >
+                   ((r_hat << 32) | u._limbs[j + n - 2])) {
+            q_hat--;
+            r_hat += v._limbs[n - 1];
+        }
+
+        // D4: multiply-and-subtract q_hat * v from u[j .. j+n].
+        int64_t borrow = 0;
+        uint64_t carry = 0;
+        for (size_t i = 0; i < n; i++) {
+            uint64_t prod = q_hat * v._limbs[i] + carry;
+            carry = prod >> 32;
+            int64_t diff = int64_t(u._limbs[i + j]) -
+                           int64_t(prod & 0xffffffffull) - borrow;
+            if (diff < 0) {
+                diff += int64_t(base);
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            u._limbs[i + j] = uint32_t(diff);
+        }
+        int64_t diff = int64_t(u._limbs[j + n]) - int64_t(carry) - borrow;
+        bool negative = diff < 0;
+        u._limbs[j + n] = uint32_t(diff);
+
+        // D5/D6: if we overshot, add v back once and decrement q_hat.
+        if (negative) {
+            q_hat--;
+            uint64_t add_carry = 0;
+            for (size_t i = 0; i < n; i++) {
+                uint64_t sum = uint64_t(u._limbs[i + j]) + v._limbs[i] +
+                               add_carry;
+                u._limbs[i + j] = uint32_t(sum);
+                add_carry = sum >> 32;
+            }
+            u._limbs[j + n] += uint32_t(add_carry);
+        }
+        quotient._limbs[j] = uint32_t(q_hat);
+    }
+
+    quotient.trim();
+    u._limbs.resize(n);
+    u.trim();
+    remainder = u >> shift;
+}
+
+BigNum
+BigNum::operator/(const BigNum &o) const
+{
+    BigNum q, r;
+    divmod(o, q, r);
+    return q;
+}
+
+BigNum
+BigNum::operator%(const BigNum &o) const
+{
+    BigNum q, r;
+    divmod(o, q, r);
+    return r;
+}
+
+BigNum
+BigNum::modExp(const BigNum &exp, const BigNum &mod) const
+{
+    if (mod.isZero())
+        sim::panic("BigNum modExp with zero modulus");
+    BigNum result(1);
+    result = result % mod;
+    BigNum base = *this % mod;
+    size_t bits = exp.bitLength();
+    for (size_t i = 0; i < bits; i++) {
+        if (exp.bit(i))
+            result = (result * base) % mod;
+        base = (base * base) % mod;
+    }
+    return result;
+}
+
+BigNum
+BigNum::gcd(BigNum a, BigNum b)
+{
+    while (!b.isZero()) {
+        BigNum r = a % b;
+        a = b;
+        b = r;
+    }
+    return a;
+}
+
+BigNum
+BigNum::modInverse(const BigNum &mod, bool &ok) const
+{
+    // Iterative extended Euclid tracking only the coefficient of *this,
+    // using (sign, magnitude) pairs to stay within unsigned arithmetic.
+    BigNum r0 = mod, r1 = *this % mod;
+    BigNum t0, t1(1);
+    bool t0_neg = false, t1_neg = false;
+
+    while (!r1.isZero()) {
+        BigNum q, r2;
+        r0.divmod(r1, q, r2);
+
+        // t2 = t0 - q * t1
+        BigNum qt = q * t1;
+        BigNum t2;
+        bool t2_neg;
+        if (t0_neg == t1_neg) {
+            // t0 and q*t1 have the same sign: real subtraction.
+            if (t0 >= qt) {
+                t2 = t0 - qt;
+                t2_neg = t0_neg;
+            } else {
+                t2 = qt - t0;
+                t2_neg = !t0_neg;
+            }
+        } else {
+            t2 = t0 + qt;
+            t2_neg = t0_neg;
+        }
+
+        r0 = r1;
+        r1 = r2;
+        t0 = t1;
+        t0_neg = t1_neg;
+        t1 = t2;
+        t1_neg = t2_neg;
+    }
+
+    if (r0 != BigNum(1)) {
+        ok = false;
+        return BigNum();
+    }
+    ok = true;
+    if (t0_neg)
+        return mod - (t0 % mod);
+    return t0 % mod;
+}
+
+BigNum
+BigNum::random(CtrDrbg &rng, const BigNum &bound)
+{
+    if (bound.isZero())
+        sim::panic("BigNum::random with zero bound");
+    size_t bytes = (bound.bitLength() + 7) / 8;
+    while (true) {
+        BigNum candidate = fromBytes(rng.generate(bytes));
+        if (candidate < bound)
+            return candidate;
+    }
+}
+
+BigNum
+BigNum::randomBits(CtrDrbg &rng, size_t bits)
+{
+    size_t bytes = (bits + 7) / 8;
+    BigNum n = fromBytes(rng.generate(bytes));
+    // Clear excess high bits, then force the top bit.
+    while (n.bitLength() > bits)
+        n = n >> 1;
+    n.setBit(bits - 1);
+    return n;
+}
+
+bool
+BigNum::isProbablePrime(CtrDrbg &rng, int rounds) const
+{
+    static const uint32_t small_primes[] = {2,  3,  5,  7,  11, 13,
+                                            17, 19, 23, 29, 31, 37};
+    if (isZero() || *this == BigNum(1))
+        return false;
+    for (uint32_t p : small_primes) {
+        BigNum bp(p);
+        if (*this == bp)
+            return true;
+        if ((*this % bp).isZero())
+            return false;
+    }
+    if (!isOdd())
+        return false;
+
+    BigNum one(1), two(2);
+    BigNum n_minus_1 = *this - one;
+    BigNum d = n_minus_1;
+    size_t s = 0;
+    while (!d.isOdd()) {
+        d = d >> 1;
+        s++;
+    }
+
+    for (int round = 0; round < rounds; round++) {
+        BigNum a = random(rng, n_minus_1 - two) + two;
+        BigNum x = a.modExp(d, *this);
+        if (x == one || x == n_minus_1)
+            continue;
+        bool composite = true;
+        for (size_t i = 1; i < s; i++) {
+            x = (x * x) % *this;
+            if (x == n_minus_1) {
+                composite = false;
+                break;
+            }
+        }
+        if (composite)
+            return false;
+    }
+    return true;
+}
+
+} // namespace vg::crypto

@@ -1,0 +1,89 @@
+#include "crypto/drbg.hh"
+
+#include <cstring>
+
+#include "crypto/sha256.hh"
+#include "sim/log.hh"
+
+namespace vg::crypto
+{
+
+CtrDrbg::CtrDrbg(const AesKey &seed_key, const AesBlock &nonce)
+    : _key(seed_key), _counter(nonce)
+{}
+
+CtrDrbg::CtrDrbg(const std::vector<uint8_t> &seed_material)
+{
+    Digest d = Sha256::hash(seed_material.data(), seed_material.size());
+    std::memcpy(_key.data(), d.data(), 16);
+    std::memcpy(_counter.data(), d.data() + 16, 16);
+}
+
+void
+CtrDrbg::step(uint8_t out[16])
+{
+    for (int i = 15; i >= 0; i--) {
+        if (++_counter[i] != 0)
+            break;
+    }
+    std::memcpy(out, _counter.data(), 16);
+    Aes128(_key).encryptBlock(out);
+}
+
+void
+CtrDrbg::generate(void *out, size_t len)
+{
+    uint8_t *p = static_cast<uint8_t *>(out);
+    uint8_t block[16];
+    while (len > 0) {
+        step(block);
+        size_t n = std::min<size_t>(16, len);
+        std::memcpy(p, block, n);
+        p += n;
+        len -= n;
+    }
+}
+
+std::vector<uint8_t>
+CtrDrbg::generate(size_t len)
+{
+    std::vector<uint8_t> out(len);
+    generate(out.data(), out.size());
+    return out;
+}
+
+uint64_t
+CtrDrbg::next64()
+{
+    uint64_t v;
+    generate(&v, sizeof(v));
+    return v;
+}
+
+uint64_t
+CtrDrbg::nextBounded(uint64_t bound)
+{
+    if (bound == 0)
+        sim::panic("CtrDrbg::nextBounded: zero bound");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t limit = ~uint64_t(0) - (~uint64_t(0) % bound);
+    uint64_t v;
+    do {
+        v = next64();
+    } while (v >= limit);
+    return v % bound;
+}
+
+void
+CtrDrbg::reseed(const std::vector<uint8_t> &material)
+{
+    Sha256 h;
+    h.update(_key.data(), _key.size());
+    h.update(_counter.data(), _counter.size());
+    h.update(material.data(), material.size());
+    Digest d = h.final();
+    std::memcpy(_key.data(), d.data(), 16);
+    std::memcpy(_counter.data(), d.data() + 16, 16);
+}
+
+} // namespace vg::crypto

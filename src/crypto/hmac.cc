@@ -1,0 +1,52 @@
+#include "crypto/hmac.hh"
+
+#include <cstring>
+
+namespace vg::crypto
+{
+
+Digest
+hmacSha256(const std::vector<uint8_t> &key, const void *data, size_t len)
+{
+    uint8_t k[64];
+    std::memset(k, 0, sizeof(k));
+    if (key.size() > 64) {
+        Digest kd = Sha256::hash(key.data(), key.size());
+        std::memcpy(k, kd.data(), kd.size());
+    } else {
+        std::memcpy(k, key.data(), key.size());
+    }
+
+    uint8_t ipad[64], opad[64];
+    for (int i = 0; i < 64; i++) {
+        ipad[i] = uint8_t(k[i] ^ 0x36);
+        opad[i] = uint8_t(k[i] ^ 0x5c);
+    }
+
+    Sha256 inner;
+    inner.update(ipad, 64);
+    inner.update(data, len);
+    Digest inner_digest = inner.final();
+
+    Sha256 outer;
+    outer.update(opad, 64);
+    outer.update(inner_digest.data(), inner_digest.size());
+    return outer.final();
+}
+
+Digest
+hmacSha256(const std::vector<uint8_t> &key, const std::vector<uint8_t> &data)
+{
+    return hmacSha256(key, data.data(), data.size());
+}
+
+bool
+digestEqual(const Digest &a, const Digest &b)
+{
+    uint8_t diff = 0;
+    for (size_t i = 0; i < a.size(); i++)
+        diff |= uint8_t(a[i] ^ b[i]);
+    return diff == 0;
+}
+
+} // namespace vg::crypto

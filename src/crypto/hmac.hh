@@ -1,0 +1,35 @@
+/**
+ * @file
+ * HMAC-SHA256 (RFC 2104) message authentication.
+ *
+ * Used to sign native-code translations, MAC swapped ghost pages, and
+ * provide the encrypt-then-MAC construction for secure application file
+ * I/O.
+ */
+
+#ifndef VG_CRYPTO_HMAC_HH
+#define VG_CRYPTO_HMAC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "crypto/sha256.hh"
+
+namespace vg::crypto
+{
+
+/** Compute HMAC-SHA256 of @p len bytes at @p data under @p key. */
+Digest hmacSha256(const std::vector<uint8_t> &key, const void *data,
+                  size_t len);
+
+/** HMAC over a byte vector. */
+Digest hmacSha256(const std::vector<uint8_t> &key,
+                  const std::vector<uint8_t> &data);
+
+/** Constant-time digest comparison. */
+bool digestEqual(const Digest &a, const Digest &b);
+
+} // namespace vg::crypto
+
+#endif // VG_CRYPTO_HMAC_HH

@@ -1,0 +1,106 @@
+#include "crypto/sealed.hh"
+
+#include <cstring>
+
+#include "crypto/drbg.hh"
+#include "crypto/hmac.hh"
+
+namespace vg::crypto
+{
+
+namespace
+{
+
+/** Derive independent cipher and MAC keys from the master key. */
+void
+deriveKeys(const AesKey &master, AesKey &enc_key,
+           std::vector<uint8_t> &mac_key)
+{
+    Sha256 h1;
+    h1.update("vg-seal-enc", 11);
+    h1.update(master.data(), master.size());
+    Digest d1 = h1.final();
+    std::memcpy(enc_key.data(), d1.data(), enc_key.size());
+
+    Sha256 h2;
+    h2.update("vg-seal-mac", 11);
+    h2.update(master.data(), master.size());
+    Digest d2 = h2.final();
+    mac_key.assign(d2.begin(), d2.end());
+}
+
+Digest
+computeMac(const std::vector<uint8_t> &mac_key, const SealedBlob &blob,
+           const std::vector<uint8_t> &aad)
+{
+    std::vector<uint8_t> buf;
+    buf.reserve(aad.size() + blob.nonce.size() + blob.ciphertext.size());
+    buf.insert(buf.end(), aad.begin(), aad.end());
+    buf.insert(buf.end(), blob.nonce.begin(), blob.nonce.end());
+    buf.insert(buf.end(), blob.ciphertext.begin(), blob.ciphertext.end());
+    return hmacSha256(mac_key, buf);
+}
+
+} // namespace
+
+std::vector<uint8_t>
+SealedBlob::serialize() const
+{
+    std::vector<uint8_t> out;
+    out.reserve(nonce.size() + mac.size() + ciphertext.size());
+    out.insert(out.end(), nonce.begin(), nonce.end());
+    out.insert(out.end(), mac.begin(), mac.end());
+    out.insert(out.end(), ciphertext.begin(), ciphertext.end());
+    return out;
+}
+
+SealedBlob
+SealedBlob::deserialize(const std::vector<uint8_t> &bytes, bool &ok)
+{
+    SealedBlob blob;
+    ok = false;
+    if (bytes.size() < blob.nonce.size() + blob.mac.size())
+        return blob;
+    size_t off = 0;
+    std::memcpy(blob.nonce.data(), bytes.data(), blob.nonce.size());
+    off += blob.nonce.size();
+    std::memcpy(blob.mac.data(), bytes.data() + off, blob.mac.size());
+    off += blob.mac.size();
+    blob.ciphertext.assign(bytes.begin() + off, bytes.end());
+    ok = true;
+    return blob;
+}
+
+SealedBlob
+seal(const AesKey &key, CtrDrbg &rng, const std::vector<uint8_t> &plain,
+     const std::vector<uint8_t> &aad)
+{
+    AesKey enc_key;
+    std::vector<uint8_t> mac_key;
+    deriveKeys(key, enc_key, mac_key);
+
+    SealedBlob blob;
+    rng.generate(blob.nonce.data(), blob.nonce.size());
+    blob.ciphertext = Aes128(enc_key).ctrCrypt(plain, blob.nonce);
+    blob.mac = computeMac(mac_key, blob, aad);
+    return blob;
+}
+
+std::vector<uint8_t>
+unseal(const AesKey &key, const SealedBlob &blob, bool &ok,
+       const std::vector<uint8_t> &aad)
+{
+    AesKey enc_key;
+    std::vector<uint8_t> mac_key;
+    deriveKeys(key, enc_key, mac_key);
+
+    Digest expect = computeMac(mac_key, blob, aad);
+    if (!digestEqual(expect, blob.mac)) {
+        ok = false;
+        return {};
+    }
+    ok = true;
+    return Aes128(enc_key).ctrCrypt(blob.ciphertext, blob.nonce);
+}
+
+} // namespace vg::crypto

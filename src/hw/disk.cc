@@ -1,0 +1,77 @@
+#include "hw/disk.hh"
+
+#include <cstring>
+
+#include "sim/log.hh"
+
+namespace vg::hw
+{
+
+Disk::Disk(uint64_t blocks, Iommu &iommu, sim::SimContext &ctx)
+    : _data(blocks * blockSize, 0), _iommu(iommu), _ctx(ctx)
+{
+    if (blocks == 0)
+        sim::fatal("Disk: must have at least one block");
+}
+
+void
+Disk::check(uint64_t block) const
+{
+    if (block >= numBlocks())
+        sim::panic("Disk: block %lu out of range (%lu blocks)",
+                   (unsigned long)block, (unsigned long)numBlocks());
+}
+
+void
+Disk::charge(uint64_t blocks)
+{
+    _ctx.clock().advance(_ctx.costs().ssdRequest +
+                         blocks * _ctx.costs().ssdPerBlock);
+    _ctx.stats().add("disk.requests");
+    _ctx.stats().add("disk.blocks", blocks);
+}
+
+void
+Disk::readBlock(uint64_t block, void *out)
+{
+    check(block);
+    charge(1);
+    std::memcpy(out, &_data[block * blockSize], blockSize);
+}
+
+void
+Disk::writeBlock(uint64_t block, const void *in)
+{
+    check(block);
+    charge(1);
+    std::memcpy(&_data[block * blockSize], in, blockSize);
+}
+
+bool
+Disk::dmaReadBlock(uint64_t block, Paddr pa)
+{
+    check(block);
+    charge(1);
+    return _iommu.dmaWrite(pa, &_data[block * blockSize], blockSize);
+}
+
+bool
+Disk::dmaWriteBlock(uint64_t block, Paddr pa)
+{
+    check(block);
+    charge(1);
+    uint8_t buf[blockSize];
+    if (!_iommu.dmaRead(pa, buf, blockSize))
+        return false;
+    std::memcpy(&_data[block * blockSize], buf, blockSize);
+    return true;
+}
+
+uint8_t *
+Disk::rawBlock(uint64_t block)
+{
+    check(block);
+    return &_data[block * blockSize];
+}
+
+} // namespace vg::hw

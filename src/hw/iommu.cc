@@ -1,0 +1,68 @@
+#include "hw/iommu.hh"
+
+namespace vg::hw
+{
+
+Iommu::Iommu(PhysMem &mem, sim::SimContext &ctx) : _mem(mem), _ctx(ctx) {}
+
+void
+Iommu::protectFrame(Frame frame)
+{
+    _protected.insert(frame);
+}
+
+void
+Iommu::unprotectFrame(Frame frame)
+{
+    _protected.erase(frame);
+}
+
+bool
+Iommu::dmaAllowed(Frame frame) const
+{
+    if (!_ctx.config().dmaProtection)
+        return true;
+    return _protected.find(frame) == _protected.end();
+}
+
+bool
+Iommu::rangeAllowed(Paddr pa, uint64_t len) const
+{
+    if (len == 0)
+        return true;
+    Frame first = pa >> pageShift;
+    Frame last = (pa + len - 1) >> pageShift;
+    for (Frame f = first; f <= last; f++) {
+        if (!dmaAllowed(f))
+            return false;
+    }
+    return true;
+}
+
+bool
+Iommu::dmaWrite(Paddr pa, const void *buf, uint64_t len)
+{
+    if (!rangeAllowed(pa, len)) {
+        _blocked++;
+        _ctx.stats().add("iommu.blocked_dma");
+        return false;
+    }
+    _mem.writeBytes(pa, buf, len);
+    _ctx.stats().add("iommu.dma_bytes", len);
+    return true;
+}
+
+bool
+Iommu::dmaRead(Paddr pa, void *buf, uint64_t len)
+{
+    if (!rangeAllowed(pa, len)) {
+        _blocked++;
+        _ctx.stats().add("iommu.blocked_dma");
+        return false;
+    }
+    _mem.readBytes(pa, buf, len);
+    _ctx.stats().add("iommu.dma_bytes", len);
+    return true;
+}
+
+} // namespace vg::hw

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Simulated IOMMU.
+ *
+ * All device DMA flows through the IOMMU. SVA configures it (S 4.3.3):
+ * frames holding ghost memory or SVA internal state are removed from
+ * the DMA-able set, so a hostile OS cannot program a device to read or
+ * write protected memory. The OS itself can only reach the IOMMU via
+ * SVA I/O instructions; direct MMIO mapping of the IOMMU is prevented
+ * by the MMU checks.
+ */
+
+#ifndef VG_HW_IOMMU_HH
+#define VG_HW_IOMMU_HH
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "hw/phys_mem.hh"
+#include "sim/context.hh"
+
+namespace vg::hw
+{
+
+/** DMA remapping/protection unit. */
+class Iommu
+{
+  public:
+    Iommu(PhysMem &mem, sim::SimContext &ctx);
+
+    /**
+     * Mark @p frame as non-DMA-able (ghost/SVA frame). Only SVA calls
+     * this.
+     */
+    void protectFrame(Frame frame);
+
+    /** Allow DMA to @p frame again (frame returned to the OS). */
+    void unprotectFrame(Frame frame);
+
+    /** True if DMA may touch @p frame. */
+    bool dmaAllowed(Frame frame) const;
+
+    /**
+     * DMA from device buffer into RAM. Returns false (and performs no
+     * write) if any touched frame is protected while DMA protection is
+     * enabled.
+     */
+    bool dmaWrite(Paddr pa, const void *buf, uint64_t len);
+
+    /** DMA from RAM into device buffer; same protection rule. */
+    bool dmaRead(Paddr pa, void *buf, uint64_t len);
+
+    /** Number of blocked DMA attempts (attack telemetry). */
+    uint64_t blockedCount() const { return _blocked; }
+
+  private:
+    bool rangeAllowed(Paddr pa, uint64_t len) const;
+
+    PhysMem &_mem;
+    sim::SimContext &_ctx;
+    std::unordered_set<Frame> _protected;
+    uint64_t _blocked = 0;
+};
+
+} // namespace vg::hw
+
+#endif // VG_HW_IOMMU_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Simulated MMU with a 4-level page-table walker and a small TLB.
+ */
+
+#ifndef VG_HW_MMU_HH
+#define VG_HW_MMU_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "hw/pagetable.hh"
+#include "hw/phys_mem.hh"
+#include "sim/context.hh"
+
+namespace vg::hw
+{
+
+/** Why a translation failed. */
+enum class FaultKind
+{
+    None,
+    NotPresent,
+    Protection,
+    NonCanonical,
+    BadPhys,
+};
+
+/** Result of a translation attempt. */
+struct TranslateResult
+{
+    bool ok = false;
+    Paddr paddr = 0;
+    FaultKind fault = FaultKind::None;
+    Vaddr faultVa = 0;
+};
+
+/** The memory-management unit: CR3, TLB, walker. */
+class Mmu
+{
+  public:
+    Mmu(PhysMem &mem, sim::SimContext &ctx);
+
+    /** Load a new root table ("mov cr3"); flushes the TLB. */
+    void setRoot(Paddr root);
+
+    Paddr root() const { return _root; }
+
+    /** Translate @p va for @p access at @p priv. Charges TLB/walk
+     *  cycles against the simulation clock. */
+    TranslateResult translate(Vaddr va, Access access, Privilege priv);
+
+    /** Invalidate one page's TLB entry ("invlpg"). */
+    void invalidatePage(Vaddr va);
+
+    /** Flush the whole TLB. */
+    void flushTlb();
+
+    /**
+     * Walk the tables without charging time or touching the TLB
+     * (used by SVA checks and by tests to inspect mappings).
+     */
+    std::optional<Pte> probe(Vaddr va) const;
+
+  private:
+    struct TlbEntry
+    {
+        bool valid = false;
+        Vaddr vpage = 0;
+        Pte pte = 0;
+    };
+
+    static constexpr size_t tlbEntries = 64;
+
+    TranslateResult walk(Vaddr va, Access access, Privilege priv,
+                         bool charge);
+    static bool allowed(Pte e, Access access, Privilege priv);
+    size_t tlbIndex(Vaddr va) const;
+
+    PhysMem &_mem;
+    sim::SimContext &_ctx;
+    Paddr _root = 0;
+    std::array<TlbEntry, tlbEntries> _tlb;
+};
+
+} // namespace vg::hw
+
+#endif // VG_HW_MMU_HH

@@ -1,0 +1,80 @@
+#include "hw/nic.hh"
+
+#include "sim/log.hh"
+
+namespace vg::hw
+{
+
+Nic::Nic(Iommu &iommu, sim::SimContext &ctx) : _iommu(iommu), _ctx(ctx) {}
+
+uint64_t
+Nic::send(const std::vector<uint8_t> &packet)
+{
+    if (packet.size() > mtu)
+        sim::panic("Nic::send: packet larger than MTU (%zu)",
+                   packet.size());
+    if (!_peer)
+        sim::panic("Nic::send: no peer connected");
+
+    // CPU cost: descriptor setup / doorbell only.
+    _ctx.clock().advance(_ctx.costs().nicPerPacket);
+
+    // Wire time is serialized on the link, overlapping CPU work.
+    uint64_t wire =
+        (packet.size() * _ctx.costs().nicCyclesPer64Bytes) / 64 + 1;
+    uint64_t start = std::max<uint64_t>(_ctx.clock().now(),
+                                        _linkFreeAt);
+    _linkFreeAt = start + wire;
+
+    _ctx.stats().add("nic.tx_packets");
+    _ctx.stats().add("nic.tx_bytes", packet.size());
+    _sent++;
+    _peer->deliver(packet);
+    return _linkFreeAt;
+}
+
+void
+Nic::deliver(std::vector<uint8_t> packet)
+{
+    _rx.push_back(std::move(packet));
+    _received++;
+    _ctx.stats().add("nic.rx_packets");
+}
+
+std::vector<uint8_t>
+Nic::receive()
+{
+    if (_rx.empty())
+        return {};
+    std::vector<uint8_t> p = std::move(_rx.front());
+    _rx.pop_front();
+    return p;
+}
+
+bool
+Nic::sendFromDma(Paddr pa, uint64_t len)
+{
+    if (len > mtu)
+        return false;
+    std::vector<uint8_t> buf(len);
+    if (!_iommu.dmaRead(pa, buf.data(), len))
+        return false;
+    send(buf);
+    return true;
+}
+
+bool
+Nic::receiveToDma(Paddr pa, uint64_t max_len, uint64_t &len_out)
+{
+    if (_rx.empty())
+        return false;
+    const std::vector<uint8_t> &p = _rx.front();
+    uint64_t n = std::min<uint64_t>(p.size(), max_len);
+    if (!_iommu.dmaWrite(pa, p.data(), n))
+        return false;
+    len_out = n;
+    _rx.pop_front();
+    return true;
+}
+
+} // namespace vg::hw

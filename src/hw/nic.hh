@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Simulated gigabit NIC pair.
+ *
+ * Two endpoints joined by a full-duplex link; each send charges
+ * per-packet and per-byte costs modelling the paper's dedicated GbE
+ * test network. Packets are bounded at an MTU; the TCP-lite layer in
+ * the kernel segments streams into packets.
+ */
+
+#ifndef VG_HW_NIC_HH
+#define VG_HW_NIC_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "hw/iommu.hh"
+#include "sim/context.hh"
+
+namespace vg::hw
+{
+
+/** One network endpoint. */
+class Nic
+{
+  public:
+    static constexpr uint64_t mtu = 1500;
+
+    Nic(Iommu &iommu, sim::SimContext &ctx);
+
+    /** Attach the peer endpoint (call once on each side). */
+    void connectTo(Nic *peer) { _peer = peer; }
+
+    /** Transmit a packet (<= MTU bytes). The sender is charged only
+     *  CPU (descriptor) time; wire time is booked on the link
+     *  schedule and returned as the packet's arrival time, so
+     *  transmission pipelines with computation. */
+    uint64_t send(const std::vector<uint8_t> &packet);
+
+    /** Arrival time of the most recently sent packet. */
+    uint64_t lastReadyAt() const { return _linkFreeAt; }
+
+    /** True if a received packet is waiting. */
+    bool hasPacket() const { return !_rx.empty(); }
+
+    /** Pop the next received packet (empty if none). */
+    std::vector<uint8_t> receive();
+
+    /** DMA a packet payload out of RAM and transmit it; false if the
+     *  IOMMU blocks the read. */
+    bool sendFromDma(Paddr pa, uint64_t len);
+
+    /** Receive into RAM via DMA; false if blocked or no packet. */
+    bool receiveToDma(Paddr pa, uint64_t max_len, uint64_t &len_out);
+
+    uint64_t packetsSent() const { return _sent; }
+    uint64_t packetsReceived() const { return _received; }
+
+  private:
+    void deliver(std::vector<uint8_t> packet);
+
+    Iommu &_iommu;
+    sim::SimContext &_ctx;
+    Nic *_peer = nullptr;
+    std::deque<std::vector<uint8_t>> _rx;
+    uint64_t _sent = 0;
+    uint64_t _received = 0;
+    /** When the outbound link becomes idle (cycles). */
+    uint64_t _linkFreeAt = 0;
+};
+
+} // namespace vg::hw
+
+#endif // VG_HW_NIC_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Page-table-entry format for the simulated 4-level MMU.
+ *
+ * x86-64-style: 48-bit virtual addresses, 9 index bits per level, 4 KB
+ * pages. Page tables live *inside* simulated physical memory — the OS
+ * builds them there (through SVA-OS intrinsics) and the MMU walks them
+ * there, so MMU-based attacks and SVA's checks operate on the same real
+ * state.
+ */
+
+#ifndef VG_HW_PAGETABLE_HH
+#define VG_HW_PAGETABLE_HH
+
+#include <cstdint>
+
+#include "hw/layout.hh"
+
+namespace vg::hw
+{
+
+/** A raw page-table entry. */
+using Pte = uint64_t;
+
+namespace pte
+{
+
+constexpr Pte present = 1ull << 0;
+constexpr Pte writable = 1ull << 1;
+constexpr Pte user = 1ull << 2;
+constexpr Pte noExec = 1ull << 63;
+
+/** Physical frame address field (bits 12..51). */
+constexpr Pte addrMask = 0x000ffffffffff000ull;
+
+constexpr Paddr
+frameAddr(Pte e)
+{
+    return e & addrMask;
+}
+
+constexpr Frame
+frameNum(Pte e)
+{
+    return (e & addrMask) >> pageShift;
+}
+
+constexpr Pte
+make(Frame frame, bool w, bool u, bool nx)
+{
+    Pte e = (frame << pageShift) | present;
+    if (w)
+        e |= writable;
+    if (u)
+        e |= user;
+    if (nx)
+        e |= noExec;
+    return e;
+}
+
+} // namespace pte
+
+/** Page-table level, 1 (leaf) through 4 (root). */
+enum class PtLevel : int
+{
+    L1 = 1,
+    L2 = 2,
+    L3 = 3,
+    L4 = 4,
+};
+
+/** Index into the table at @p level for virtual address @p va. */
+constexpr uint64_t
+ptIndex(Vaddr va, PtLevel level)
+{
+    int shift = 12 + 9 * (static_cast<int>(level) - 1);
+    return (va >> shift) & 0x1ff;
+}
+
+/** Kinds of memory access, for permission checks. */
+enum class Access
+{
+    Read,
+    Write,
+    Exec,
+};
+
+/** CPU privilege for an access. */
+enum class Privilege
+{
+    User,
+    Kernel,
+};
+
+} // namespace vg::hw
+
+#endif // VG_HW_PAGETABLE_HH

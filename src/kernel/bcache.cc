@@ -1,0 +1,112 @@
+#include "kernel/bcache.hh"
+
+#include <algorithm>
+
+namespace vg::kern
+{
+
+BufferCache::BufferCache(hw::Disk &disk, sim::SimContext &ctx,
+                         uint64_t capacity_blocks)
+    : _disk(disk), _ctx(ctx), _capacity(capacity_blocks)
+{}
+
+Buf *
+BufferCache::get(uint64_t block_no)
+{
+    // Hash lookup + LRU maintenance: a handful of instrumented
+    // kernel memory operations.
+    _ctx.chargeKernelWork(10, 5, 1);
+
+    auto it = _index.find(block_no);
+    if (it != _index.end()) {
+        _hits++;
+        _ctx.stats().add("bcache.hits");
+        _lru.splice(_lru.begin(), _lru, it->second);
+        return &*_lru.begin();
+    }
+
+    _misses++;
+    _ctx.stats().add("bcache.misses");
+    evictIfNeeded();
+
+    Buf buf;
+    buf.blockNo = block_no;
+    buf.data.resize(hw::Disk::blockSize);
+    _disk.readBlock(block_no, buf.data.data());
+    _lru.push_front(std::move(buf));
+    _index[block_no] = _lru.begin();
+    return &*_lru.begin();
+}
+
+Buf *
+BufferCache::getZeroed(uint64_t block_no)
+{
+    _ctx.chargeKernelWork(10, 5, 1);
+    auto it = _index.find(block_no);
+    if (it != _index.end()) {
+        _hits++;
+        _lru.splice(_lru.begin(), _lru, it->second);
+        Buf *buf = &*_lru.begin();
+        std::fill(buf->data.begin(), buf->data.end(), 0);
+        buf->dirty = true;
+        return buf;
+    }
+    evictIfNeeded();
+    Buf buf;
+    buf.blockNo = block_no;
+    buf.data.assign(hw::Disk::blockSize, 0);
+    buf.dirty = true;
+    _lru.push_front(std::move(buf));
+    _index[block_no] = _lru.begin();
+    _ctx.stats().add("bcache.zero_fills");
+    return &*_lru.begin();
+}
+
+void
+BufferCache::dropAll()
+{
+    sync();
+    _lru.clear();
+    _index.clear();
+}
+
+void
+BufferCache::evictIfNeeded()
+{
+    while (_lru.size() >= _capacity) {
+        Buf &victim = _lru.back();
+        if (victim.dirty)
+            writeback(victim);
+        _index.erase(victim.blockNo);
+        _lru.pop_back();
+    }
+}
+
+void
+BufferCache::writeback(Buf &buf)
+{
+    _disk.writeBlock(buf.blockNo, buf.data.data());
+    buf.dirty = false;
+    _ctx.stats().add("bcache.writebacks");
+}
+
+void
+BufferCache::sync()
+{
+    for (Buf &buf : _lru) {
+        if (buf.dirty)
+            writeback(buf);
+    }
+}
+
+void
+BufferCache::invalidate(uint64_t block_no)
+{
+    auto it = _index.find(block_no);
+    if (it == _index.end())
+        return;
+    _lru.erase(it->second);
+    _index.erase(it);
+}
+
+} // namespace vg::kern

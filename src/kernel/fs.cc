@@ -1,0 +1,647 @@
+#include "kernel/fs.hh"
+
+#include <cstring>
+
+#include "sim/log.hh"
+
+namespace vg::kern
+{
+
+const char *
+fsStatusName(FsStatus status)
+{
+    switch (status) {
+      case FsStatus::Ok:
+        return "ok";
+      case FsStatus::NotFound:
+        return "not-found";
+      case FsStatus::Exists:
+        return "exists";
+      case FsStatus::NotDir:
+        return "not-a-directory";
+      case FsStatus::IsDir:
+        return "is-a-directory";
+      case FsStatus::NoSpace:
+        return "no-space";
+      case FsStatus::NotEmpty:
+        return "not-empty";
+      case FsStatus::Invalid:
+        return "invalid";
+    }
+    return "?";
+}
+
+Fs::Fs(BufferCache &cache, sim::SimContext &ctx, uint64_t disk_blocks)
+    : _cache(cache), _ctx(ctx)
+{
+    // Size the regions: ~1 inode per 8 data blocks, min 64 inodes.
+    uint64_t inode_blocks =
+        std::max<uint64_t>(2, disk_blocks / (8 * inodesPerBlock));
+    uint64_t bitmap_blocks = (disk_blocks + 8 * 4096 - 1) / (8 * 4096);
+
+    _super.magic = magicValue;
+    _super.nblocks = disk_blocks;
+    _super.bitmapStart = 1;
+    _super.bitmapBlocks = bitmap_blocks;
+    _super.inodeStart = 1 + bitmap_blocks;
+    _super.inodeBlocks = inode_blocks;
+    _super.dataStart = _super.inodeStart + inode_blocks;
+}
+
+void
+Fs::mkfs()
+{
+    // Zero metadata regions.
+    for (uint64_t b = 0; b < _super.dataStart; b++) {
+        Buf *buf = _cache.get(b);
+        std::memset(buf->data.data(), 0, buf->data.size());
+        _cache.markDirty(buf);
+    }
+
+    // Superblock.
+    Buf *sb = _cache.get(0);
+    std::memcpy(sb->data.data(), &_super, sizeof(_super));
+    _cache.markDirty(sb);
+
+    _freeBlocks = _super.nblocks - _super.dataStart;
+    _mounted = true;
+
+    // Root directory (inode 1).
+    DiskInode root{};
+    root.type = uint16_t(FileType::Directory);
+    root.nlink = 1;
+    storeInode(1, root);
+    _cache.sync();
+}
+
+bool
+Fs::mount()
+{
+    Buf *sb = _cache.get(0);
+    Super on_disk{};
+    std::memcpy(&on_disk, sb->data.data(), sizeof(on_disk));
+    if (on_disk.magic != magicValue)
+        return false;
+    _super = on_disk;
+
+    // Count free blocks from the bitmap.
+    _freeBlocks = 0;
+    for (uint64_t b = _super.dataStart; b < _super.nblocks; b++) {
+        Buf *bm = _cache.get(_super.bitmapStart + b / (8 * 4096));
+        uint64_t bit = b % (8 * 4096);
+        if (!(bm->data[bit / 8] & (1 << (bit % 8))))
+            _freeBlocks++;
+    }
+    _mounted = true;
+    return true;
+}
+
+// --------------------------------------------------------------------
+// Inode table
+// --------------------------------------------------------------------
+
+Fs::DiskInode
+Fs::loadInode(Ino ino)
+{
+    _ctx.chargeKernelWork(16, 8, 1);
+    Buf *buf = _cache.get(_super.inodeStart + ino / inodesPerBlock);
+    DiskInode inode{};
+    std::memcpy(&inode,
+                buf->data.data() + (ino % inodesPerBlock) * 128,
+                sizeof(inode));
+    return inode;
+}
+
+void
+Fs::storeInode(Ino ino, const DiskInode &inode)
+{
+    _ctx.chargeKernelWork(16, 8, 1);
+    Buf *buf = _cache.get(_super.inodeStart + ino / inodesPerBlock);
+    std::memcpy(buf->data.data() + (ino % inodesPerBlock) * 128,
+                &inode, sizeof(inode));
+    _cache.markDirty(buf);
+}
+
+Ino
+Fs::allocInode(FileType type)
+{
+    uint64_t max_ino = _super.inodeBlocks * inodesPerBlock;
+    for (Ino ino = 1; ino < max_ino; ino++) {
+        DiskInode inode = loadInode(ino);
+        if (inode.type == uint16_t(FileType::Free)) {
+            DiskInode fresh{};
+            fresh.type = uint16_t(type);
+            fresh.nlink = 1;
+            storeInode(ino, fresh);
+            return ino;
+        }
+    }
+    return 0;
+}
+
+void
+Fs::freeInode(Ino ino)
+{
+    DiskInode inode{};
+    storeInode(ino, inode);
+}
+
+// --------------------------------------------------------------------
+// Block allocation
+// --------------------------------------------------------------------
+
+std::optional<uint64_t>
+Fs::allocBlock()
+{
+    _ctx.chargeKernelWork(30, 16, 2);
+    for (uint64_t b = _super.dataStart; b < _super.nblocks; b++) {
+        Buf *bm = _cache.get(_super.bitmapStart + b / (8 * 4096));
+        uint64_t bit = b % (8 * 4096);
+        uint8_t &byte = bm->data[bit / 8];
+        if (!(byte & (1 << (bit % 8)))) {
+            byte |= uint8_t(1 << (bit % 8));
+            _cache.markDirty(bm);
+            _freeBlocks--;
+            // Fresh blocks are zero-filled in the cache; no read.
+            _cache.getZeroed(b);
+            return b;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+Fs::freeBlock(uint64_t block)
+{
+    _ctx.chargeKernelWork(12, 6, 1);
+    Buf *bm = _cache.get(_super.bitmapStart + block / (8 * 4096));
+    uint64_t bit = block % (8 * 4096);
+    bm->data[bit / 8] &= uint8_t(~(1 << (bit % 8)));
+    _cache.markDirty(bm);
+    _freeBlocks++;
+}
+
+// --------------------------------------------------------------------
+// Block mapping
+// --------------------------------------------------------------------
+
+std::optional<uint64_t>
+Fs::bmap(DiskInode &inode, uint64_t file_block, bool allocate)
+{
+    _ctx.chargeKernelWork(8, 4, 1);
+
+    auto get_slot = [&](uint64_t *slot) -> std::optional<uint64_t> {
+        if (*slot == 0) {
+            if (!allocate)
+                return std::nullopt;
+            auto fresh = allocBlock();
+            if (!fresh)
+                return std::nullopt;
+            *slot = *fresh;
+        }
+        return *slot;
+    };
+
+    if (file_block < 10)
+        return get_slot(&inode.direct[file_block]);
+
+    file_block -= 10;
+    if (file_block < ptrsPerBlock) {
+        auto ind = get_slot(&inode.indirect);
+        if (!ind)
+            return std::nullopt;
+        Buf *buf = _cache.get(*ind);
+        uint64_t *slots = reinterpret_cast<uint64_t *>(buf->data.data());
+        uint64_t before = slots[file_block];
+        auto result = get_slot(&slots[file_block]);
+        if (slots[file_block] != before)
+            _cache.markDirty(buf);
+        return result;
+    }
+
+    file_block -= ptrsPerBlock;
+    if (file_block < ptrsPerBlock * ptrsPerBlock) {
+        auto dind = get_slot(&inode.dindirect);
+        if (!dind)
+            return std::nullopt;
+        Buf *l1 = _cache.get(*dind);
+        uint64_t *l1_slots =
+            reinterpret_cast<uint64_t *>(l1->data.data());
+        uint64_t idx1 = file_block / ptrsPerBlock;
+        uint64_t before1 = l1_slots[idx1];
+        auto mid = get_slot(&l1_slots[idx1]);
+        if (l1_slots[idx1] != before1)
+            _cache.markDirty(l1);
+        if (!mid)
+            return std::nullopt;
+        Buf *l2 = _cache.get(*mid);
+        uint64_t *l2_slots =
+            reinterpret_cast<uint64_t *>(l2->data.data());
+        uint64_t idx2 = file_block % ptrsPerBlock;
+        uint64_t before2 = l2_slots[idx2];
+        auto result = get_slot(&l2_slots[idx2]);
+        if (l2_slots[idx2] != before2)
+            _cache.markDirty(l2);
+        return result;
+    }
+    return std::nullopt; // beyond max file size
+}
+
+void
+Fs::freeFileBlocks(DiskInode &inode)
+{
+    for (uint64_t i = 0; i < 10; i++) {
+        if (inode.direct[i]) {
+            freeBlock(inode.direct[i]);
+            inode.direct[i] = 0;
+        }
+    }
+    if (inode.indirect) {
+        Buf *buf = _cache.get(inode.indirect);
+        uint64_t *slots = reinterpret_cast<uint64_t *>(buf->data.data());
+        for (uint64_t i = 0; i < ptrsPerBlock; i++) {
+            if (slots[i])
+                freeBlock(slots[i]);
+        }
+        freeBlock(inode.indirect);
+        inode.indirect = 0;
+    }
+    if (inode.dindirect) {
+        Buf *l1 = _cache.get(inode.dindirect);
+        std::vector<uint64_t> l1_copy(ptrsPerBlock);
+        std::memcpy(l1_copy.data(), l1->data.data(), 4096);
+        for (uint64_t i = 0; i < ptrsPerBlock; i++) {
+            if (!l1_copy[i])
+                continue;
+            Buf *l2 = _cache.get(l1_copy[i]);
+            uint64_t *slots =
+                reinterpret_cast<uint64_t *>(l2->data.data());
+            for (uint64_t j = 0; j < ptrsPerBlock; j++) {
+                if (slots[j])
+                    freeBlock(slots[j]);
+            }
+            freeBlock(l1_copy[i]);
+        }
+        freeBlock(inode.dindirect);
+        inode.dindirect = 0;
+    }
+    inode.size = 0;
+}
+
+// --------------------------------------------------------------------
+// Directories
+// --------------------------------------------------------------------
+
+FsStatus
+Fs::dirLookup(Ino dir, const std::string &name, Ino &out)
+{
+    DiskInode inode = loadInode(dir);
+    if (inode.type != uint16_t(FileType::Directory))
+        return FsStatus::NotDir;
+
+    uint64_t entries = inode.size / sizeof(DirEnt);
+    for (uint64_t i = 0; i < entries; i++) {
+        // Each entry scanned is instrumented kernel work.
+        _ctx.chargeKernelWork(7, 4, 0);
+        DirEnt ent{};
+        auto block = bmap(inode, i * sizeof(DirEnt) / 4096, false);
+        if (!block)
+            return FsStatus::Invalid;
+        Buf *buf = _cache.get(*block);
+        std::memcpy(&ent,
+                    buf->data.data() + (i * sizeof(DirEnt)) % 4096,
+                    sizeof(ent));
+        if (ent.ino != 0 && ent.nameLen == name.size() &&
+            std::memcmp(ent.name, name.data(), name.size()) == 0) {
+            out = ent.ino;
+            return FsStatus::Ok;
+        }
+    }
+    return FsStatus::NotFound;
+}
+
+FsStatus
+Fs::dirAdd(Ino dir, const std::string &name, Ino target)
+{
+    if (name.empty() || name.size() > 58)
+        return FsStatus::Invalid;
+    DiskInode inode = loadInode(dir);
+    if (inode.type != uint16_t(FileType::Directory))
+        return FsStatus::NotDir;
+
+    DirEnt ent{};
+    ent.ino = target;
+    ent.nameLen = uint16_t(name.size());
+    std::memcpy(ent.name, name.data(), name.size());
+
+    // Reuse a free slot if there is one.
+    uint64_t entries = inode.size / sizeof(DirEnt);
+    for (uint64_t i = 0; i < entries; i++) {
+        _ctx.chargeKernelWork(6, 3, 0);
+        auto block = bmap(inode, i * sizeof(DirEnt) / 4096, false);
+        if (!block)
+            return FsStatus::Invalid;
+        Buf *buf = _cache.get(*block);
+        DirEnt *slot = reinterpret_cast<DirEnt *>(
+            buf->data.data() + (i * sizeof(DirEnt)) % 4096);
+        if (slot->ino == 0) {
+            *slot = ent;
+            _cache.markDirty(buf);
+            return FsStatus::Ok;
+        }
+    }
+
+    // Append.
+    auto block = bmap(inode, entries * sizeof(DirEnt) / 4096, true);
+    if (!block)
+        return FsStatus::NoSpace;
+    Buf *buf = _cache.get(*block);
+    std::memcpy(buf->data.data() + (entries * sizeof(DirEnt)) % 4096,
+                &ent, sizeof(ent));
+    _cache.markDirty(buf);
+    inode.size += sizeof(DirEnt);
+    storeInode(dir, inode);
+    return FsStatus::Ok;
+}
+
+FsStatus
+Fs::dirRemove(Ino dir, const std::string &name)
+{
+    DiskInode inode = loadInode(dir);
+    if (inode.type != uint16_t(FileType::Directory))
+        return FsStatus::NotDir;
+
+    uint64_t entries = inode.size / sizeof(DirEnt);
+    for (uint64_t i = 0; i < entries; i++) {
+        _ctx.chargeKernelWork(6, 3, 0);
+        auto block = bmap(inode, i * sizeof(DirEnt) / 4096, false);
+        if (!block)
+            return FsStatus::Invalid;
+        Buf *buf = _cache.get(*block);
+        DirEnt *slot = reinterpret_cast<DirEnt *>(
+            buf->data.data() + (i * sizeof(DirEnt)) % 4096);
+        if (slot->ino != 0 && slot->nameLen == name.size() &&
+            std::memcmp(slot->name, name.data(), name.size()) == 0) {
+            slot->ino = 0;
+            _cache.markDirty(buf);
+            return FsStatus::Ok;
+        }
+    }
+    return FsStatus::NotFound;
+}
+
+bool
+Fs::dirEmpty(Ino dir)
+{
+    DiskInode inode = loadInode(dir);
+    uint64_t entries = inode.size / sizeof(DirEnt);
+    for (uint64_t i = 0; i < entries; i++) {
+        auto block = bmap(inode, i * sizeof(DirEnt) / 4096, false);
+        if (!block)
+            return true;
+        Buf *buf = _cache.get(*block);
+        const DirEnt *slot = reinterpret_cast<const DirEnt *>(
+            buf->data.data() + (i * sizeof(DirEnt)) % 4096);
+        if (slot->ino != 0)
+            return false;
+    }
+    return true;
+}
+
+// --------------------------------------------------------------------
+// Paths
+// --------------------------------------------------------------------
+
+bool
+Fs::splitPath(const std::string &path, std::string &parent,
+              std::string &name)
+{
+    if (path.empty() || path[0] != '/')
+        return false;
+    size_t last = path.find_last_of('/');
+    name = path.substr(last + 1);
+    if (name.empty())
+        return false;
+    parent = last == 0 ? "/" : path.substr(0, last);
+    return true;
+}
+
+FsStatus
+Fs::resolve(const std::string &path, Ino &out)
+{
+    if (path.empty() || path[0] != '/')
+        return FsStatus::Invalid;
+    Ino cur = 1;
+    size_t pos = 1;
+    while (pos < path.size()) {
+        size_t next = path.find('/', pos);
+        if (next == std::string::npos)
+            next = path.size();
+        std::string comp = path.substr(pos, next - pos);
+        if (!comp.empty()) {
+            FsStatus s = dirLookup(cur, comp, cur);
+            if (s != FsStatus::Ok)
+                return s;
+        }
+        pos = next + 1;
+    }
+    out = cur;
+    return FsStatus::Ok;
+}
+
+FsStatus
+Fs::lookup(const std::string &path, Ino &out)
+{
+    return resolve(path, out);
+}
+
+FsStatus
+Fs::create(const std::string &path, Ino &out)
+{
+    std::string parent_path, name;
+    if (!splitPath(path, parent_path, name))
+        return FsStatus::Invalid;
+    Ino parent = 0;
+    FsStatus s = resolve(parent_path, parent);
+    if (s != FsStatus::Ok)
+        return s;
+    Ino existing = 0;
+    if (dirLookup(parent, name, existing) == FsStatus::Ok)
+        return FsStatus::Exists;
+
+    Ino ino = allocInode(FileType::Regular);
+    if (ino == 0)
+        return FsStatus::NoSpace;
+    s = dirAdd(parent, name, ino);
+    if (s != FsStatus::Ok) {
+        freeInode(ino);
+        return s;
+    }
+    _ctx.stats().add("fs.creates");
+    out = ino;
+    return FsStatus::Ok;
+}
+
+FsStatus
+Fs::mkdir(const std::string &path, Ino &out)
+{
+    std::string parent_path, name;
+    if (!splitPath(path, parent_path, name))
+        return FsStatus::Invalid;
+    Ino parent = 0;
+    FsStatus s = resolve(parent_path, parent);
+    if (s != FsStatus::Ok)
+        return s;
+    Ino existing = 0;
+    if (dirLookup(parent, name, existing) == FsStatus::Ok)
+        return FsStatus::Exists;
+
+    Ino ino = allocInode(FileType::Directory);
+    if (ino == 0)
+        return FsStatus::NoSpace;
+    s = dirAdd(parent, name, ino);
+    if (s != FsStatus::Ok) {
+        freeInode(ino);
+        return s;
+    }
+    out = ino;
+    return FsStatus::Ok;
+}
+
+FsStatus
+Fs::unlink(const std::string &path)
+{
+    std::string parent_path, name;
+    if (!splitPath(path, parent_path, name))
+        return FsStatus::Invalid;
+    Ino parent = 0;
+    FsStatus s = resolve(parent_path, parent);
+    if (s != FsStatus::Ok)
+        return s;
+    Ino ino = 0;
+    s = dirLookup(parent, name, ino);
+    if (s != FsStatus::Ok)
+        return s;
+
+    DiskInode inode = loadInode(ino);
+    if (inode.type == uint16_t(FileType::Directory) && !dirEmpty(ino))
+        return FsStatus::NotEmpty;
+
+    s = dirRemove(parent, name);
+    if (s != FsStatus::Ok)
+        return s;
+    freeFileBlocks(inode);
+    freeInode(ino);
+    _ctx.stats().add("fs.unlinks");
+    return FsStatus::Ok;
+}
+
+FsStatus
+Fs::readdir(Ino dir, std::vector<std::string> &names)
+{
+    DiskInode inode = loadInode(dir);
+    if (inode.type != uint16_t(FileType::Directory))
+        return FsStatus::NotDir;
+    uint64_t entries = inode.size / sizeof(DirEnt);
+    for (uint64_t i = 0; i < entries; i++) {
+        _ctx.chargeKernelWork(6, 3, 0);
+        auto block = bmap(inode, i * sizeof(DirEnt) / 4096, false);
+        if (!block)
+            break;
+        Buf *buf = _cache.get(*block);
+        const DirEnt *ent = reinterpret_cast<const DirEnt *>(
+            buf->data.data() + (i * sizeof(DirEnt)) % 4096);
+        if (ent->ino != 0)
+            names.emplace_back(ent->name, ent->nameLen);
+    }
+    return FsStatus::Ok;
+}
+
+FsStatus
+Fs::stat(Ino ino, FileStat &out)
+{
+    DiskInode inode = loadInode(ino);
+    if (inode.type == uint16_t(FileType::Free))
+        return FsStatus::NotFound;
+    out.ino = ino;
+    out.type = FileType(inode.type);
+    out.size = inode.size;
+    out.nlink = inode.nlink;
+    return FsStatus::Ok;
+}
+
+int64_t
+Fs::read(Ino ino, uint64_t off, void *buf, uint64_t len)
+{
+    DiskInode inode = loadInode(ino);
+    if (inode.type == uint16_t(FileType::Free))
+        return -1;
+    if (off >= inode.size)
+        return 0;
+    len = std::min(len, inode.size - off);
+    _ctx.chargeKernelBulk(len);
+
+    uint8_t *out = static_cast<uint8_t *>(buf);
+    uint64_t done = 0;
+    while (done < len) {
+        uint64_t pos = off + done;
+        auto block = bmap(inode, pos / 4096, false);
+        uint64_t chunk = std::min(len - done, 4096 - pos % 4096);
+        if (!block) {
+            std::memset(out + done, 0, chunk); // hole
+        } else {
+            Buf *b = _cache.get(*block);
+            std::memcpy(out + done, b->data.data() + pos % 4096, chunk);
+        }
+        done += chunk;
+    }
+    _ctx.stats().add("fs.bytes_read", len);
+    return int64_t(len);
+}
+
+int64_t
+Fs::write(Ino ino, uint64_t off, const void *buf, uint64_t len)
+{
+    DiskInode inode = loadInode(ino);
+    if (inode.type == uint16_t(FileType::Free))
+        return -1;
+    _ctx.chargeKernelBulk(len);
+
+    const uint8_t *in = static_cast<const uint8_t *>(buf);
+    uint64_t done = 0;
+    while (done < len) {
+        uint64_t pos = off + done;
+        auto block = bmap(inode, pos / 4096, true);
+        if (!block)
+            return done ? int64_t(done) : -1;
+        uint64_t chunk = std::min(len - done, 4096 - pos % 4096);
+        Buf *b = _cache.get(*block);
+        std::memcpy(b->data.data() + pos % 4096, in + done, chunk);
+        _cache.markDirty(b);
+        done += chunk;
+    }
+    if (off + len > inode.size)
+        inode.size = off + len;
+    storeInode(ino, inode);
+    _ctx.stats().add("fs.bytes_written", len);
+    return int64_t(len);
+}
+
+FsStatus
+Fs::truncate(Ino ino)
+{
+    DiskInode inode = loadInode(ino);
+    if (inode.type == uint16_t(FileType::Free))
+        return FsStatus::NotFound;
+    freeFileBlocks(inode);
+    storeInode(ino, inode);
+    return FsStatus::Ok;
+}
+
+void
+Fs::sync()
+{
+    _cache.sync();
+}
+
+} // namespace vg::kern

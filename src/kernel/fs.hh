@@ -1,0 +1,180 @@
+/**
+ * @file
+ * VGFS: a UFS-style filesystem on the simulated SSD.
+ *
+ * On-disk layout (4 KB blocks):
+ *   block 0              superblock
+ *   blocks [1, 1+B)      data-block bitmap
+ *   blocks [.., ..+I)    inode table (32 inodes per block)
+ *   remainder            data blocks
+ *
+ * Inodes have 10 direct, one single-indirect and one double-indirect
+ * block pointer (max file size ~ 4 GB + change). Directories are files
+ * of fixed 64-byte entries. All metadata traffic goes through the
+ * buffer cache and charges instrumented kernel work, which is what
+ * makes file create/delete expensive under Virtual Ghost (Tables 3/4).
+ */
+
+#ifndef VG_KERNEL_FS_HH
+#define VG_KERNEL_FS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kernel/bcache.hh"
+
+namespace vg::kern
+{
+
+/** Inode number; 0 is invalid, 1 is the root directory. */
+using Ino = uint32_t;
+
+/** File types. */
+enum class FileType : uint16_t
+{
+    Free = 0,
+    Regular = 1,
+    Directory = 2,
+};
+
+/** stat() result. */
+struct FileStat
+{
+    Ino ino = 0;
+    FileType type = FileType::Free;
+    uint64_t size = 0;
+    uint16_t nlink = 0;
+};
+
+/** Error codes (subset of errno). */
+enum class FsStatus
+{
+    Ok,
+    NotFound,
+    Exists,
+    NotDir,
+    IsDir,
+    NoSpace,
+    NotEmpty,
+    Invalid,
+};
+
+const char *fsStatusName(FsStatus status);
+
+/** The filesystem. */
+class Fs
+{
+  public:
+    Fs(BufferCache &cache, sim::SimContext &ctx, uint64_t disk_blocks);
+
+    /** Format the device (destroys everything). */
+    void mkfs();
+
+    /** Attach to an already-formatted device. */
+    bool mount();
+
+    // --- Path operations ---------------------------------------------
+    /** Resolve an absolute path. */
+    FsStatus lookup(const std::string &path, Ino &out);
+
+    /** Create a regular file (parent directories must exist). */
+    FsStatus create(const std::string &path, Ino &out);
+
+    FsStatus mkdir(const std::string &path, Ino &out);
+
+    /** Remove a file (or an empty directory). */
+    FsStatus unlink(const std::string &path);
+
+    /** List names in a directory. */
+    FsStatus readdir(Ino dir, std::vector<std::string> &names);
+
+    // --- Inode operations --------------------------------------------
+    FsStatus stat(Ino ino, FileStat &out);
+
+    /** Read up to @p len bytes at @p off; returns bytes read. */
+    int64_t read(Ino ino, uint64_t off, void *buf, uint64_t len);
+
+    /** Write @p len bytes at @p off, growing the file; bytes written
+     *  or -1 on no-space. */
+    int64_t write(Ino ino, uint64_t off, const void *buf, uint64_t len);
+
+    /** Truncate to zero length, freeing data blocks. */
+    FsStatus truncate(Ino ino);
+
+    /** Flush the buffer cache. */
+    void sync();
+
+    uint64_t freeDataBlocks() const { return _freeBlocks; }
+
+  private:
+    struct Super
+    {
+        uint64_t magic;
+        uint64_t nblocks;
+        uint64_t bitmapStart;
+        uint64_t bitmapBlocks;
+        uint64_t inodeStart;
+        uint64_t inodeBlocks;
+        uint64_t dataStart;
+    };
+
+    struct DiskInode
+    {
+        uint16_t type;
+        uint16_t nlink;
+        uint32_t pad;
+        uint64_t size;
+        uint64_t direct[10];
+        uint64_t indirect;
+        uint64_t dindirect;
+        uint64_t reserved[2];
+    };
+    static_assert(sizeof(DiskInode) == 128, "inode must be 128 bytes");
+
+    struct DirEnt
+    {
+        uint32_t ino;
+        uint16_t nameLen;
+        char name[58];
+    };
+    static_assert(sizeof(DirEnt) == 64, "dirent must be 64 bytes");
+
+    static constexpr uint64_t inodesPerBlock = 4096 / 128;
+    static constexpr uint64_t ptrsPerBlock = 4096 / 8;
+    static constexpr uint64_t magicValue = 0x56474653'2e313030ull;
+
+    DiskInode loadInode(Ino ino);
+    void storeInode(Ino ino, const DiskInode &inode);
+    Ino allocInode(FileType type);
+    void freeInode(Ino ino);
+
+    std::optional<uint64_t> allocBlock();
+    void freeBlock(uint64_t block);
+
+    /** Map a file byte offset to a data block, allocating if asked. */
+    std::optional<uint64_t> bmap(DiskInode &inode, uint64_t file_block,
+                                 bool allocate);
+    void freeFileBlocks(DiskInode &inode);
+
+    FsStatus dirLookup(Ino dir, const std::string &name, Ino &out);
+    FsStatus dirAdd(Ino dir, const std::string &name, Ino target);
+    FsStatus dirRemove(Ino dir, const std::string &name);
+    bool dirEmpty(Ino dir);
+
+    /** Split "/a/b/c" into parent path and final name. */
+    static bool splitPath(const std::string &path, std::string &parent,
+                          std::string &name);
+    FsStatus resolve(const std::string &path, Ino &out);
+
+    BufferCache &_cache;
+    sim::SimContext &_ctx;
+    Super _super{};
+    uint64_t _freeBlocks = 0;
+    bool _mounted = false;
+};
+
+} // namespace vg::kern
+
+#endif // VG_KERNEL_FS_HH

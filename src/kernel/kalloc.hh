@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Physical frame allocator.
+ *
+ * The OS owns physical memory (Virtual Ghost deliberately leaves
+ * resource management to the untrusted kernel); ghost frames are
+ * *donated* to the SVA VM through its frame-provider callback and
+ * come back through the receiver.
+ */
+
+#ifndef VG_KERNEL_KALLOC_HH
+#define VG_KERNEL_KALLOC_HH
+
+#include <deque>
+#include <optional>
+
+#include "hw/layout.hh"
+#include "sim/context.hh"
+
+namespace vg::kern
+{
+
+/** Free-list frame allocator. */
+class FrameAllocator
+{
+  public:
+    /** Manage frames [first, first+count). */
+    FrameAllocator(hw::Frame first, uint64_t count,
+                   sim::SimContext &ctx)
+        : _ctx(ctx)
+    {
+        for (uint64_t i = 0; i < count; i++)
+            _free.push_back(first + i);
+        _total = count;
+    }
+
+    /** Allocate one frame; nullopt when exhausted. */
+    std::optional<hw::Frame>
+    alloc()
+    {
+        _ctx.chargeKernelWork(12, 4, 1);
+        if (_free.empty())
+            return std::nullopt;
+        hw::Frame f = _free.front();
+        _free.pop_front();
+        return f;
+    }
+
+    /** Return a frame to the pool. */
+    void
+    free(hw::Frame f)
+    {
+        _ctx.chargeKernelWork(8, 3, 1);
+        _free.push_back(f);
+    }
+
+    uint64_t freeCount() const { return _free.size(); }
+    uint64_t totalCount() const { return _total; }
+
+  private:
+    sim::SimContext &_ctx;
+    std::deque<hw::Frame> _free;
+    uint64_t _total = 0;
+};
+
+} // namespace vg::kern
+
+#endif // VG_KERNEL_KALLOC_HH

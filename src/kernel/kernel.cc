@@ -1,0 +1,638 @@
+#include "kernel/kernel.hh"
+
+#include <cstring>
+
+#include "sim/log.hh"
+
+namespace vg::kern
+{
+
+Kernel::Kernel(sim::SimContext &ctx, hw::PhysMem &mem, hw::Mmu &mmu,
+               hw::Iommu &iommu, hw::Tpm &tpm, hw::Disk &disk,
+               hw::Nic &nic_a, hw::Nic &nic_b, sva::SvaVm &vm)
+    : _ctx(ctx), _mem(mem), _mmu(mmu), _iommu(iommu), _tpm(tpm),
+      _disk(disk), _nicA(nic_a), _nicB(nic_b), _vm(vm),
+      _timer(ctx.clock())
+{}
+
+Kernel::~Kernel()
+{
+    for (auto &[pid, proc] : _procs) {
+        if (proc->hostThread.joinable()) {
+            // Should not happen if run() completed; detach defensively.
+            proc->hostThread.detach();
+        }
+    }
+}
+
+void
+Kernel::boot()
+{
+    // Frame 0 is never handed out (null catcher); the rest go to the
+    // kernel allocator.
+    _frames = std::make_unique<FrameAllocator>(1, _mem.numFrames() - 1,
+                                               _ctx);
+    _kmem = std::make_unique<Kmem>(_ctx, _mem, _mmu, _vm);
+    _bcache = std::make_unique<BufferCache>(_disk, _ctx);
+    _fs = std::make_unique<Fs>(*_bcache, _ctx, _disk.numBlocks());
+    _fs->mkfs();
+
+    // Ghost memory frames are donated from / returned to our allocator.
+    _vm.setFrameProvider([this]() { return _frames->alloc(); });
+    _vm.setFrameReceiver([this](hw::Frame f) { _frames->free(f); });
+
+    // The generic kernel-thread entry point handed to sva.newstate.
+    _vm.registerKernelEntry(0xffffff8000100000ull);
+
+    // Preemption quantum: 10 ms.
+    _timer.setInterval(sim::Cycles(10000 * sim::Clock::cyclesPerUsec));
+
+    setupModuleExterns();
+    _ctx.stats().add("kernel.boots");
+}
+
+Process *
+Kernel::process(uint64_t pid)
+{
+    auto it = _procs.find(pid);
+    return it == _procs.end() ? nullptr : it->second.get();
+}
+
+// --------------------------------------------------------------------
+// Address spaces
+// --------------------------------------------------------------------
+
+void
+Kernel::buildAddressSpace(Process &proc)
+{
+    auto root = _frames->alloc();
+    if (!root)
+        sim::fatal("out of frames building address space");
+    sva::SvaError err;
+    if (!_vm.declarePtPage(*root, 4, &err))
+        sim::panic("declare root failed: %s", err.message.c_str());
+    proc.rootFrame = *root;
+}
+
+bool
+Kernel::ensureTables(Process &proc, hw::Vaddr va)
+{
+    hw::Frame table = proc.rootFrame;
+    for (int level = 4; level >= 2; level--) {
+        uint64_t idx = hw::ptIndex(va, hw::PtLevel(level));
+        hw::Pte entry = _mem.read64(table * hw::pageSize + idx * 8);
+        _ctx.chargeKernelWork(4, 2, 0);
+        if (entry & hw::pte::present) {
+            table = hw::pte::frameNum(entry);
+            continue;
+        }
+        auto child = _frames->alloc();
+        if (!child)
+            return false;
+        sva::SvaError err;
+        if (!_vm.declarePtPage(*child, level - 1, &err) ||
+            !_vm.installTable(table, level, va, *child, &err)) {
+            sim::panic("ensureTables: %s", err.message.c_str());
+        }
+        proc.ptLinks.push_back({table, level, va, *child});
+        table = *child;
+    }
+    return true;
+}
+
+bool
+Kernel::materializePage(Process &proc, hw::Vaddr va)
+{
+    hw::Vaddr page = hw::pageOf(va);
+
+    // Must fall inside a reserved area.
+    const VmArea *hit = nullptr;
+    for (const auto &[start, area] : proc.areas) {
+        if (page >= area.start &&
+            page < area.start + area.npages * hw::pageSize) {
+            hit = &area;
+            break;
+        }
+    }
+    if (!hit)
+        return false;
+
+    if (!ensureTables(proc, page))
+        return false;
+    auto frame = _frames->alloc();
+    if (!frame)
+        return false;
+
+    if (hit->backingIno != 0) {
+        // File-backed fault: page in from the filesystem (buffer
+        // cache / device charges apply).
+        _mem.zeroFrame(*frame);
+        uint8_t page_buf[hw::pageSize];
+        uint64_t off = hit->backingOff + (page - hit->start);
+        _ctx.chargeKernelWork(800, 350, 70); // vnode pager
+        int64_t n = _fs->read(hit->backingIno, off, page_buf,
+                              hw::pageSize);
+        if (n > 0)
+            _mem.writeBytes(*frame * hw::pageSize, page_buf,
+                            uint64_t(n));
+        _ctx.stats().add("kernel.file_page_ins");
+    } else {
+        // Demand-zero: the kernel zeroes the page before mapping.
+        _mem.zeroFrame(*frame);
+    }
+    _ctx.chargeKernelBulk(hw::pageSize);
+
+    sva::SvaError err;
+    if (!_vm.mapPage(proc.rootFrame, page, *frame, true, true, true,
+                     &err)) {
+        _frames->free(*frame);
+        return false;
+    }
+    proc.userPages[page] = {*frame, false};
+    _ctx.stats().add("kernel.pages_materialized");
+    return true;
+}
+
+bool
+Kernel::copyOnWrite(Process &proc, hw::Vaddr page)
+{
+    auto it = proc.userPages.find(page);
+    if (it == proc.userPages.end() || !it->second.cow)
+        return false;
+
+    _ctx.chargeTrap();
+    _ctx.chargeKernelWork(180, 75, 18); // fault decode + vm_object walk
+    _ctx.stats().add("kernel.cow_faults");
+    sva::SvaError err;
+
+    hw::Frame old_frame = it->second.frame;
+    if (_vm.frames()[old_frame].mapCount > 1) {
+        // Shared: copy into a private frame.
+        auto fresh = _frames->alloc();
+        if (!fresh)
+            return false;
+        _mem.writeBytes(*fresh * hw::pageSize, _mem.framePtr(old_frame),
+                        hw::pageSize);
+        _ctx.chargeKernelBulk(hw::pageSize);
+        if (!_vm.mapPage(proc.rootFrame, page, *fresh, true, true,
+                         true, &err)) {
+            _frames->free(*fresh);
+            return false;
+        }
+        it->second = {*fresh, false};
+    } else {
+        // Sole owner left: just upgrade the protection.
+        if (!_vm.protectPage(proc.rootFrame, page, true, true, &err))
+            return false;
+        it->second.cow = false;
+    }
+    return true;
+}
+
+bool
+Kernel::handleUserAccess(Process &proc, hw::Vaddr va, hw::Access access,
+                         hw::Paddr &pa)
+{
+    for (int attempt = 0; attempt < 3; attempt++) {
+        auto r = _mmu.translate(va, access, hw::Privilege::User);
+        if (r.ok) {
+            pa = r.paddr;
+            return true;
+        }
+        if (attempt == 2)
+            return false;
+        if (r.fault == hw::FaultKind::NotPresent) {
+            // Page-fault path: trap into the kernel, demand-zero or
+            // page in from the backing file.
+            _ctx.chargeTrap();
+            _ctx.chargeKernelWork(120, 45, 12); // decode + vm lookup
+            _ctx.stats().add("kernel.page_faults");
+            if (!materializePage(proc, va))
+                return false;
+        } else if (r.fault == hw::FaultKind::Protection &&
+                   access == hw::Access::Write) {
+            if (!copyOnWrite(proc, hw::pageOf(va)))
+                return false;
+        } else {
+            return false;
+        }
+    }
+    return false;
+}
+
+void
+Kernel::teardownAddressSpace(Process &proc)
+{
+    sva::SvaError err;
+    _vm.releaseGhostMemory(proc.pid, proc.rootFrame);
+    for (const auto &[va, page] : proc.userPages) {
+        if (_vm.unmapPage(proc.rootFrame, va, &err) &&
+            _vm.frames()[page.frame].mapCount == 0)
+            _frames->free(page.frame);
+    }
+    proc.userPages.clear();
+    // Retire page-table pages child-level first (reverse creation).
+    for (auto it = proc.ptLinks.rbegin(); it != proc.ptLinks.rend();
+         ++it) {
+        if (_vm.uninstallTable(it->parent, it->parentLevel, it->va,
+                               &err))
+            _frames->free(it->child);
+    }
+    proc.ptLinks.clear();
+    if (proc.rootFrame) {
+        if (_vm.undeclarePtPage(proc.rootFrame, &err))
+            _frames->free(proc.rootFrame);
+        proc.rootFrame = 0;
+    }
+}
+
+void
+Kernel::copyAddressSpace(Process &parent, Process &child)
+{
+    child.areas = parent.areas;
+    child.mmapCursor = parent.mmapCursor;
+    sva::SvaError err;
+    for (auto &[va, page] : parent.userPages) {
+        // Copy-on-write sharing, as FreeBSD's fork does: both sides
+        // lose write permission; the first writer gets a private
+        // copy. All the work is page-table manipulation — discrete,
+        // instrumented kernel memory operations.
+        _ctx.chargeKernelWork(220, 95, 22); // vm_map/vm_object entry
+        if (!ensureTables(child, va))
+            sim::panic("fork: out of frames for tables");
+        if (!_vm.protectPage(parent.rootFrame, va, false, true, &err))
+            sim::panic("fork: protect failed: %s",
+                       err.message.c_str());
+        page.cow = true;
+        if (!_vm.mapPage(child.rootFrame, va, page.frame, false, true,
+                         true, &err))
+            sim::panic("fork: mapPage failed: %s", err.message.c_str());
+        child.userPages[va] = {page.frame, true};
+    }
+}
+
+// --------------------------------------------------------------------
+// Scheduling (baton passing)
+// --------------------------------------------------------------------
+
+uint64_t
+Kernel::spawn(const std::string &name,
+              std::function<int(UserApi &)> main_fn)
+{
+    uint64_t pid = _nextPid++;
+    auto proc = std::make_unique<Process>();
+    Process &p = *proc;
+    p.pid = pid;
+    p.name = name;
+    p.mainFn = std::move(main_fn);
+    p.state = ProcState::Runnable;
+
+    sva::SvaError err;
+    sva::SvaThread *t =
+        _vm.newThread(pid, 0xffffff8000100000ull, 0, &err);
+    if (!t)
+        sim::panic("spawn: %s", err.message.c_str());
+    p.tid = t->id;
+
+    buildAddressSpace(p);
+
+    p.hostThread = std::thread([this, &p]() {
+        {
+            std::unique_lock<std::mutex> lk(_mtx);
+            p.cv.wait(lk, [&]() { return p.batonHeld; });
+        }
+        UserApi api(*this, p);
+        int code = 0;
+        try {
+            code = p.mainFn ? p.mainFn(api) : 0;
+        } catch (const ProcessExit &e) {
+            code = e.code;
+        }
+        // Exit path (runs holding the baton).
+        teardownAddressSpace(p);
+        _vm.unbindProcess(p.pid);
+        _vm.destroyThread(p.tid);
+        p.fds.clear();
+        p.state = ProcState::Zombie;
+        _exitCodes[p.pid] = code;
+        p.exitCode = code;
+        _ctx.stats().add("kernel.process_exits");
+        wakeup(reinterpret_cast<const void *>(uintptr_t(p.pid)));
+        std::unique_lock<std::mutex> lk(_mtx);
+        p.batonHeld = false;
+        _schedulerTurn = true;
+        _current = nullptr;
+        _schedCv.notify_all();
+    });
+
+    _procs[pid] = std::move(proc);
+    _ctx.stats().add("kernel.spawns");
+    return pid;
+}
+
+void
+Kernel::switchTo(Process &proc)
+{
+    std::unique_lock<std::mutex> lk(_mtx);
+    proc.state = ProcState::Running;
+    proc.batonHeld = true;
+    _current = &proc;
+    _schedulerTurn = false;
+    _ctx.chargeContextSwitch();
+    sva::SvaError err;
+    if (proc.rootFrame)
+        _vm.loadRoot(proc.rootFrame, &err);
+    proc.cv.notify_all();
+    _schedCv.wait(lk, [&]() { return _schedulerTurn; });
+}
+
+void
+Kernel::backToScheduler(Process &proc)
+{
+    // Hand the baton to the scheduler and wait for it to come back.
+    std::unique_lock<std::mutex> lk(_mtx);
+    proc.batonHeld = false;
+    _schedulerTurn = true;
+    _current = nullptr;
+    _schedCv.notify_all();
+    proc.cv.wait(lk, [&]() { return proc.batonHeld; });
+    proc.state = ProcState::Running;
+}
+
+void
+Kernel::blockCurrent(Process &proc, const void *channel)
+{
+    proc.state = ProcState::Blocked;
+    proc.waitChannel = channel;
+    backToScheduler(proc);
+    proc.wakeTime = 0;
+    // A fatal signal aborts the sleep and unwinds to the exit path
+    // (RAII cleans up kernel state on the way out).
+    if (proc.killRequested)
+        throw ProcessExit{137};
+}
+
+void
+Kernel::blockCurrentTimed(Process &proc, const void *channel,
+                          uint64_t wake_time)
+{
+    proc.wakeTime = wake_time;
+    blockCurrent(proc, channel);
+}
+
+void
+Kernel::wakeup(const void *channel)
+{
+    for (auto &[pid, proc] : _procs) {
+        if (proc->state != ProcState::Blocked)
+            continue;
+        bool hit = proc->waitChannel == channel;
+        for (const void *c : proc->multiWait)
+            hit = hit || c == channel;
+        if (hit) {
+            proc->state = ProcState::Runnable;
+            proc->waitChannel = nullptr;
+            proc->multiWait.clear();
+            proc->wakeTime = 0;
+        }
+    }
+}
+
+void
+Kernel::yieldCurrent(Process &proc)
+{
+    proc.state = ProcState::Runnable;
+    backToScheduler(proc);
+}
+
+void
+Kernel::run()
+{
+    uint64_t rr_cursor = 0;
+    while (true) {
+        // Collect runnable processes.
+        std::vector<Process *> runnable;
+        bool any_alive = false;
+        for (auto &[pid, proc] : _procs) {
+            if (proc->alive())
+                any_alive = true;
+            if (proc->state == ProcState::Runnable)
+                runnable.push_back(proc.get());
+        }
+
+        if (!any_alive)
+            break;
+
+        if (runnable.empty()) {
+            // Look for a timed sleeper to advance virtual time to.
+            uint64_t min_wake = 0;
+            for (auto &[pid, proc] : _procs) {
+                if (proc->state == ProcState::Blocked &&
+                    proc->wakeTime != 0 &&
+                    (min_wake == 0 || proc->wakeTime < min_wake))
+                    min_wake = proc->wakeTime;
+            }
+            if (min_wake == 0)
+                sim::panic("scheduler: all processes blocked "
+                           "(deadlock)");
+            if (min_wake > _ctx.clock().now())
+                _ctx.clock().advance(min_wake - _ctx.clock().now());
+            for (auto &[pid, proc] : _procs) {
+                if (proc->state == ProcState::Blocked &&
+                    proc->wakeTime != 0 &&
+                    proc->wakeTime <= _ctx.clock().now()) {
+                    proc->state = ProcState::Runnable;
+                    proc->waitChannel = nullptr;
+                    proc->wakeTime = 0;
+                }
+            }
+            continue;
+        }
+
+        Process *next = runnable[rr_cursor % runnable.size()];
+        rr_cursor++;
+        switchTo(*next);
+
+        // Join processes that have fully exited.
+        for (auto &[pid, proc] : _procs) {
+            if (proc->state == ProcState::Zombie &&
+                proc->hostThread.joinable()) {
+                proc->hostThread.join();
+                proc->state = ProcState::Zombie; // reaped via waitpid
+            }
+        }
+    }
+
+    for (auto &[pid, proc] : _procs) {
+        if (proc->hostThread.joinable())
+            proc->hostThread.join();
+    }
+}
+
+// --------------------------------------------------------------------
+// Modules
+// --------------------------------------------------------------------
+
+bool
+Kernel::loadModule(const std::string &name, const std::string &text,
+                   std::string *err)
+{
+    cc::TranslateResult tr = _vm.translateKernelModule(text);
+    if (!tr.ok) {
+        if (err)
+            *err = tr.error;
+        return false;
+    }
+    // The VM refuses to execute unsigned translations; check up front.
+    if (!_vm.verifyImage(*tr.image)) {
+        if (err)
+            *err = "image signature verification failed";
+        return false;
+    }
+
+    KernelModule module;
+    module.name = name;
+    module.image = tr.image;
+    // Module stacks live in the kernel half.
+    uint64_t stack_base = 0xffffffb000000000ull;
+    module.executor = std::make_unique<cc::Executor>(
+        *module.image, *_kmem, _moduleExterns, _ctx, stack_base,
+        1 << 20);
+    _modules[name] = std::move(module);
+    _ctx.stats().add("kernel.modules_loaded");
+    return true;
+}
+
+bool
+Kernel::interposeSyscall(Sys sys, const std::string &module_name,
+                         const std::string &function_name)
+{
+    auto it = _modules.find(module_name);
+    if (it == _modules.end())
+        return false;
+    if (!it->second.image->functions.count(function_name))
+        return false;
+    _interposed[int(sys)] = {module_name, function_name};
+    _ctx.stats().add("kernel.syscalls_interposed");
+    return true;
+}
+
+void
+Kernel::clearInterposition(Sys sys)
+{
+    _interposed.erase(int(sys));
+}
+
+uint64_t
+Kernel::swapOutGhost(uint64_t pid, uint64_t max_pages)
+{
+    Process *proc = process(pid);
+    if (!proc)
+        return 0;
+    std::vector<hw::Vaddr> pages = _vm.ghostPagesOf(pid);
+    uint64_t swapped = 0;
+    for (hw::Vaddr va : pages) {
+        if (swapped >= max_pages)
+            break;
+        sva::SvaError err;
+        auto blob = _vm.swapOutGhostPage(pid, proc->rootFrame, va,
+                                         &err);
+        if (!blob)
+            continue;
+        _ghostSwap[{pid, va}] = std::move(*blob);
+        swapped++;
+    }
+    _ctx.stats().add("kernel.ghost_swapouts", swapped);
+    return swapped;
+}
+
+bool
+Kernel::swapInGhost(uint64_t pid, hw::Vaddr page_va)
+{
+    Process *proc = process(pid);
+    if (!proc)
+        return false;
+    auto it = _ghostSwap.find({pid, page_va});
+    if (it == _ghostSwap.end())
+        return false;
+    sva::SvaError err;
+    if (!_vm.swapInGhostPage(pid, proc->rootFrame, page_va, it->second,
+                             &err)) {
+        sim::warn("ghost swap-in refused: %s", err.message.c_str());
+        return false;
+    }
+    _ghostSwap.erase(it);
+    _ctx.stats().add("kernel.ghost_swapins");
+    return true;
+}
+
+uint64_t
+Kernel::swappedGhostPages(uint64_t pid) const
+{
+    uint64_t n = 0;
+    for (const auto &[key, blob] : _ghostSwap)
+        n += key.first == pid ? 1 : 0;
+    return n;
+}
+
+crypto::SealedBlob *
+Kernel::swappedBlob(uint64_t pid, hw::Vaddr page_va)
+{
+    auto it = _ghostSwap.find({pid, page_va});
+    return it == _ghostSwap.end() ? nullptr : &it->second;
+}
+
+cc::ExecResult
+Kernel::callModuleFunction(const std::string &module_name,
+                           const std::string &function_name,
+                           const std::vector<uint64_t> &args)
+{
+    auto it = _modules.find(module_name);
+    if (it == _modules.end()) {
+        cc::ExecResult r;
+        r.fault = cc::ExecFault::BadCallTarget;
+        r.detail = "no such module " + module_name;
+        return r;
+    }
+    return it->second.executor->call(function_name, args);
+}
+
+uint64_t
+Kernel::moduleFunctionAddr(const std::string &module_name,
+                           const std::string &function_name)
+{
+    auto it = _modules.find(module_name);
+    if (it == _modules.end())
+        return 0;
+    auto fit = it->second.image->functions.find(function_name);
+    if (fit == it->second.image->functions.end())
+        return 0;
+    return fit->second.entryAddr;
+}
+
+bool
+Kernel::moduleDispatch(Sys sys, const std::vector<uint64_t> &args,
+                       int64_t &result)
+{
+    auto it = _interposed.find(int(sys));
+    if (it == _interposed.end())
+        return false;
+    auto mit = _modules.find(it->second.first);
+    if (mit == _modules.end())
+        return false;
+    cc::ExecResult r = mit->second.executor->call(it->second.second,
+                                                  args);
+    if (!r.ok) {
+        // A faulting handler terminates the kernel thread servicing
+        // the syscall (S 4.5); the syscall itself fails.
+        _ctx.stats().add("kernel.module_faults");
+        sim::debug("module handler fault: %s (%s)",
+                   faultName(r.fault), r.detail.c_str());
+        result = -1;
+        return true;
+    }
+    result = int64_t(r.value);
+    return true;
+}
+
+} // namespace vg::kern

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * The mini-FreeBSD kernel.
+ *
+ * A monolithic kernel ported to the SVA-OS API: every MMU update,
+ * Interrupt Context manipulation and module load goes through the
+ * Virtual Ghost VM, and all of its memory traffic is cost-accounted
+ * through Kmem with sandbox-masking semantics.
+ *
+ * Execution model: each simulated process runs on a host thread; a
+ * strict baton (one runnable thread at a time, handed over under a
+ * mutex) keeps simulated time coherent. The boot thread runs the
+ * scheduler loop in run().
+ */
+
+#ifndef VG_KERNEL_KERNEL_HH
+#define VG_KERNEL_KERNEL_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "hw/nic.hh"
+#include "hw/timer.hh"
+#include "kernel/bcache.hh"
+#include "kernel/fs.hh"
+#include "kernel/kalloc.hh"
+#include "kernel/kmem.hh"
+#include "kernel/proc.hh"
+#include "sva/vm.hh"
+
+namespace vg::kern
+{
+
+/** Syscall numbers (subset of FreeBSD's table). */
+enum class Sys : int
+{
+    getpid = 20,
+    open = 5,
+    close = 6,
+    read = 3,
+    write = 4,
+    lseek = 19,
+    unlink = 10,
+    mkdir = 136,
+    stat = 188,
+    fsync = 95,
+    mmap = 477,
+    munmap = 73,
+    fork = 2,
+    execve = 59,
+    exit = 1,
+    wait4 = 7,
+    kill = 37,
+    sigaction = 416,
+    sigreturn = 417,
+    select = 93,
+    socket = 97,
+    bind = 104,
+    listen = 106,
+    accept = 30,
+    connect = 98,
+    getrandom = 563,
+};
+
+/** Loaded kernel module state. */
+struct KernelModule
+{
+    std::string name;
+    std::shared_ptr<const cc::MachineImage> image;
+    std::unique_ptr<cc::Executor> executor;
+};
+
+class Kernel;
+
+/** Thrown by UserApi::exit() to unwind a process host thread. */
+struct ProcessExit
+{
+    int code;
+};
+
+/**
+ * The system-call and runtime interface handed to application code.
+ * Application functions receive a UserApi bound to their process; all
+ * kernel interaction flows through it.
+ */
+class UserApi
+{
+  public:
+    UserApi(Kernel &kernel, Process &proc)
+        : _kernel(kernel), _proc(proc)
+    {}
+
+    uint64_t pid() const { return _proc.pid; }
+
+    /** The null syscall (gate + trivial body). */
+    int getpid();
+
+    // --- files --------------------------------------------------------
+    int open(const std::string &path, bool create = false);
+    int close(int fd);
+    /** read()/write() move data between the file and *user memory*. */
+    int64_t read(int fd, hw::Vaddr buf, uint64_t len);
+    int64_t write(int fd, hw::Vaddr buf, uint64_t len);
+    int64_t lseek(int fd, int64_t off, int whence);
+    int unlink(const std::string &path);
+    int mkdir(const std::string &path);
+    int stat(const std::string &path, FileStat &out);
+    int fsync(int fd);
+
+    // --- memory -------------------------------------------------------
+    /** Anonymous demand-zero mapping; returns the va (0 on failure). */
+    hw::Vaddr mmap(uint64_t len);
+
+    /** File-backed mapping of @p len bytes of @p fd from offset 0;
+     *  pages fault in from the filesystem on first touch. */
+    hw::Vaddr mmapFile(int fd, uint64_t len);
+
+    int munmap(hw::Vaddr va, uint64_t len);
+
+    /** User-privilege access to user memory (page faults handled). */
+    bool peek(hw::Vaddr va, unsigned bytes, uint64_t &out);
+    bool poke(hw::Vaddr va, unsigned bytes, uint64_t val);
+    bool copyToUser(hw::Vaddr va, const void *src, uint64_t len);
+    bool copyFromUser(hw::Vaddr va, void *dst, uint64_t len);
+
+    // --- ghost memory (Table 1) ----------------------------------------
+    /** allocgm() wrapper: map npages of ghost memory; returns va. */
+    hw::Vaddr allocGhost(uint64_t npages);
+    bool freeGhost(hw::Vaddr va, uint64_t npages);
+    bool ghostWrite(hw::Vaddr va, const void *src, uint64_t len);
+    bool ghostRead(hw::Vaddr va, void *dst, uint64_t len);
+
+    /** sva.getKey(): the application key, delivered by the VM. */
+    std::optional<crypto::AesKey> getKey();
+
+    /** Trusted randomness (sva instruction, S 4.7). */
+    void secureRandom(void *out, size_t len);
+
+    /** The OS's /dev/random — under a hostile kernel this may be
+     *  rigged; under VG config it is routed to the VM generator. */
+    void osRandom(void *out, size_t len);
+
+    // --- processes ------------------------------------------------------
+    /** fork(): copies the address space; the child runs child_main. */
+    uint64_t fork(std::function<int(UserApi &)> child_main);
+
+    /** execve(): replace the program image. A ghosting application
+     *  passes its signed binary, which the VM validates before the
+     *  new image may run (S 4.5); pass nullptr for an ordinary app. */
+    int execve(const sva::AppBinary *binary,
+               std::function<int(UserApi &)> new_main);
+
+    [[noreturn]] void exit(int code);
+    int waitpid(uint64_t pid, int &status);
+    int kill(uint64_t pid, int signum);
+
+    /** signal()/sigaction(): register a handler. The ghost runtime
+     *  wrapper registers the handler token with sva.permitFunction
+     *  first (S 4.6.1); a non-ghosting app leaves it unregistered. */
+    uint64_t installSignalHandler(int signum,
+                                  std::function<void(int)> handler,
+                                  bool permit_with_sva);
+
+    // --- sockets ---------------------------------------------------------
+    int socket();
+    int bind(int fd, uint16_t port);
+    int listen(int fd);
+    int accept(int fd);
+    int connect(uint16_t port);
+    int64_t send(int fd, hw::Vaddr buf, uint64_t len);
+    int64_t recv(int fd, hw::Vaddr buf, uint64_t len);
+    /** Host-buffer variants (zero user-page staging) for servers that
+     *  keep data in traditional memory. */
+    int64_t sendHost(int fd, const void *buf, uint64_t len);
+    int64_t recvHost(int fd, void *buf, uint64_t len);
+
+    int select(const std::vector<int> &read_fds, uint64_t timeout_us);
+
+    // --- misc -------------------------------------------------------------
+    /** Burn user-mode compute (advances simulated time, may preempt). */
+    void compute(uint64_t insts);
+
+    /** Yield the CPU voluntarily. */
+    void yield();
+
+    /** Append to the system console. */
+    void log(const std::string &text);
+
+    Kernel &kernel() { return _kernel; }
+    Process &proc() { return _proc; }
+
+  private:
+    /** Syscall prologue: gate cost + dispatcher work. */
+    void sysEnter();
+
+    /** Syscall epilogue: gate exit, pending signal delivery,
+     *  preemption, kill handling. */
+    void sysExit();
+
+    Kernel &_kernel;
+    Process &_proc;
+};
+
+/** The kernel proper. */
+class Kernel
+{
+    friend class UserApi;
+
+  public:
+    Kernel(sim::SimContext &ctx, hw::PhysMem &mem, hw::Mmu &mmu,
+           hw::Iommu &iommu, hw::Tpm &tpm, hw::Disk &disk,
+           hw::Nic &nic_a, hw::Nic &nic_b, sva::SvaVm &vm);
+    ~Kernel();
+
+    /** Boot: wire SVA callbacks, mkfs, init console. */
+    void boot();
+
+    /** Create a process (Embryo -> Runnable). */
+    uint64_t spawn(const std::string &name,
+                   std::function<int(UserApi &)> main_fn);
+
+    /** Run the scheduler until every process has exited. */
+    void run();
+
+    /** Load an (untrusted) kernel module shipped as VIR text.
+     *  Returns false (with @p err) if translation or the signature
+     *  check refuses it. */
+    bool loadModule(const std::string &name, const std::string &text,
+                    std::string *err);
+
+    /** Let a module replace a syscall handler (the rootkit uses this
+     *  for read(); S 7). The handler VIR function receives the same
+     *  arguments as the native handler. */
+    bool interposeSyscall(Sys sys, const std::string &module_name,
+                          const std::string &function_name);
+
+    /** Remove a syscall interposition. */
+    void clearInterposition(Sys sys);
+
+    /** Invoke a function in a loaded module from kernel context (how
+     *  a module's load-time init / ioctl entry points run). */
+    cc::ExecResult callModuleFunction(const std::string &module_name,
+                                      const std::string &function_name,
+                                      const std::vector<uint64_t> &args);
+
+    /** Entry address of a function in a loaded module (0 if absent). */
+    uint64_t moduleFunctionAddr(const std::string &module_name,
+                                const std::string &function_name);
+
+    Fs &fs() { return *_fs; }
+    sva::SvaVm &vm() { return _vm; }
+    Kmem &kmem() { return *_kmem; }
+    sim::SimContext &ctx() { return _ctx; }
+    hw::Console &console() { return _console; }
+    Process *process(uint64_t pid);
+
+    /** Exit codes of reaped processes (pid -> code). */
+    const std::map<uint64_t, int> &exitCodes() const
+    {
+        return _exitCodes;
+    }
+
+    /** Rig the OS /dev/random (hostile-kernel Iago experiments). */
+    void setRngRigged(bool rigged) { _rngRigged = rigged; }
+
+    /** Flush and empty the buffer cache (cold-cache experiments). */
+    void dropCaches() { _bcache->dropAll(); }
+
+    /**
+     * Memory-pressure path (S 3.3): swap up to @p max_pages of
+     * @p pid's ghost memory out. The VM encrypts+MACs each page; the
+     * OS stores only ciphertext blobs and gets the frames back.
+     * Returns pages swapped.
+     */
+    uint64_t swapOutGhost(uint64_t pid, uint64_t max_pages);
+
+    /** Swap a ghost page back in on demand (ghost fault path).
+     *  Returns false if it was never swapped or fails verification. */
+    bool swapInGhost(uint64_t pid, hw::Vaddr page_va);
+
+    /** Number of ghost pages currently swapped out for @p pid. */
+    uint64_t swappedGhostPages(uint64_t pid) const;
+
+    /** Hostile-OS hook for tests: expose (and allow tampering with)
+     *  a swapped page's ciphertext blob. */
+    crypto::SealedBlob *swappedBlob(uint64_t pid, hw::Vaddr page_va);
+
+    /** Resolve a user access through @p proc's tables, demand-zero
+     *  faulting as needed (the user-mode memory path). */
+    bool handleUserAccess(Process &proc, hw::Vaddr va,
+                          hw::Access access, hw::Paddr &pa);
+
+  private:
+    // --- scheduling ---------------------------------------------------
+    void schedulerLoop();
+    void switchTo(Process &proc);
+    void backToScheduler(Process &proc);
+    void blockCurrent(Process &proc, const void *channel);
+    void blockCurrentTimed(Process &proc, const void *channel,
+                           uint64_t wake_time);
+    void wakeup(const void *channel);
+    void yieldCurrent(Process &proc);
+    void deliverPushedCalls(Process &proc, UserApi &api);
+    void executeUserContextCode(Process &proc, uint64_t code_addr,
+                                uint64_t arg);
+    void setupModuleExterns();
+
+    // --- VM helpers -----------------------------------------------------
+    bool ensureTables(Process &proc, hw::Vaddr va);
+    bool materializePage(Process &proc, hw::Vaddr va);
+    bool copyOnWrite(Process &proc, hw::Vaddr page);
+    void buildAddressSpace(Process &proc);
+    void teardownAddressSpace(Process &proc);
+    void copyAddressSpace(Process &parent, Process &child);
+
+    // --- syscall internals ---------------------------------------------
+    int64_t doRead(Process &proc, int fd, hw::Vaddr buf, uint64_t len);
+    int64_t doWrite(Process &proc, int fd, hw::Vaddr buf, uint64_t len);
+    std::shared_ptr<OpenFile> file(Process &proc, int fd);
+    int64_t socketSend(Process &proc, Socket &sock, const uint8_t *data,
+                       uint64_t len);
+    int64_t socketRecv(Process &proc, Socket &sock, uint8_t *data,
+                       uint64_t len);
+    void postSignal(Process &target, int signum);
+
+    /** Dispatch through a module interposition if one is installed;
+     *  returns true if handled (result in @p result). */
+    bool moduleDispatch(Sys sys, const std::vector<uint64_t> &args,
+                        int64_t &result);
+
+    sim::SimContext &_ctx;
+    hw::PhysMem &_mem;
+    hw::Mmu &_mmu;
+    hw::Iommu &_iommu;
+    hw::Tpm &_tpm;
+    hw::Disk &_disk;
+    hw::Nic &_nicA;
+    hw::Nic &_nicB;
+    sva::SvaVm &_vm;
+    hw::Console _console;
+    hw::Timer _timer;
+
+    std::unique_ptr<FrameAllocator> _frames;
+    std::unique_ptr<Kmem> _kmem;
+    std::unique_ptr<BufferCache> _bcache;
+    std::unique_ptr<Fs> _fs;
+
+    std::map<uint64_t, std::unique_ptr<Process>> _procs;
+    std::map<uint64_t, int> _exitCodes;
+    uint64_t _nextPid = 1;
+
+    std::map<uint16_t, std::shared_ptr<Socket>> _listeners;
+
+    /** Swapped-out ghost pages: (pid, va) -> ciphertext blob. */
+    std::map<std::pair<uint64_t, hw::Vaddr>, crypto::SealedBlob>
+        _ghostSwap;
+
+    std::map<std::string, KernelModule> _modules;
+    std::map<int, std::pair<std::string, std::string>> _interposed;
+    cc::ExternTable _moduleExterns;
+
+    // Baton machinery.
+    std::mutex _mtx;
+    std::condition_variable _schedCv;
+    Process *_current = nullptr;
+    bool _schedulerTurn = true;
+    bool _shuttingDown = false;
+    bool _rngRigged = false;
+    uint64_t _osRngState = 0x123456789abcdefull;
+
+    friend struct ModuleExternBinder;
+};
+
+} // namespace vg::kern
+
+#endif // VG_KERNEL_KERNEL_HH

@@ -1,0 +1,199 @@
+#include "kernel/kmem.hh"
+
+#include <cstring>
+
+#include "hw/layout.hh"
+#include "sim/log.hh"
+
+namespace vg::kern
+{
+
+Kmem::Kmem(sim::SimContext &ctx, hw::PhysMem &mem, hw::Mmu &mmu,
+           sva::SvaVm &vm)
+    : _ctx(ctx), _mem(mem), _mmu(mmu), _vm(vm)
+{}
+
+bool
+Kmem::resolve(hw::Vaddr va, hw::Access access, hw::Paddr &pa)
+{
+    if (va == 0)
+        return false; // rewritten SVA-internal access: fault
+
+    if (va >= hw::kernelBase) {
+        // Kernel half: direct map (kernelBase + pa), wrapped to the
+        // installed RAM size so arbitrary masked aliases still read
+        // *something* from the kernel's own address space, as the
+        // paper observes for deflected rootkit reads.
+        pa = (va - hw::kernelBase) % _mem.sizeBytes();
+        return true;
+    }
+
+    // User (or ghost, when unmasked module-port access) address: walk
+    // the current tree with kernel privilege.
+    auto r = _mmu.translate(va, access, hw::Privilege::Kernel);
+    if (!r.ok)
+        return false;
+    pa = r.paddr;
+    return true;
+}
+
+bool
+Kmem::storePermitted(hw::Paddr pa)
+{
+    hw::Frame frame = pa >> hw::pageShift;
+    if (frame >= _vm.frames().size())
+        return false;
+    switch (_vm.frames()[frame].type) {
+      case sva::FrameType::PageTable:
+      case sva::FrameType::Code:
+      case sva::FrameType::Ghost:
+      case sva::FrameType::SvaInternal:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+Kmem::read(uint64_t va, unsigned bytes, uint64_t &out)
+{
+    hw::Paddr pa = 0;
+    if (!resolve(va, hw::Access::Read, pa))
+        return false;
+    out = 0;
+    switch (bytes) {
+      case 1:
+        out = _mem.read8(pa);
+        break;
+      case 2:
+        out = _mem.read16(pa);
+        break;
+      case 4:
+        out = _mem.read32(pa);
+        break;
+      case 8:
+        out = _mem.read64(pa);
+        break;
+      default:
+        return false;
+    }
+    return true;
+}
+
+bool
+Kmem::write(uint64_t va, unsigned bytes, uint64_t val)
+{
+    hw::Paddr pa = 0;
+    if (!resolve(va, hw::Access::Write, pa))
+        return false;
+    if (!storePermitted(pa)) {
+        _ctx.stats().add("kmem.blocked_stores");
+        return false;
+    }
+    switch (bytes) {
+      case 1:
+        _mem.write8(pa, uint8_t(val));
+        break;
+      case 2:
+        _mem.write16(pa, uint16_t(val));
+        break;
+      case 4:
+        _mem.write32(pa, uint32_t(val));
+        break;
+      case 8:
+        _mem.write64(pa, val);
+        break;
+      default:
+        return false;
+    }
+    return true;
+}
+
+bool
+Kmem::copy(uint64_t dst, uint64_t src, uint64_t len)
+{
+    for (uint64_t off = 0; off < len; off++) {
+        uint64_t byte = 0;
+        if (!read(src + off, 1, byte))
+            return false;
+        if (!write(dst + off, 1, byte))
+            return false;
+    }
+    return true;
+}
+
+bool
+Kmem::kread(hw::Vaddr va, unsigned bytes, uint64_t &out)
+{
+    hw::Vaddr masked = hw::sandboxAddress(va);
+    if (masked != va) {
+        _deflections++;
+        _ctx.stats().add("kmem.deflections");
+    }
+    _ctx.chargeKernelWork(2, 1, 0);
+    return read(masked, bytes, out);
+}
+
+bool
+Kmem::kwrite(hw::Vaddr va, unsigned bytes, uint64_t val)
+{
+    hw::Vaddr masked = hw::sandboxAddress(va);
+    if (masked != va) {
+        _deflections++;
+        _ctx.stats().add("kmem.deflections");
+    }
+    _ctx.chargeKernelWork(2, 1, 0);
+    return write(masked, bytes, val);
+}
+
+bool
+Kmem::copyIn(hw::Vaddr user_va, void *dst, uint64_t len)
+{
+    _ctx.chargeKernelBulk(len);
+    uint8_t *out = static_cast<uint8_t *>(dst);
+    uint64_t off = 0;
+    while (off < len) {
+        hw::Vaddr va = hw::sandboxAddress(user_va + off);
+        if (va != user_va + off) {
+            _deflections++;
+            _ctx.stats().add("kmem.deflections");
+        }
+        uint64_t chunk = std::min<uint64_t>(
+            len - off, hw::pageSize - hw::pageOffset(va));
+        hw::Paddr pa = 0;
+        if (!resolve(va, hw::Access::Read, pa))
+            return false;
+        _mem.readBytes(pa, out + off, chunk);
+        off += chunk;
+    }
+    return true;
+}
+
+bool
+Kmem::copyOut(hw::Vaddr user_va, const void *src, uint64_t len)
+{
+    _ctx.chargeKernelBulk(len);
+    const uint8_t *in = static_cast<const uint8_t *>(src);
+    uint64_t off = 0;
+    while (off < len) {
+        hw::Vaddr va = hw::sandboxAddress(user_va + off);
+        if (va != user_va + off) {
+            _deflections++;
+            _ctx.stats().add("kmem.deflections");
+        }
+        uint64_t chunk = std::min<uint64_t>(
+            len - off, hw::pageSize - hw::pageOffset(va));
+        hw::Paddr pa = 0;
+        if (!resolve(va, hw::Access::Write, pa))
+            return false;
+        if (!storePermitted(pa)) {
+            _ctx.stats().add("kmem.blocked_stores");
+            return false;
+        }
+        _mem.writeBytes(pa, in + off, chunk);
+        off += chunk;
+    }
+    return true;
+}
+
+} // namespace vg::kern

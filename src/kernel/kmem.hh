@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Instrumented kernel memory access.
+ *
+ * The core FreeBSD-port substitution (see DESIGN.md): the C++ body of
+ * the kernel stands in for code the paper compiles through the SVA
+ * translator, so every access it makes to simulated memory flows
+ * through this layer, which applies the *same* semantics the sandboxing
+ * pass enforces on compiled modules:
+ *
+ *  - operand addresses are passed through sandboxAddress() (ghost
+ *    addresses deflect to their masked alias; SVA-internal addresses
+ *    collapse to 0 and fault),
+ *  - stores are additionally refused when they physically land in
+ *    frames the VM owns (page tables, code, ghost, SVA) — modelling
+ *    that SVA never hands the kernel writable mappings of those,
+ *  - every access charges the cost model (masking cycles under VG).
+ *
+ * Kmem also implements the cc::MemPort interface, so loaded kernel
+ * modules executing on the simulated CPU share exactly this view.
+ */
+
+#ifndef VG_KERNEL_KMEM_HH
+#define VG_KERNEL_KMEM_HH
+
+#include "compiler/exec.hh"
+#include "hw/mmu.hh"
+#include "hw/phys_mem.hh"
+#include "sim/context.hh"
+#include "sva/vm.hh"
+
+namespace vg::kern
+{
+
+/** The kernel's (instrumented) window onto simulated memory. */
+class Kmem : public cc::MemPort
+{
+  public:
+    Kmem(sim::SimContext &ctx, hw::PhysMem &mem, hw::Mmu &mmu,
+         sva::SvaVm &vm);
+
+    // ----------------------------------------------------------------
+    // cc::MemPort — used by kernel-module code on the simulated CPU.
+    // The sandboxing of *module* code happens in its own compiled
+    // instructions; this port resolves the (already masked) virtual
+    // address. Direct (unmasked) ghost accesses can only come from the
+    // native path below, never from instrumented module code.
+    // ----------------------------------------------------------------
+    bool read(uint64_t va, unsigned bytes, uint64_t &out) override;
+    bool write(uint64_t va, unsigned bytes, uint64_t val) override;
+    bool copy(uint64_t dst, uint64_t src, uint64_t len) override;
+
+    // ----------------------------------------------------------------
+    // Native kernel accessors (the C++ kernel body). These apply the
+    // sandbox masking themselves, as compiled instrumentation would.
+    // ----------------------------------------------------------------
+
+    /** Kernel load; returns 0 and counts a deflection for ghost
+     *  operands, faults (returns false) for SVA-internal operands. */
+    bool kread(hw::Vaddr va, unsigned bytes, uint64_t &out);
+
+    /** Kernel store with identical masking semantics. */
+    bool kwrite(hw::Vaddr va, unsigned bytes, uint64_t val);
+
+    /** copyin()/copyout() between user VAs and kernel buffers, through
+     *  the current address space with *kernel* privilege (as on x86
+     *  without SMAP) but sandbox-masked. Bulk-charged. */
+    bool copyIn(hw::Vaddr user_va, void *dst, uint64_t len);
+    bool copyOut(hw::Vaddr user_va, const void *src, uint64_t len);
+
+    /** Number of sandbox deflections observed (attack telemetry). */
+    uint64_t deflections() const { return _deflections; }
+
+  private:
+    /** Resolve a (pre-masked) virtual address to a physical address.
+     *  Kernel-half addresses use the direct map; user/ghost addresses
+     *  walk the current page tables. */
+    bool resolve(hw::Vaddr va, hw::Access access, hw::Paddr &pa);
+
+    /** True if the kernel may store to the frame containing @p pa. */
+    bool storePermitted(hw::Paddr pa);
+
+    sim::SimContext &_ctx;
+    hw::PhysMem &_mem;
+    hw::Mmu &_mmu;
+    sva::SvaVm &_vm;
+    uint64_t _deflections = 0;
+};
+
+} // namespace vg::kern
+
+#endif // VG_KERNEL_KMEM_HH

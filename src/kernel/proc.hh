@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Process, open-file and socket structures for the mini-FreeBSD kernel.
+ */
+
+#ifndef VG_KERNEL_PROC_HH
+#define VG_KERNEL_PROC_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hw/layout.hh"
+#include "kernel/fs.hh"
+
+namespace vg::kern
+{
+
+class UserApi;
+
+/** Process lifecycle states. */
+enum class ProcState
+{
+    Embryo,
+    Runnable,
+    Running,
+    Blocked,
+    Zombie,
+    Dead,
+};
+
+/** One in-flight or delivered stream segment. A segment becomes
+ *  readable once simulated time reaches readyAt (the wire is modelled
+ *  as a pipelined link: senders only spend CPU time; receivers wait
+ *  for arrival, overlapping other work meanwhile). */
+struct Segment
+{
+    std::vector<uint8_t> data;
+    uint64_t offset = 0;  ///< bytes already consumed
+    uint64_t readyAt = 0; ///< simulated arrival time (cycles)
+};
+
+/** A TCP-lite socket endpoint. */
+struct Socket
+{
+    enum class State
+    {
+        Closed,
+        Listening,
+        Connected,
+    };
+
+    State state = State::Closed;
+    uint16_t localPort = 0;
+
+    /** Pending connections on a listening socket. */
+    std::deque<std::shared_ptr<Socket>> acceptQueue;
+
+    /** Received / in-flight stream segments. */
+    std::deque<Segment> rxBuf;
+
+    /** Bytes buffered (including in flight) for flow control. */
+    uint64_t pendingBytes = 0;
+
+    /** Connected peer (weak to break the cycle). */
+    std::weak_ptr<Socket> peer;
+
+    bool peerClosed = false;
+
+    bool
+    readReady() const
+    {
+        if (state == State::Listening)
+            return !acceptQueue.empty();
+        return !rxBuf.empty() || peerClosed;
+    }
+};
+
+/** An open file description (shared across fds after fork/dup). */
+struct OpenFile
+{
+    enum class Kind
+    {
+        File,
+        Socket,
+    };
+
+    Kind kind = Kind::File;
+    Ino ino = 0;
+    uint64_t offset = 0;
+    std::shared_ptr<Socket> sock;
+};
+
+/** A contiguous user address-space reservation. */
+struct VmArea
+{
+    hw::Vaddr start = 0;
+    uint64_t npages = 0;
+    /** File backing (mmap of a file); 0 = anonymous demand-zero. */
+    Ino backingIno = 0;
+    uint64_t backingOff = 0;
+};
+
+/** Record of one installTable() so teardown can retire the chain. */
+struct TableLink
+{
+    hw::Frame parent = 0;
+    int parentLevel = 0;
+    hw::Vaddr va = 0;
+    hw::Frame child = 0;
+};
+
+/** One process. */
+class Process
+{
+  public:
+    uint64_t pid = 0;
+    uint64_t tid = 0; ///< SVA thread id
+    uint64_t parent = 0;
+    std::string name;
+    ProcState state = ProcState::Embryo;
+    int exitCode = 0;
+    bool killRequested = false;
+
+    /** Address-space root (L4) frame and owned table links. */
+    hw::Frame rootFrame = 0;
+    std::vector<TableLink> ptLinks;
+
+    /** One materialized user page. */
+    struct UserPage
+    {
+        hw::Frame frame = 0;
+        bool cow = false; ///< shared copy-on-write after fork
+    };
+
+    /** Materialized user pages: va -> page state. */
+    std::map<hw::Vaddr, UserPage> userPages;
+
+    /** Reserved areas (mmap/stack/heap), keyed by start va. */
+    std::map<hw::Vaddr, VmArea> areas;
+    hw::Vaddr mmapCursor = 0x0000100000000000ull;
+
+    /** Ghost allocation cursor within the ghost partition. */
+    hw::Vaddr ghostCursor = hw::ghostBase;
+
+    /** File descriptor table. */
+    std::map<int, std::shared_ptr<OpenFile>> fds;
+    int nextFd = 3;
+
+    /** signum -> handler token (user "text" address). */
+    std::map<int, uint64_t> sigHandlers;
+
+    /** handler token -> host function implementing the handler. */
+    std::map<uint64_t, std::function<void(int)>> handlerFns;
+    uint64_t nextHandlerToken = 0x0000000000401000ull;
+
+    /** Application main, run on the process host thread. */
+    std::function<int(UserApi &)> mainFn;
+
+    // --- host-thread scheduling machinery ----------------------------
+    std::thread hostThread;
+    std::condition_variable cv;
+    bool batonHeld = false;
+    const void *waitChannel = nullptr;
+    /** Additional channels (select() waits on several sockets). */
+    std::vector<const void *> multiWait;
+    /** Nonzero: wake at this simulated time even without a wakeup(). */
+    uint64_t wakeTime = 0;
+
+    bool
+    alive() const
+    {
+        return state != ProcState::Zombie && state != ProcState::Dead;
+    }
+};
+
+} // namespace vg::kern
+
+#endif // VG_KERNEL_PROC_HH

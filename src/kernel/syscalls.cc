@@ -1,0 +1,1207 @@
+/**
+ * @file
+ * System-call implementations (UserApi) and the signal-delivery and
+ * user-context-execution paths.
+ *
+ * Every syscall passes through the SVA gate (Interrupt Context saved
+ * into VM memory, registers zeroed — cost-accounted) and a dispatcher
+ * that first consults module interpositions, so a loaded rootkit can
+ * replace handlers exactly as in S 7 of the paper.
+ */
+
+#include <cstring>
+
+#include "kernel/kernel.hh"
+#include "sim/log.hh"
+
+namespace vg::kern
+{
+
+namespace
+{
+
+/** Signal numbers we model. */
+constexpr int sigKill = 9;
+constexpr int sigTerm = 15;
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Gate
+// --------------------------------------------------------------------
+
+void
+UserApi::sysEnter()
+{
+    _kernel._vm.syscallEnter(_proc.tid);
+    // Trap decode, syscall-table indirection, argument fetch.
+    _kernel._ctx.chargeKernelWork(26, 9, 3);
+}
+
+void
+UserApi::sysExit()
+{
+    _kernel._vm.syscallExit(_proc.tid);
+    _kernel.deliverPushedCalls(_proc, *this);
+
+    if (_proc.killRequested)
+        exit(137);
+
+    if (_kernel._timer.due()) {
+        _kernel._timer.acknowledge();
+        _kernel._ctx.chargeTrap();
+        _kernel.yieldCurrent(_proc);
+    }
+}
+
+void
+Kernel::deliverPushedCalls(Process &proc, UserApi &api)
+{
+    (void)api;
+    sva::SvaThread *t = _vm.thread(proc.tid);
+    if (!t)
+        return;
+    while (!t->pushedCalls.empty()) {
+        sva::PushedCall call = t->pushedCalls.front();
+        t->pushedCalls.erase(t->pushedCalls.begin());
+
+        // Kernel-side dispatch bookkeeping (sendsig()-style frame
+        // setup) is instrumented kernel work.
+        _ctx.chargeKernelWork(300, 120, 25);
+        auto fn = proc.handlerFns.find(call.handler);
+        if (fn != proc.handlerFns.end()) {
+            // Legitimate handler: runs as application code.
+            fn->second(int(call.arg));
+        } else {
+            // The OS pushed something that is not a registered
+            // handler — only reachable on the baseline kernel.
+            executeUserContextCode(proc, call.handler, call.arg);
+        }
+        // sigreturn(): restore the saved Interrupt Context.
+        sva::SvaError err;
+        _vm.icontextLoad(proc.tid, &err);
+        _ctx.stats().add("kernel.signals_delivered");
+    }
+}
+
+namespace
+{
+
+/** MemPort that accesses memory with *user* privilege through a
+ *  process's address space — how injected "user context" exploit code
+ *  sees memory. Ghost pages are user-accessible by design; the
+ *  protection against this path is that VG never lets it run. */
+class UserPort : public cc::MemPort
+{
+  public:
+    UserPort(Kernel &kernel, Process &proc)
+        : _kernel(kernel), _proc(proc)
+    {}
+
+    bool
+    read(uint64_t va, unsigned bytes, uint64_t &out) override
+    {
+        hw::Paddr pa = 0;
+        if (!_kernel.handleUserAccess(_proc, va, hw::Access::Read, pa))
+            return false;
+        out = 0;
+        for (unsigned i = 0; i < bytes; i++)
+            out |= uint64_t(_kernel.vm().mem().read8(pa + i))
+                   << (8 * i);
+        return true;
+    }
+
+    bool
+    write(uint64_t va, unsigned bytes, uint64_t val) override
+    {
+        hw::Paddr pa = 0;
+        if (!_kernel.handleUserAccess(_proc, va, hw::Access::Write,
+                                      pa))
+            return false;
+        for (unsigned i = 0; i < bytes; i++)
+            _kernel.vm().mem().write8(pa + i, uint8_t(val >> (8 * i)));
+        return true;
+    }
+
+    bool
+    copy(uint64_t dst, uint64_t src, uint64_t len) override
+    {
+        for (uint64_t i = 0; i < len; i++) {
+            uint64_t b = 0;
+            if (!read(src + i, 1, b) || !write(dst + i, 1, b))
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    Kernel &_kernel;
+    Process &_proc;
+};
+
+} // namespace
+
+void
+Kernel::executeUserContextCode(Process &proc, uint64_t code_addr,
+                               uint64_t arg)
+{
+    // Find the module image containing this address.
+    for (auto &[name, module] : _modules) {
+        if (!module.image->contains(code_addr))
+            continue;
+        UserPort port(*this, proc);
+        cc::ExternTable externs;
+        externs.fns["u_write"] =
+            [this, &proc](const std::vector<uint64_t> &args) {
+                if (args.size() < 3)
+                    return uint64_t(0);
+                int64_t n = doWrite(proc, int(args[0]), args[1],
+                                    args[2]);
+                return uint64_t(n);
+            };
+        externs.fns["u_log"] =
+            [this](const std::vector<uint64_t> &args) {
+                _console.write(sim::strprintf(
+                    "[user-exploit] value=%#lx\n",
+                    args.empty() ? 0ul : (unsigned long)args[0]));
+                return uint64_t(0);
+            };
+        cc::Executor exec(*module.image, port, externs, _ctx,
+                          0xffffffb800000000ull, 1 << 20);
+        cc::ExecResult r = exec.callAddr(code_addr, {arg});
+        _ctx.stats().add("kernel.user_context_injections");
+        if (!r.ok)
+            sim::debug("injected code fault: %s", r.detail.c_str());
+        return;
+    }
+    _ctx.stats().add("kernel.unresolvable_handlers");
+}
+
+// --------------------------------------------------------------------
+// Files
+// --------------------------------------------------------------------
+
+std::shared_ptr<OpenFile>
+Kernel::file(Process &proc, int fd)
+{
+    _ctx.chargeKernelWork(8, 4, 1); // fd table lookup
+    auto it = proc.fds.find(fd);
+    return it == proc.fds.end() ? nullptr : it->second;
+}
+
+int
+UserApi::open(const std::string &path, bool create)
+{
+    sysEnter();
+    Kernel &k = _kernel;
+    k._ctx.chargeKernelWork(140, 70, 16); // vnode locks, name cache
+
+    int result = -1;
+    Ino ino = 0;
+    FsStatus s = k._fs->lookup(path, ino);
+    if (s == FsStatus::NotFound && create)
+        s = k._fs->create(path, ino);
+    if (s == FsStatus::Ok) {
+        auto of = std::make_shared<OpenFile>();
+        of->kind = OpenFile::Kind::File;
+        of->ino = ino;
+        int fd = _proc.nextFd++;
+        _proc.fds[fd] = of;
+        result = fd;
+    }
+    sysExit();
+    return result;
+}
+
+int
+UserApi::close(int fd)
+{
+    sysEnter();
+    _kernel._ctx.chargeKernelWork(60, 24, 8);
+    int result = -1;
+    auto it = _proc.fds.find(fd);
+    if (it != _proc.fds.end()) {
+        auto of = it->second;
+        if (of->kind == OpenFile::Kind::Socket && of->sock) {
+            // Tear down the connection.
+            if (auto peer = of->sock->peer.lock()) {
+                peer->peerClosed = true;
+                _kernel.wakeup(peer.get());
+            }
+            if (of->sock->state == Socket::State::Listening)
+                _kernel._listeners.erase(of->sock->localPort);
+            of->sock->state = Socket::State::Closed;
+        }
+        _proc.fds.erase(it);
+        result = 0;
+    }
+    sysExit();
+    return result;
+}
+
+int64_t
+Kernel::doRead(Process &proc, int fd, hw::Vaddr buf, uint64_t len)
+{
+    auto of = file(proc, fd);
+    if (!of)
+        return -1;
+    if (of->kind == OpenFile::Kind::Socket) {
+        std::vector<uint8_t> tmp(len);
+        int64_t n = socketRecv(proc, *of->sock, tmp.data(), len);
+        if (n > 0 && !_kmem->copyOut(buf, tmp.data(), uint64_t(n)))
+            return -1;
+        return n;
+    }
+    std::vector<uint8_t> tmp(len);
+    int64_t n = _fs->read(of->ino, of->offset, tmp.data(), len);
+    if (n < 0)
+        return -1;
+    of->offset += uint64_t(n);
+    if (n > 0 && !_kmem->copyOut(buf, tmp.data(), uint64_t(n)))
+        return -1;
+    return n;
+}
+
+int64_t
+Kernel::doWrite(Process &proc, int fd, hw::Vaddr buf, uint64_t len)
+{
+    auto of = file(proc, fd);
+    if (!of)
+        return -1;
+    std::vector<uint8_t> tmp(len);
+    if (!_kmem->copyIn(buf, tmp.data(), len))
+        return -1;
+    if (of->kind == OpenFile::Kind::Socket)
+        return socketSend(proc, *of->sock, tmp.data(), len);
+    int64_t n = _fs->write(of->ino, of->offset, tmp.data(), len);
+    if (n > 0)
+        of->offset += uint64_t(n);
+    return n;
+}
+
+int64_t
+UserApi::read(int fd, hw::Vaddr buf, uint64_t len)
+{
+    sysEnter();
+    int64_t result;
+    // Page in the destination before the kernel writes it (the real
+    // kernel faults during copyout; we front-load it).
+    for (hw::Vaddr va = hw::pageOf(buf); va < buf + len;
+         va += hw::pageSize) {
+        hw::Paddr pa;
+        _kernel.handleUserAccess(_proc, va, hw::Access::Write, pa);
+    }
+    std::vector<uint64_t> args = {uint64_t(fd), buf, len, _proc.pid};
+    if (!_kernel.moduleDispatch(Sys::read, args, result))
+        result = _kernel.doRead(_proc, fd, buf, len);
+    sysExit();
+    return result;
+}
+
+int64_t
+UserApi::write(int fd, hw::Vaddr buf, uint64_t len)
+{
+    sysEnter();
+    int64_t result;
+    std::vector<uint64_t> args = {uint64_t(fd), buf, len, _proc.pid};
+    if (!_kernel.moduleDispatch(Sys::write, args, result))
+        result = _kernel.doWrite(_proc, fd, buf, len);
+    sysExit();
+    return result;
+}
+
+int64_t
+UserApi::lseek(int fd, int64_t off, int whence)
+{
+    sysEnter();
+    _kernel._ctx.chargeKernelWork(30, 12, 4);
+    int64_t result = -1;
+    auto of = _kernel.file(_proc, fd);
+    if (of && of->kind == OpenFile::Kind::File) {
+        FileStat st;
+        _kernel._fs->stat(of->ino, st);
+        int64_t base = whence == 0   ? 0
+                       : whence == 1 ? int64_t(of->offset)
+                                     : int64_t(st.size);
+        int64_t pos = base + off;
+        if (pos >= 0) {
+            of->offset = uint64_t(pos);
+            result = pos;
+        }
+    }
+    sysExit();
+    return result;
+}
+
+int
+UserApi::unlink(const std::string &path)
+{
+    sysEnter();
+    _kernel._ctx.chargeKernelWork(120, 48, 12);
+    FsStatus s = _kernel._fs->unlink(path);
+    sysExit();
+    return s == FsStatus::Ok ? 0 : -1;
+}
+
+int
+UserApi::mkdir(const std::string &path)
+{
+    sysEnter();
+    _kernel._ctx.chargeKernelWork(110, 44, 12);
+    Ino ino = 0;
+    FsStatus s = _kernel._fs->mkdir(path, ino);
+    sysExit();
+    return s == FsStatus::Ok ? 0 : -1;
+}
+
+int
+UserApi::stat(const std::string &path, FileStat &out)
+{
+    sysEnter();
+    _kernel._ctx.chargeKernelWork(90, 36, 10);
+    Ino ino = 0;
+    FsStatus s = _kernel._fs->lookup(path, ino);
+    if (s == FsStatus::Ok)
+        s = _kernel._fs->stat(ino, out);
+    sysExit();
+    return s == FsStatus::Ok ? 0 : -1;
+}
+
+int
+UserApi::fsync(int fd)
+{
+    sysEnter();
+    _kernel._ctx.chargeKernelWork(50, 20, 6);
+    int result = -1;
+    auto of = _kernel.file(_proc, fd);
+    if (of) {
+        _kernel._fs->sync();
+        result = 0;
+    }
+    sysExit();
+    return result;
+}
+
+// --------------------------------------------------------------------
+// Memory
+// --------------------------------------------------------------------
+
+hw::Vaddr
+UserApi::mmap(uint64_t len)
+{
+    sysEnter();
+    _kernel._ctx.chargeKernelWork(160, 88, 21); // vm_map entry insert
+    hw::Vaddr result = 0;
+    uint64_t npages = (len + hw::pageSize - 1) / hw::pageSize;
+    if (npages > 0) {
+        hw::Vaddr va = _proc.mmapCursor;
+        _proc.mmapCursor += (npages + 1) * hw::pageSize; // guard gap
+        _proc.areas[va] = {va, npages};
+        result = va;
+    }
+    sysExit();
+    return result;
+}
+
+hw::Vaddr
+UserApi::mmapFile(int fd, uint64_t len)
+{
+    sysEnter();
+    _kernel._ctx.chargeKernelWork(200, 80, 20); // vnode pager setup
+    hw::Vaddr result = 0;
+    auto of = _kernel.file(_proc, fd);
+    uint64_t npages = (len + hw::pageSize - 1) / hw::pageSize;
+    if (of && of->kind == OpenFile::Kind::File && npages > 0) {
+        hw::Vaddr va = _proc.mmapCursor;
+        _proc.mmapCursor += (npages + 1) * hw::pageSize;
+        VmArea area;
+        area.start = va;
+        area.npages = npages;
+        area.backingIno = of->ino;
+        area.backingOff = 0;
+        _proc.areas[va] = area;
+        result = va;
+    }
+    sysExit();
+    return result;
+}
+
+int
+UserApi::munmap(hw::Vaddr va, uint64_t len)
+{
+    sysEnter();
+    _kernel._ctx.chargeKernelWork(120, 48, 12);
+    int result = -1;
+    auto it = _proc.areas.find(va);
+    uint64_t npages = (len + hw::pageSize - 1) / hw::pageSize;
+    if (it != _proc.areas.end() && it->second.npages == npages) {
+        sva::SvaError err;
+        for (uint64_t i = 0; i < npages; i++) {
+            hw::Vaddr page = va + i * hw::pageSize;
+            auto pg = _proc.userPages.find(page);
+            if (pg != _proc.userPages.end()) {
+                hw::Frame frame = pg->second.frame;
+                if (_kernel._vm.unmapPage(_proc.rootFrame, page,
+                                          &err) &&
+                    _kernel._vm.frames()[frame].mapCount == 0)
+                    _kernel._frames->free(frame);
+                _proc.userPages.erase(pg);
+            }
+        }
+        _proc.areas.erase(it);
+        result = 0;
+    }
+    sysExit();
+    return result;
+}
+
+bool
+UserApi::peek(hw::Vaddr va, unsigned bytes, uint64_t &out)
+{
+    hw::Paddr pa = 0;
+    if (!_kernel.handleUserAccess(_proc, va, hw::Access::Read, pa))
+        return false;
+    out = 0;
+    for (unsigned i = 0; i < bytes; i++)
+        out |= uint64_t(_kernel._mem.read8(pa + i)) << (8 * i);
+    return true;
+}
+
+bool
+UserApi::poke(hw::Vaddr va, unsigned bytes, uint64_t val)
+{
+    hw::Paddr pa = 0;
+    if (!_kernel.handleUserAccess(_proc, va, hw::Access::Write, pa))
+        return false;
+    for (unsigned i = 0; i < bytes; i++)
+        _kernel._mem.write8(pa + i, uint8_t(val >> (8 * i)));
+    return true;
+}
+
+bool
+UserApi::copyToUser(hw::Vaddr va, const void *src, uint64_t len)
+{
+    const uint8_t *in = static_cast<const uint8_t *>(src);
+    uint64_t off = 0;
+    while (off < len) {
+        hw::Paddr pa = 0;
+        if (!_kernel.handleUserAccess(_proc, va + off,
+                                      hw::Access::Write, pa))
+            return false;
+        uint64_t chunk = std::min<uint64_t>(
+            len - off, hw::pageSize - hw::pageOffset(va + off));
+        _kernel._mem.writeBytes(pa, in + off, chunk);
+        off += chunk;
+    }
+    _kernel._ctx.chargeUserWork(len / 16 + 1);
+    return true;
+}
+
+bool
+UserApi::copyFromUser(hw::Vaddr va, void *dst, uint64_t len)
+{
+    uint8_t *out = static_cast<uint8_t *>(dst);
+    uint64_t off = 0;
+    while (off < len) {
+        hw::Paddr pa = 0;
+        if (!_kernel.handleUserAccess(_proc, va + off, hw::Access::Read,
+                                      pa))
+            return false;
+        uint64_t chunk = std::min<uint64_t>(
+            len - off, hw::pageSize - hw::pageOffset(va + off));
+        _kernel._mem.readBytes(pa, out + off, chunk);
+        off += chunk;
+    }
+    _kernel._ctx.chargeUserWork(len / 16 + 1);
+    return true;
+}
+
+// --------------------------------------------------------------------
+// Ghost memory
+// --------------------------------------------------------------------
+
+hw::Vaddr
+UserApi::allocGhost(uint64_t npages)
+{
+    sysEnter(); // allocgm is a VM call but still crosses the gate
+    hw::Vaddr va = _proc.ghostCursor;
+    sva::SvaError err;
+    bool ok = _kernel._vm.allocGhostMemory(_proc.pid, _proc.rootFrame,
+                                           va, npages, &err);
+    if (ok)
+        _proc.ghostCursor += npages * hw::pageSize;
+    sysExit();
+    return ok ? va : 0;
+}
+
+bool
+UserApi::freeGhost(hw::Vaddr va, uint64_t npages)
+{
+    sysEnter();
+    sva::SvaError err;
+    bool ok = _kernel._vm.freeGhostMemory(_proc.pid, _proc.rootFrame,
+                                          va, npages, &err);
+    sysExit();
+    return ok;
+}
+
+bool
+UserApi::ghostWrite(hw::Vaddr va, const void *src, uint64_t len)
+{
+    // Application-side access: user privilege; a fault on a
+    // swapped-out ghost page goes to the OS, which asks the VM to
+    // verify and restore it (S 3.3).
+    const uint8_t *in = static_cast<const uint8_t *>(src);
+    uint64_t off = 0;
+    while (off < len) {
+        auto r = _kernel._mmu.translate(va + off, hw::Access::Write,
+                                        hw::Privilege::User);
+        if (!r.ok) {
+            _kernel._ctx.chargeTrap();
+            if (!_kernel.swapInGhost(_proc.pid,
+                                     hw::pageOf(va + off)))
+                return false;
+            r = _kernel._mmu.translate(va + off, hw::Access::Write,
+                                       hw::Privilege::User);
+        }
+        if (!r.ok)
+            return false;
+        uint64_t chunk = std::min<uint64_t>(
+            len - off, hw::pageSize - hw::pageOffset(va + off));
+        _kernel._mem.writeBytes(r.paddr, in + off, chunk);
+        off += chunk;
+    }
+    _kernel._ctx.chargeUserWork(len / 16 + 1);
+    return true;
+}
+
+bool
+UserApi::ghostRead(hw::Vaddr va, void *dst, uint64_t len)
+{
+    uint8_t *out = static_cast<uint8_t *>(dst);
+    uint64_t off = 0;
+    while (off < len) {
+        auto r = _kernel._mmu.translate(va + off, hw::Access::Read,
+                                        hw::Privilege::User);
+        if (!r.ok) {
+            _kernel._ctx.chargeTrap();
+            if (!_kernel.swapInGhost(_proc.pid,
+                                     hw::pageOf(va + off)))
+                return false;
+            r = _kernel._mmu.translate(va + off, hw::Access::Read,
+                                       hw::Privilege::User);
+        }
+        if (!r.ok)
+            return false;
+        uint64_t chunk = std::min<uint64_t>(
+            len - off, hw::pageSize - hw::pageOffset(va + off));
+        _kernel._mem.readBytes(r.paddr, out + off, chunk);
+        off += chunk;
+    }
+    _kernel._ctx.chargeUserWork(len / 16 + 1);
+    return true;
+}
+
+std::optional<crypto::AesKey>
+UserApi::getKey()
+{
+    return _kernel._vm.getKey(_proc.pid);
+}
+
+void
+UserApi::secureRandom(void *out, size_t len)
+{
+    _kernel._vm.secureRandom(out, len);
+}
+
+void
+UserApi::osRandom(void *out, size_t len)
+{
+    sysEnter();
+    _kernel._ctx.chargeKernelWork(40, 16, 4);
+    uint8_t *p = static_cast<uint8_t *>(out);
+    if (_kernel._ctx.config().secureRng) {
+        // VG routes randomness requests to the trusted generator.
+        _kernel._vm.secureRandom(out, len);
+    } else if (_kernel._rngRigged) {
+        // Hostile kernel: predictable bytes (Iago attack on
+        // /dev/random, S 2.2.5).
+        std::memset(p, 0x41, len);
+    } else {
+        for (size_t i = 0; i < len; i++) {
+            _kernel._osRngState =
+                _kernel._osRngState * 6364136223846793005ull +
+                1442695040888963407ull;
+            p[i] = uint8_t(_kernel._osRngState >> 33);
+        }
+    }
+    sysExit();
+}
+
+// --------------------------------------------------------------------
+// Processes
+// --------------------------------------------------------------------
+
+uint64_t
+UserApi::fork(std::function<int(UserApi &)> child_main)
+{
+    sysEnter();
+    Kernel &k = _kernel;
+    // proc-table entry, uarea, fd table duplication.
+    k._ctx.chargeKernelWork(2200, 900, 180);
+
+    uint64_t child_pid = k._nextPid++;
+    auto child_owner = std::make_unique<Process>();
+    Process &child = *child_owner;
+    child.pid = child_pid;
+    child.parent = _proc.pid;
+    child.name = _proc.name + "+";
+    child.mainFn = std::move(child_main);
+    child.state = ProcState::Runnable;
+    child.sigHandlers = _proc.sigHandlers;
+    child.handlerFns = _proc.handlerFns;
+    child.nextHandlerToken = _proc.nextHandlerToken;
+    child.fds = _proc.fds; // shared open-file descriptions
+    child.nextFd = _proc.nextFd;
+
+    sva::SvaError err;
+    sva::SvaThread *t = k._vm.newThread(child_pid,
+                                        0xffffff8000100000ull,
+                                        _proc.tid, &err);
+    if (!t)
+        sim::panic("fork: %s", err.message.c_str());
+    child.tid = t->id;
+
+    k.buildAddressSpace(child);
+    k.copyAddressSpace(_proc, child);
+
+    Process *cp = &child;
+    cp->hostThread = std::thread([&k, cp]() {
+        {
+            std::unique_lock<std::mutex> lk(k._mtx);
+            cp->cv.wait(lk, [&]() { return cp->batonHeld; });
+        }
+        UserApi api(k, *cp);
+        int code = 0;
+        try {
+            code = cp->mainFn ? cp->mainFn(api) : 0;
+        } catch (const ProcessExit &e) {
+            code = e.code;
+        }
+        k.teardownAddressSpace(*cp);
+        k._vm.unbindProcess(cp->pid);
+        k._vm.destroyThread(cp->tid);
+        cp->fds.clear();
+        cp->state = ProcState::Zombie;
+        k._exitCodes[cp->pid] = code;
+        cp->exitCode = code;
+        k._ctx.stats().add("kernel.process_exits");
+        k.wakeup(reinterpret_cast<const void *>(uintptr_t(cp->pid)));
+        std::unique_lock<std::mutex> lk(k._mtx);
+        cp->batonHeld = false;
+        k._schedulerTurn = true;
+        k._current = nullptr;
+        k._schedCv.notify_all();
+    });
+
+    k._procs[child_pid] = std::move(child_owner);
+    k._ctx.stats().add("kernel.forks");
+    sysExit();
+    return child_pid;
+}
+
+int
+UserApi::execve(const sva::AppBinary *binary,
+                std::function<int(UserApi &)> new_main)
+{
+    sysEnter();
+    Kernel &k = _kernel;
+    // Image load: vnode lookup, ELF headers, argument copy.
+    k._ctx.chargeKernelWork(5200, 2500, 500);
+    // Map a fresh text+stack image (demand-paged) — charge the copy
+    // of the program image from the buffer cache.
+    k._ctx.chargeKernelBulk(32 * 1024);
+
+    if (binary) {
+        sva::SvaError err;
+        if (!k._vm.bindProcessToApp(_proc.pid, *binary, &err)) {
+            // Validation failure prevents startup (S 4.4).
+            sysExit();
+            return -1;
+        }
+    }
+
+    // Reset the address space and Interrupt Context.
+    sva::SvaError err;
+    k._vm.reinitIcontext(_proc.tid, 0x400000, 0x7fffffff0000ull,
+                         _proc.rootFrame, &err);
+    for (const auto &[va, page] : _proc.userPages) {
+        if (k._vm.unmapPage(_proc.rootFrame, va, &err) &&
+            k._vm.frames()[page.frame].mapCount == 0)
+            k._frames->free(page.frame);
+    }
+    _proc.userPages.clear();
+    _proc.areas.clear();
+    _proc.mmapCursor = 0x0000100000000000ull;
+    _proc.ghostCursor = hw::ghostBase;
+    _proc.sigHandlers.clear();
+    _proc.handlerFns.clear();
+    k._ctx.stats().add("kernel.execs");
+    sysExit();
+
+    // Run the new image; when it finishes, the process exits.
+    int code = new_main(*this);
+    exit(code);
+}
+
+void
+UserApi::exit(int code)
+{
+    _kernel._ctx.chargeKernelWork(400, 160, 40);
+    throw ProcessExit{code};
+}
+
+int
+UserApi::waitpid(uint64_t pid, int &status)
+{
+    sysEnter();
+    Kernel &k = _kernel;
+    k._ctx.chargeKernelWork(80, 32, 10);
+    int result = -1;
+    while (true) {
+        Process *child = k.process(pid);
+        if (!child) {
+            auto it = k._exitCodes.find(pid);
+            if (it != k._exitCodes.end()) {
+                status = it->second;
+                result = 0;
+            }
+            break;
+        }
+        if (child->state == ProcState::Zombie) {
+            status = child->exitCode;
+            if (child->hostThread.joinable())
+                child->hostThread.join();
+            child->state = ProcState::Dead;
+            result = 0;
+            break;
+        }
+        k.blockCurrent(_proc,
+                       reinterpret_cast<const void *>(uintptr_t(pid)));
+    }
+    sysExit();
+    return result;
+}
+
+void
+Kernel::postSignal(Process &target, int signum)
+{
+    auto handler = target.sigHandlers.find(signum);
+    if (handler != target.sigHandlers.end()) {
+        sva::SvaError err;
+        _vm.icontextSave(target.tid, &err);
+        if (!_vm.ipushFunction(target.tid, handler->second,
+                               uint64_t(signum), &err)) {
+            // Refused by the VM: undo the save; the signal is dropped
+            // and the victim continues untouched (S 7).
+            _vm.icontextLoad(target.tid, &err);
+            _ctx.stats().add("kernel.signals_refused");
+        }
+    } else if (signum == sigKill || signum == sigTerm) {
+        target.killRequested = true;
+        // Abort whatever sleep the victim is in.
+        if (target.state == ProcState::Blocked) {
+            target.state = ProcState::Runnable;
+            target.waitChannel = nullptr;
+            target.multiWait.clear();
+            target.wakeTime = 0;
+        }
+    }
+    wakeup(&target);
+    wakeup(reinterpret_cast<const void *>(uintptr_t(target.pid)));
+}
+
+int
+UserApi::kill(uint64_t pid, int signum)
+{
+    sysEnter();
+    _kernel._ctx.chargeKernelWork(90, 36, 10);
+    int result = -1;
+    Process *target = _kernel.process(pid);
+    if (target && target->alive()) {
+        _kernel.postSignal(*target, signum);
+        result = 0;
+    }
+    sysExit();
+    return result;
+}
+
+uint64_t
+UserApi::installSignalHandler(int signum,
+                              std::function<void(int)> handler,
+                              bool permit_with_sva)
+{
+    sysEnter();
+    _kernel._ctx.chargeKernelWork(70, 18, 5); // sigaction bookkeeping
+    uint64_t token = _proc.nextHandlerToken;
+    _proc.nextHandlerToken += 0x100;
+    _proc.handlerFns[token] = std::move(handler);
+    _proc.sigHandlers[signum] = token;
+    if (permit_with_sva)
+        _kernel._vm.permitFunction(_proc.pid, token);
+    sysExit();
+    return token;
+}
+
+// --------------------------------------------------------------------
+// Sockets
+// --------------------------------------------------------------------
+
+namespace
+{
+
+/** Socket receive buffer cap (flow-control window). */
+constexpr uint64_t sockWindow = 256 * 1024;
+
+} // namespace
+
+int
+UserApi::socket()
+{
+    sysEnter();
+    _kernel._ctx.chargeKernelWork(120, 48, 14);
+    auto of = std::make_shared<OpenFile>();
+    of->kind = OpenFile::Kind::Socket;
+    of->sock = std::make_shared<Socket>();
+    int fd = _proc.nextFd++;
+    _proc.fds[fd] = of;
+    sysExit();
+    return fd;
+}
+
+int
+UserApi::bind(int fd, uint16_t port)
+{
+    sysEnter();
+    _kernel._ctx.chargeKernelWork(60, 24, 8);
+    int result = -1;
+    auto of = _kernel.file(_proc, fd);
+    if (of && of->kind == OpenFile::Kind::Socket) {
+        of->sock->localPort = port;
+        result = 0;
+    }
+    sysExit();
+    return result;
+}
+
+int
+UserApi::listen(int fd)
+{
+    sysEnter();
+    _kernel._ctx.chargeKernelWork(60, 24, 8);
+    int result = -1;
+    auto of = _kernel.file(_proc, fd);
+    if (of && of->kind == OpenFile::Kind::Socket &&
+        of->sock->localPort != 0) {
+        of->sock->state = Socket::State::Listening;
+        _kernel._listeners[of->sock->localPort] = of->sock;
+        result = 0;
+    }
+    sysExit();
+    return result;
+}
+
+int
+UserApi::accept(int fd)
+{
+    sysEnter();
+    Kernel &k = _kernel;
+    k._ctx.chargeKernelWork(150, 60, 16);
+    int result = -1;
+    auto of = k.file(_proc, fd);
+    if (of && of->kind == OpenFile::Kind::Socket &&
+        of->sock->state == Socket::State::Listening) {
+        Socket &lsock = *of->sock;
+        while (lsock.acceptQueue.empty())
+            k.blockCurrent(_proc, &lsock);
+        auto conn = lsock.acceptQueue.front();
+        lsock.acceptQueue.pop_front();
+        auto conn_of = std::make_shared<OpenFile>();
+        conn_of->kind = OpenFile::Kind::Socket;
+        conn_of->sock = conn;
+        int nfd = _proc.nextFd++;
+        _proc.fds[nfd] = conn_of;
+        result = nfd;
+    }
+    sysExit();
+    return result;
+}
+
+int
+UserApi::connect(uint16_t port)
+{
+    sysEnter();
+    Kernel &k = _kernel;
+    k._ctx.chargeKernelWork(400, 160, 40); // handshake processing
+    int result = -1;
+    auto it = k._listeners.find(port);
+    if (it != k._listeners.end() &&
+        it->second->state == Socket::State::Listening) {
+        // Model the three-way handshake on the wire; each leg is a
+        // synchronous round trip, so the client waits it out.
+        for (int leg = 0; leg < 3; leg++) {
+            hw::Nic &tx = leg % 2 == 0 ? k._nicA : k._nicB;
+            hw::Nic &rx = leg % 2 == 0 ? k._nicB : k._nicA;
+            uint64_t ready = tx.send(std::vector<uint8_t>(64, 0));
+            rx.receive();
+            if (ready > k._ctx.clock().now())
+                k._ctx.clock().advance(ready - k._ctx.clock().now());
+        }
+
+        auto client = std::make_shared<Socket>();
+        auto server = std::make_shared<Socket>();
+        client->state = Socket::State::Connected;
+        server->state = Socket::State::Connected;
+        client->peer = server;
+        server->peer = client;
+        server->localPort = port;
+        it->second->acceptQueue.push_back(server);
+        k.wakeup(it->second.get());
+
+        auto of = std::make_shared<OpenFile>();
+        of->kind = OpenFile::Kind::Socket;
+        of->sock = client;
+        int fd = _proc.nextFd++;
+        _proc.fds[fd] = of;
+        result = fd;
+    }
+    sysExit();
+    return result;
+}
+
+int64_t
+Kernel::socketSend(Process &proc, Socket &sock, const uint8_t *data,
+                   uint64_t len)
+{
+    if (sock.state != Socket::State::Connected)
+        return -1;
+    auto peer = sock.peer.lock();
+    if (!peer || peer->peerClosed)
+        return -1;
+
+    uint64_t sent = 0;
+    while (sent < len) {
+        // Flow control: block while the peer's window is full.
+        while (peer->pendingBytes >= sockWindow) {
+            if (sock.peerClosed)
+                return int64_t(sent);
+            blockCurrent(proc, &sock);
+        }
+        uint64_t chunk = std::min<uint64_t>(
+            {len - sent, hw::Nic::mtu - 64,
+             sockWindow - peer->pendingBytes});
+        // Per-packet kernel processing on both sides; wire time is
+        // pipelined through the link schedule.
+        uint64_t ready_at =
+            _nicA.send(std::vector<uint8_t>(size_t(chunk + 64), 0));
+        _nicB.receive();
+        _ctx.chargeKernelWork(240, 96, 24);
+        Segment seg;
+        seg.data.assign(data + sent, data + sent + chunk);
+        seg.readyAt = ready_at;
+        peer->rxBuf.push_back(std::move(seg));
+        peer->pendingBytes += chunk;
+        sent += chunk;
+        wakeup(peer.get());
+    }
+    _ctx.stats().add("net.bytes_sent", len);
+    return int64_t(sent);
+}
+
+int64_t
+Kernel::socketRecv(Process &proc, Socket &sock, uint8_t *data,
+                   uint64_t len)
+{
+    if (sock.state != Socket::State::Connected)
+        return -1;
+    while (true) {
+        if (!sock.rxBuf.empty()) {
+            // If the head segment is still on the wire, sleep until
+            // it lands (other processes run meanwhile).
+            uint64_t ready_at = sock.rxBuf.front().readyAt;
+            if (ready_at <= _ctx.clock().now())
+                break;
+            blockCurrentTimed(proc, &sock, ready_at);
+            continue;
+        }
+        if (sock.peerClosed)
+            return 0; // EOF
+        if (proc.killRequested)
+            return -1;
+        blockCurrent(proc, &sock);
+    }
+
+    uint64_t n = 0;
+    while (n < len && !sock.rxBuf.empty()) {
+        Segment &seg = sock.rxBuf.front();
+        if (seg.readyAt > _ctx.clock().now())
+            break; // later segments still in flight
+        uint64_t avail = seg.data.size() - seg.offset;
+        uint64_t take = std::min(len - n, avail);
+        std::memcpy(data + n, seg.data.data() + seg.offset, take);
+        seg.offset += take;
+        n += take;
+        sock.pendingBytes -= take;
+        if (seg.offset == seg.data.size())
+            sock.rxBuf.pop_front();
+    }
+    _ctx.chargeKernelWork(120, 48, 12);
+    // Window opened: wake a blocked sender.
+    if (auto peer = sock.peer.lock())
+        wakeup(peer.get());
+    return int64_t(n);
+}
+
+int64_t
+UserApi::send(int fd, hw::Vaddr buf, uint64_t len)
+{
+    sysEnter();
+    int64_t result = -1;
+    auto of = _kernel.file(_proc, fd);
+    if (of && of->kind == OpenFile::Kind::Socket) {
+        std::vector<uint8_t> tmp(len);
+        if (_kernel._kmem->copyIn(buf, tmp.data(), len))
+            result = _kernel.socketSend(_proc, *of->sock, tmp.data(),
+                                        len);
+    }
+    sysExit();
+    return result;
+}
+
+int64_t
+UserApi::recv(int fd, hw::Vaddr buf, uint64_t len)
+{
+    sysEnter();
+    int64_t result = -1;
+    auto of = _kernel.file(_proc, fd);
+    if (of && of->kind == OpenFile::Kind::Socket) {
+        std::vector<uint8_t> tmp(len);
+        int64_t n = _kernel.socketRecv(_proc, *of->sock, tmp.data(),
+                                       len);
+        if (n >= 0 &&
+            (n == 0 ||
+             _kernel._kmem->copyOut(buf, tmp.data(), uint64_t(n))))
+            result = n;
+    }
+    sysExit();
+    return result;
+}
+
+int64_t
+UserApi::sendHost(int fd, const void *buf, uint64_t len)
+{
+    sysEnter();
+    _kernel._ctx.chargeKernelBulk(len); // copyin from "user"
+    int64_t result = -1;
+    auto of = _kernel.file(_proc, fd);
+    if (of && of->kind == OpenFile::Kind::Socket)
+        result = _kernel.socketSend(
+            _proc, *of->sock, static_cast<const uint8_t *>(buf), len);
+    sysExit();
+    return result;
+}
+
+int64_t
+UserApi::recvHost(int fd, void *buf, uint64_t len)
+{
+    sysEnter();
+    int64_t result = -1;
+    auto of = _kernel.file(_proc, fd);
+    if (of && of->kind == OpenFile::Kind::Socket) {
+        result = _kernel.socketRecv(_proc, *of->sock,
+                                    static_cast<uint8_t *>(buf), len);
+        if (result > 0)
+            _kernel._ctx.chargeKernelBulk(uint64_t(result));
+    }
+    sysExit();
+    return result;
+}
+
+int
+UserApi::select(const std::vector<int> &read_fds, uint64_t timeout_us)
+{
+    sysEnter();
+    Kernel &k = _kernel;
+    uint64_t deadline =
+        k._ctx.clock().now() +
+        sim::Cycles(double(timeout_us) * sim::Clock::cyclesPerUsec);
+
+    int ready = 0;
+    while (true) {
+        ready = 0;
+        std::vector<const void *> channels;
+        for (int fd : read_fds) {
+            // Per-descriptor poll work: this is what LMBench's select
+            // benchmark measures.
+            k._ctx.chargeKernelWork(28, 6, 1);
+            auto of = k.file(_proc, fd);
+            if (!of)
+                continue;
+            if (of->kind == OpenFile::Kind::File) {
+                ready++;
+            } else if (of->sock) {
+                if (of->sock->readReady())
+                    ready++;
+                else
+                    channels.push_back(of->sock.get());
+            }
+        }
+        if (ready > 0 || timeout_us == 0 ||
+            k._ctx.clock().now() >= deadline)
+            break;
+        _proc.multiWait = channels;
+        k.blockCurrentTimed(_proc, nullptr, deadline);
+        _proc.multiWait.clear();
+    }
+    sysExit();
+    return ready;
+}
+
+// --------------------------------------------------------------------
+// Misc
+// --------------------------------------------------------------------
+
+int
+UserApi::getpid()
+{
+    sysEnter();
+    // The null syscall: the gate plus a trivial body.
+    _kernel._ctx.chargeKernelWork(6, 2, 1);
+    sysExit();
+    return int(_proc.pid);
+}
+
+void
+UserApi::compute(uint64_t insts)
+{
+    _kernel._ctx.chargeUserWork(insts);
+    if (_kernel._timer.due()) {
+        _kernel._timer.acknowledge();
+        _kernel._ctx.chargeTrap();
+        _kernel.yieldCurrent(_proc);
+    }
+}
+
+void
+UserApi::yield()
+{
+    _kernel.yieldCurrent(_proc);
+}
+
+void
+UserApi::log(const std::string &text)
+{
+    _kernel._console.write(text);
+}
+
+} // namespace vg::kern

@@ -1,0 +1,29 @@
+#include "kernel/system.hh"
+
+namespace vg::kern
+{
+
+System::System(const SystemConfig &config)
+    : _config(config), _ctx(config.vg), _mem(config.memFrames),
+      _mmu(_mem, _ctx), _iommu(_mem, _ctx), _tpm(config.tpmSeed),
+      _disk(config.diskBlocks, _iommu, _ctx), _nicA(_iommu, _ctx),
+      _nicB(_iommu, _ctx),
+      _vm(_ctx, _mem, _mmu, _iommu, _tpm),
+      _kernel(_ctx, _mem, _mmu, _iommu, _tpm, _disk, _nicA, _nicB, _vm)
+{
+    _nicA.connectTo(&_nicB);
+    _nicB.connectTo(&_nicA);
+}
+
+void
+System::boot()
+{
+    if (_booted)
+        return;
+    _vm.install(_config.rsaBits);
+    _vm.boot();
+    _kernel.boot();
+    _booted = true;
+}
+
+} // namespace vg::kern

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Whole-machine facade: hardware + Virtual Ghost VM + kernel.
+ *
+ * This is the top-level object examples, tests and benchmarks create.
+ * Construction and boot() perform the full paper stack bring-up:
+ * TPM-backed VM install/boot, IOMMU wiring, kernel boot (mkfs), and
+ * the loopback network pair.
+ */
+
+#ifndef VG_KERNEL_SYSTEM_HH
+#define VG_KERNEL_SYSTEM_HH
+
+#include <memory>
+
+#include "kernel/kernel.hh"
+
+namespace vg::kern
+{
+
+/** Machine sizing knobs. */
+struct SystemConfig
+{
+    sim::VgConfig vg = sim::VgConfig::full();
+    uint64_t memFrames = 24 * 1024;      ///< 96 MB RAM
+    uint64_t diskBlocks = 64 * 1024;     ///< 256 MB SSD
+    size_t rsaBits = 384;                ///< VG key size (sim-friendly)
+    std::vector<uint8_t> tpmSeed = {'v', 'g', 't', 'p', 'm'};
+};
+
+/** A booted simulated machine. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &config = SystemConfig());
+
+    /** Install (first boot) + boot the whole stack. */
+    void boot();
+
+    sim::SimContext &ctx() { return _ctx; }
+    hw::PhysMem &mem() { return _mem; }
+    hw::Mmu &mmu() { return _mmu; }
+    hw::Iommu &iommu() { return _iommu; }
+    hw::Tpm &tpm() { return _tpm; }
+    hw::Disk &disk() { return _disk; }
+    sva::SvaVm &vm() { return _vm; }
+    Kernel &kernel() { return _kernel; }
+
+    /** Shorthand: spawn + run until all processes exit. */
+    int
+    runProcess(const std::string &name,
+               std::function<int(UserApi &)> main_fn)
+    {
+        uint64_t pid = _kernel.spawn(name, std::move(main_fn));
+        _kernel.run();
+        auto it = _kernel.exitCodes().find(pid);
+        return it == _kernel.exitCodes().end() ? -1 : it->second;
+    }
+
+  private:
+    SystemConfig _config;
+    sim::SimContext _ctx;
+    hw::PhysMem _mem;
+    hw::Mmu _mmu;
+    hw::Iommu _iommu;
+    hw::Tpm _tpm;
+    hw::Disk _disk;
+    hw::Nic _nicA;
+    hw::Nic _nicB;
+    sva::SvaVm _vm;
+    Kernel _kernel;
+    bool _booted = false;
+};
+
+} // namespace vg::kern
+
+#endif // VG_KERNEL_SYSTEM_HH

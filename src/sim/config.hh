@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Virtual Ghost protection-feature configuration.
+ *
+ * Each flag enables one of the protection mechanisms described in the
+ * paper. The benchmark harnesses compare a native() configuration (all
+ * protections off, modelling the stock FreeBSD kernel baseline) against
+ * full() (the complete Virtual Ghost system); the ablation bench toggles
+ * features individually.
+ */
+
+#ifndef VG_SIM_CONFIG_HH
+#define VG_SIM_CONFIG_HH
+
+namespace vg::sim
+{
+
+/** Which Virtual Ghost protections are compiled into / enforced on the
+ *  simulated kernel. */
+struct VgConfig
+{
+    /** Load/store sandboxing instrumentation on kernel code (S 4.3.1). */
+    bool sandboxMemory = true;
+
+    /** Control-flow integrity labels and checks on kernel code. */
+    bool cfi = true;
+
+    /** Run-time checks on MMU configuration intrinsics (S 4.3.2). */
+    bool mmuChecks = true;
+
+    /** IOMMU restrictions preventing DMA into ghost/SVA frames. */
+    bool dmaProtection = true;
+
+    /** Save Interrupt Contexts in SVA memory and zero registers on
+     *  kernel entry (S 4.6). */
+    bool protectInterruptContext = true;
+
+    /** Refuse to execute unsigned native-code translations (S 4.5). */
+    bool signedTranslations = true;
+
+    /** Serve randomness from the trusted VM generator (S 4.7). */
+    bool secureRng = true;
+
+    /** True when any instrumentation that affects codegen is active. */
+    bool
+    anyInstrumentation() const
+    {
+        return sandboxMemory || cfi;
+    }
+
+    /** The baseline: a stock kernel with no Virtual Ghost features. */
+    static VgConfig
+    native()
+    {
+        VgConfig c;
+        c.sandboxMemory = false;
+        c.cfi = false;
+        c.mmuChecks = false;
+        c.dmaProtection = false;
+        c.protectInterruptContext = false;
+        c.signedTranslations = false;
+        c.secureRng = false;
+        return c;
+    }
+
+    /** The complete Virtual Ghost configuration. */
+    static VgConfig full() { return VgConfig{}; }
+};
+
+} // namespace vg::sim
+
+#endif // VG_SIM_CONFIG_HH

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Aggregated simulation context.
+ *
+ * A SimContext bundles the clock, statistics, protection configuration
+ * and cost model that every layer of the stack shares. It also provides
+ * the charging helpers that translate functional events into simulated
+ * cycles, so cost policy lives in exactly one place.
+ */
+
+#ifndef VG_SIM_CONTEXT_HH
+#define VG_SIM_CONTEXT_HH
+
+#include <cstdint>
+
+#include "sim/clock.hh"
+#include "sim/config.hh"
+#include "sim/costs.hh"
+#include "sim/stats.hh"
+
+namespace vg::sim
+{
+
+/** Shared simulation state: time, stats, config and cost model. */
+class SimContext
+{
+  public:
+    explicit SimContext(VgConfig config = VgConfig::full())
+        : _config(config)
+    {}
+
+    Clock &clock() { return _clock; }
+    const Clock &clock() const { return _clock; }
+    StatSet &stats() { return _stats; }
+    const VgConfig &config() const { return _config; }
+    const CostModel &costs() const { return _costs; }
+    CostModel &mutableCosts() { return _costs; }
+
+    /** Replace the protection configuration (tests/ablation only). */
+    void setConfig(const VgConfig &config) { _config = config; }
+
+    // --- Charging helpers ---------------------------------------------
+
+    /**
+     * Charge a block of kernel computation.
+     *
+     * @param insts   modelled instruction count (includes the memops)
+     * @param memops  discrete loads/stores within those instructions
+     * @param xfers   calls/returns/indirect branches executed
+     */
+    void
+    chargeKernelWork(uint64_t insts, uint64_t memops = 0,
+                     uint64_t xfers = 0)
+    {
+        Cycles c = insts * _costs.kernInst;
+        if (_config.sandboxMemory)
+            c += memops * _costs.sandboxPerMemop;
+        if (_config.cfi)
+            c += xfers * _costs.cfiPerTransfer;
+        _clock.advance(c);
+        _stats.add("kernel.insts", insts);
+        _stats.add("kernel.memops", memops);
+        _stats.add("kernel.transfers", xfers);
+    }
+
+    /** Charge a bulk kernel copy (memcpy/copyin/copyout) of @p bytes. */
+    void
+    chargeKernelBulk(uint64_t bytes)
+    {
+        Cycles c = bytes / _costs.bulkBytesPerCycle + 4;
+        if (_config.sandboxMemory)
+            c += _costs.sandboxPerBulk;
+        _clock.advance(c);
+        _stats.add("kernel.bulk_bytes", bytes);
+    }
+
+    /** Charge syscall entry + exit gate cost. */
+    void
+    chargeSyscallGate()
+    {
+        Cycles c = _costs.syscallGate;
+        if (_config.protectInterruptContext)
+            c += _costs.syscallGateVgExtra;
+        _clock.advance(c);
+        _stats.add("sva.syscalls");
+    }
+
+    /** Charge trap/interrupt delivery. */
+    void
+    chargeTrap()
+    {
+        Cycles c = _costs.trapEntry;
+        if (_config.protectInterruptContext)
+            c += _costs.trapVgExtra;
+        _clock.advance(c);
+        _stats.add("sva.traps");
+    }
+
+    /** Charge a context switch. */
+    void
+    chargeContextSwitch()
+    {
+        Cycles c = _costs.contextSwitch;
+        if (_config.protectInterruptContext)
+            c += _costs.contextSwitchVgExtra;
+        _clock.advance(c);
+        _stats.add("sva.context_switches");
+    }
+
+    /** Charge one page-table-entry update. */
+    void
+    chargeMmuUpdate()
+    {
+        Cycles c = _costs.mmuUpdate;
+        if (_config.mmuChecks)
+            c += _costs.mmuUpdateVgExtra;
+        _clock.advance(c);
+        _stats.add("sva.mmu_updates");
+    }
+
+    /** Charge application-side computation (uninstrumented). */
+    void
+    chargeUserWork(uint64_t insts)
+    {
+        _clock.advance(insts * _costs.kernInst);
+        _stats.add("user.insts", insts);
+    }
+
+    /** Charge application-side AES over @p bytes. */
+    void
+    chargeAes(uint64_t bytes)
+    {
+        _clock.advance(bytes * _costs.aesPerByte);
+        _stats.add("crypto.aes_bytes", bytes);
+    }
+
+    /** Charge application-side SHA-256 over @p bytes. */
+    void
+    chargeSha(uint64_t bytes)
+    {
+        _clock.advance(bytes * _costs.shaPerByte);
+        _stats.add("crypto.sha_bytes", bytes);
+    }
+
+  private:
+    Clock _clock;
+    StatSet _stats;
+    VgConfig _config;
+    CostModel _costs;
+};
+
+} // namespace vg::sim
+
+#endif // VG_SIM_CONTEXT_HH

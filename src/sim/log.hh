@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Logging and error-reporting helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (simulator bugs), fatal() is for user/configuration errors,
+ * warn() and inform() are non-fatal status channels.
+ */
+
+#ifndef VG_SIM_LOG_HH
+#define VG_SIM_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace vg::sim
+{
+
+/** Verbosity levels for the status channels. */
+enum class LogLevel
+{
+    Quiet,
+    Warn,
+    Inform,
+    Debug,
+};
+
+/** Set the global verbosity; defaults to Warn. */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/**
+ * Report an unrecoverable internal error (a simulator bug) and abort.
+ *
+ * @param fmt printf-style format string.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error (bad configuration or arguments)
+ * and exit with status 1.
+ *
+ * @param fmt printf-style format string.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious but survivable condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operational status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report detailed debugging output (only at LogLevel::Debug). */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace vg::sim
+
+#endif // VG_SIM_LOG_HH

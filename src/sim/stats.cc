@@ -1,0 +1,17 @@
+#include "sim/stats.hh"
+
+#include <sstream>
+
+namespace vg::sim
+{
+
+std::string
+StatSet::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : _counters)
+        os << name << " " << value << "\n";
+    return os.str();
+}
+
+} // namespace vg::sim

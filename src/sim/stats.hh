@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Named statistic counters.
+ *
+ * A StatSet is a registry of named 64-bit counters used throughout the
+ * simulation (kernel memory accesses, CFI checks, MMU updates, DMA
+ * bytes, ...). Counters are created on first use and can be dumped or
+ * snapshotted for differential measurement.
+ */
+
+#ifndef VG_SIM_STATS_HH
+#define VG_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vg::sim
+{
+
+/** A registry of named monotonically increasing counters. */
+class StatSet
+{
+  public:
+    /** Increment the counter @p name by @p delta (creating it at 0). */
+    void
+    add(const std::string &name, uint64_t delta = 1)
+    {
+        _counters[name] += delta;
+    }
+
+    /** Current value of @p name (0 if never touched). */
+    uint64_t
+    get(const std::string &name) const
+    {
+        auto it = _counters.find(name);
+        return it == _counters.end() ? 0 : it->second;
+    }
+
+    /** All counters in name order. */
+    const std::map<std::string, uint64_t> &all() const { return _counters; }
+
+    /** Reset every counter to zero. */
+    void reset() { _counters.clear(); }
+
+    /** Render the counters as one line per stat, "name value". */
+    std::string dump() const;
+
+  private:
+    std::map<std::string, uint64_t> _counters;
+};
+
+} // namespace vg::sim
+
+#endif // VG_SIM_STATS_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Per-physical-frame metadata tracked by the Virtual Ghost VM.
+ *
+ * Every MMU check in S 4.3.2 reduces to consulting and maintaining this
+ * table: what a frame is currently used for, and how many leaf PTEs
+ * reference it. The OS can request mappings only through SVA-OS
+ * intrinsics, which keep this table authoritative.
+ */
+
+#ifndef VG_SVA_FRAME_META_HH
+#define VG_SVA_FRAME_META_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/layout.hh"
+
+namespace vg::sva
+{
+
+/** What a physical frame is being used for. */
+enum class FrameType : uint8_t
+{
+    Free,      ///< owned by the OS allocator, unmapped
+    Data,      ///< ordinary kernel/user data page
+    Ghost,     ///< ghost memory — invisible to the OS
+    PageTable, ///< declared page-table page (level in `level`)
+    Code,      ///< translated native code / application text
+    SvaInternal, ///< Virtual Ghost VM private state
+};
+
+/** Name for diagnostics. */
+const char *frameTypeName(FrameType t);
+
+/** Metadata for one frame. */
+struct FrameMeta
+{
+    FrameType type = FrameType::Free;
+    uint8_t level = 0;      ///< page-table level when type==PageTable
+    uint32_t mapCount = 0;  ///< leaf PTEs referencing this frame
+    uint64_t owner = 0;     ///< owning process id for Ghost frames
+};
+
+/** The frame table. */
+class FrameTable
+{
+  public:
+    explicit FrameTable(uint64_t frames) : _meta(frames) {}
+
+    FrameMeta &
+    operator[](hw::Frame f)
+    {
+        return _meta.at(f);
+    }
+
+    const FrameMeta &
+    operator[](hw::Frame f) const
+    {
+        return _meta.at(f);
+    }
+
+    uint64_t size() const { return _meta.size(); }
+
+    /** Count frames of a given type (tests/telemetry). */
+    uint64_t
+    count(FrameType t) const
+    {
+        uint64_t n = 0;
+        for (const auto &m : _meta)
+            n += m.type == t ? 1 : 0;
+        return n;
+    }
+
+  private:
+    std::vector<FrameMeta> _meta;
+};
+
+} // namespace vg::sva
+
+#endif // VG_SVA_FRAME_META_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Interrupt Context and Thread State (S 4.6).
+ *
+ * The Interrupt Context is the interrupted user program's register
+ * state. Virtual Ghost saves it inside SVA VM internal memory (via the
+ * IST mechanism), zeroes the registers the kernel would otherwise see,
+ * and only lets the kernel manipulate it through checked intrinsics:
+ * sva.icontext.save/load (signal dispatch), sva.ipush.function
+ * (call a *registered* handler), sva.reinit.icontext (execve), and
+ * sva.newstate (thread creation).
+ */
+
+#ifndef VG_SVA_ICONTEXT_HH
+#define VG_SVA_ICONTEXT_HH
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace vg::sva
+{
+
+/** Saved user-mode register state. */
+struct InterruptContext
+{
+    /** General-purpose registers; [0..5] carry syscall arguments. */
+    std::array<uint64_t, 16> regs{};
+    uint64_t pc = 0;
+    uint64_t sp = 0;
+    uint64_t flags = 0;
+    bool userMode = true;
+    bool valid = false;
+};
+
+/**
+ * Pending signal-handler invocation pushed by sva.ipush.function.
+ * The application runtime consumes these when the thread resumes to
+ * user mode.
+ */
+struct PushedCall
+{
+    uint64_t handler = 0;
+    uint64_t arg = 0;
+};
+
+/** Per-thread state owned by the SVA VM. */
+struct SvaThread
+{
+    uint64_t id = 0;
+    uint64_t processId = 0;
+
+    /** Live Interrupt Context (top = current entry). */
+    InterruptContext ic;
+
+    /**
+     * Saved-IC stack used by signal dispatch: sva.icontext.save pushes,
+     * sva.icontext.load pops (paper: per-thread stack inside SVA
+     * memory, unlike original SVA which used the kernel stack).
+     */
+    std::vector<InterruptContext> icStack;
+
+    /** Pending checked handler invocations. */
+    std::vector<PushedCall> pushedCalls;
+
+    /** Kernel continuation entry (validated at sva.newstate). */
+    uint64_t kernelEntry = 0;
+
+    bool liveOnCpu = false;
+};
+
+} // namespace vg::sva
+
+#endif // VG_SVA_ICONTEXT_HH

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Checked MMU intrinsics (S 4.3.2).
+ *
+ * The kernel cannot write page tables directly (page-table frames are
+ * locked against ordinary stores by the instrumented memory path); it
+ * must use these operations, each of which validates the update against
+ * the frame-type table:
+ *
+ *  - no mapping may ever target a Ghost or SvaInternal frame,
+ *  - no mapping may be established *at* a ghost virtual address,
+ *  - page-table frames may only be referenced from parent tables (no
+ *    writable aliases),
+ *  - Code frames may only be mapped read-only, and an existing code
+ *    mapping may not be redirected to a different frame or made
+ *    writable.
+ */
+
+#include "sva/vm.hh"
+
+#include "sim/log.hh"
+
+namespace vg::sva
+{
+
+using hw::pte::frameNum;
+
+bool
+SvaVm::declarePtPage(hw::Frame frame, int level, SvaError *err)
+{
+    _ctx.chargeMmuUpdate();
+    if (!_mem.validFrame(frame))
+        return failOp(err, "declarePtPage: bad frame");
+    if (level < 1 || level > 4)
+        return failOp(err, "declarePtPage: bad level");
+    FrameMeta &meta = _frames[frame];
+    if (meta.type != FrameType::Free || meta.mapCount != 0) {
+        return failOp(err, sim::strprintf(
+                               "declarePtPage: frame %lu is %s/%u, not "
+                               "a free unmapped frame",
+                               (unsigned long)frame,
+                               frameTypeName(meta.type), meta.mapCount));
+    }
+    _mem.zeroFrame(frame);
+    meta.type = FrameType::PageTable;
+    meta.level = uint8_t(level);
+    _iommu.protectFrame(frame);
+    return true;
+}
+
+bool
+SvaVm::undeclarePtPage(hw::Frame frame, SvaError *err)
+{
+    _ctx.chargeMmuUpdate();
+    if (!_mem.validFrame(frame))
+        return failOp(err, "undeclarePtPage: bad frame");
+    FrameMeta &meta = _frames[frame];
+    if (meta.type != FrameType::PageTable)
+        return failOp(err, "undeclarePtPage: not a page-table page");
+    // A table being retired must not still contain live entries.
+    for (uint64_t i = 0; i < hw::pageSize / 8; i++) {
+        if (_mem.read64(frame * hw::pageSize + i * 8) &
+            hw::pte::present) {
+            return failOp(err,
+                          "undeclarePtPage: table still has live "
+                          "entries");
+        }
+    }
+    _mem.zeroFrame(frame);
+    meta.type = FrameType::Free;
+    meta.level = 0;
+    _iommu.unprotectFrame(frame);
+    return true;
+}
+
+bool
+SvaVm::installTable(hw::Frame parent, int parent_level, hw::Vaddr va,
+                    hw::Frame child, SvaError *err)
+{
+    _ctx.chargeMmuUpdate();
+    if (!_mem.validFrame(parent) || !_mem.validFrame(child))
+        return failOp(err, "installTable: bad frame");
+    if (_ctx.config().mmuChecks && hw::isGhostAddr(va))
+        return failOp(err, "installTable: ghost virtual address");
+    const FrameMeta &pm = _frames[parent];
+    const FrameMeta &cm = _frames[child];
+    if (pm.type != FrameType::PageTable || pm.level != parent_level ||
+        parent_level < 2) {
+        return failOp(err, "installTable: parent is not a page table "
+                           "of the stated level");
+    }
+    if (cm.type != FrameType::PageTable ||
+        cm.level != parent_level - 1) {
+        return failOp(err, "installTable: child is not a declared "
+                           "page table of the next level");
+    }
+    uint64_t idx = hw::ptIndex(va, hw::PtLevel(parent_level));
+    hw::Paddr slot = parent * hw::pageSize + idx * 8;
+    if (_mem.read64(slot) & hw::pte::present)
+        return failOp(err, "installTable: slot already populated");
+    _mem.write64(slot, hw::pte::make(child, true, true, false));
+    return true;
+}
+
+bool
+SvaVm::uninstallTable(hw::Frame parent, int parent_level, hw::Vaddr va,
+                      SvaError *err)
+{
+    _ctx.chargeMmuUpdate();
+    if (!_mem.validFrame(parent))
+        return failOp(err, "uninstallTable: bad parent frame");
+    const FrameMeta &pm = _frames[parent];
+    if (pm.type != FrameType::PageTable || pm.level != parent_level ||
+        parent_level < 2)
+        return failOp(err, "uninstallTable: parent is not a page "
+                           "table of the stated level");
+    uint64_t idx = hw::ptIndex(va, hw::PtLevel(parent_level));
+    hw::Paddr slot = parent * hw::pageSize + idx * 8;
+    hw::Pte entry = _mem.read64(slot);
+    if (!(entry & hw::pte::present))
+        return failOp(err, "uninstallTable: slot empty");
+    hw::Frame child = hw::pte::frameNum(entry);
+    FrameMeta &cm = _frames[child];
+    if (cm.type != FrameType::PageTable ||
+        cm.level != parent_level - 1)
+        return failOp(err, "uninstallTable: slot does not reference a "
+                           "child table");
+    for (uint64_t i = 0; i < hw::pageSize / 8; i++) {
+        if (_mem.read64(child * hw::pageSize + i * 8) &
+            hw::pte::present)
+            return failOp(err, "uninstallTable: child table still has "
+                               "live entries");
+    }
+    _mem.write64(slot, 0);
+    _mem.zeroFrame(child);
+    cm.type = FrameType::Free;
+    cm.level = 0;
+    _iommu.unprotectFrame(child);
+    return true;
+}
+
+bool
+SvaVm::walkToLeafSlot(hw::Frame root, hw::Vaddr va, hw::Paddr &slot,
+                      SvaError *err)
+{
+    if (_frames[root].type != FrameType::PageTable ||
+        _frames[root].level != 4)
+        return failOp(err, "walk: root is not a declared L4 table");
+
+    hw::Frame table = root;
+    for (int level = 4; level >= 2; level--) {
+        uint64_t idx = hw::ptIndex(va, hw::PtLevel(level));
+        hw::Pte entry = _mem.read64(table * hw::pageSize + idx * 8);
+        if (!(entry & hw::pte::present))
+            return failOp(err, sim::strprintf(
+                                   "walk: missing level-%d table for "
+                                   "va %#lx",
+                                   level - 1, (unsigned long)va));
+        table = frameNum(entry);
+        if (_frames[table].type != FrameType::PageTable)
+            return failOp(err, "walk: intermediate entry does not "
+                               "reference a page-table frame");
+    }
+    slot = table * hw::pageSize + hw::ptIndex(va, hw::PtLevel::L1) * 8;
+    return true;
+}
+
+bool
+SvaVm::mapPage(hw::Frame root, hw::Vaddr va, hw::Frame target,
+               bool writable, bool user, bool no_exec, SvaError *err)
+{
+    _ctx.chargeMmuUpdate();
+    if (!_mem.validFrame(target))
+        return failOp(err, "mapPage: bad target frame");
+    if (_ctx.config().mmuChecks && hw::isGhostAddr(va))
+        return failOp(err, "mapPage: the OS may not map ghost "
+                           "virtual addresses");
+    if (hw::isSvaAddr(va))
+        return failOp(err, "mapPage: SVA internal virtual address");
+
+    const FrameMeta &tm = _frames[target];
+    if (_ctx.config().mmuChecks) {
+        switch (tm.type) {
+          case FrameType::Ghost:
+            return failOp(err, "mapPage: target is a ghost frame");
+          case FrameType::SvaInternal:
+            return failOp(err, "mapPage: target is SVA internal");
+          case FrameType::PageTable:
+            return failOp(err, "mapPage: page-table frames may not be "
+                               "mapped (no writable aliases)");
+          case FrameType::Code:
+            if (writable)
+                return failOp(err, "mapPage: code frames are never "
+                                   "writable");
+            break;
+          default:
+            break;
+        }
+    }
+
+    hw::Paddr slot = 0;
+    if (!walkToLeafSlot(root, va, slot, err))
+        return false;
+
+    hw::Pte old = _mem.read64(slot);
+    if (old & hw::pte::present) {
+        hw::Frame old_frame = frameNum(old);
+        if (_ctx.config().mmuChecks &&
+            _frames[old_frame].type == FrameType::Code) {
+            return failOp(err, "mapPage: refusing to redirect a code "
+                               "mapping (S 4.5)");
+        }
+        if (_frames[old_frame].mapCount > 0)
+            _frames[old_frame].mapCount--;
+    }
+
+    _mem.write64(slot, hw::pte::make(target, writable, user, no_exec));
+    _frames[target].mapCount++;
+    if (_frames[target].type == FrameType::Free)
+        _frames[target].type = FrameType::Data;
+    _mmu.invalidatePage(va);
+    return true;
+}
+
+bool
+SvaVm::unmapPage(hw::Frame root, hw::Vaddr va, SvaError *err)
+{
+    _ctx.chargeMmuUpdate();
+    if (_ctx.config().mmuChecks && hw::isGhostAddr(va))
+        return failOp(err, "unmapPage: ghost virtual address");
+
+    hw::Paddr slot = 0;
+    if (!walkToLeafSlot(root, va, slot, err))
+        return false;
+    hw::Pte old = _mem.read64(slot);
+    if (!(old & hw::pte::present))
+        return failOp(err, "unmapPage: not mapped");
+    hw::Frame old_frame = frameNum(old);
+    if (_frames[old_frame].mapCount > 0)
+        _frames[old_frame].mapCount--;
+    if (_frames[old_frame].type == FrameType::Data &&
+        _frames[old_frame].mapCount == 0)
+        _frames[old_frame].type = FrameType::Free;
+    _mem.write64(slot, 0);
+    _mmu.invalidatePage(va);
+    return true;
+}
+
+bool
+SvaVm::protectPage(hw::Frame root, hw::Vaddr va, bool writable,
+                   bool no_exec, SvaError *err)
+{
+    _ctx.chargeMmuUpdate();
+    if (_ctx.config().mmuChecks && hw::isGhostAddr(va))
+        return failOp(err, "protectPage: ghost virtual address");
+
+    hw::Paddr slot = 0;
+    if (!walkToLeafSlot(root, va, slot, err))
+        return false;
+    hw::Pte old = _mem.read64(slot);
+    if (!(old & hw::pte::present))
+        return failOp(err, "protectPage: not mapped");
+    hw::Frame frame = frameNum(old);
+    if (_ctx.config().mmuChecks &&
+        _frames[frame].type == FrameType::Code && writable) {
+        return failOp(err, "protectPage: code pages can never become "
+                           "writable (S 4.5)");
+    }
+    _mem.write64(slot, hw::pte::make(frame, writable,
+                                     (old & hw::pte::user) != 0,
+                                     no_exec));
+    _mmu.invalidatePage(va);
+    return true;
+}
+
+bool
+SvaVm::loadRoot(hw::Frame root, SvaError *err)
+{
+    _ctx.chargeMmuUpdate();
+    if (!_mem.validFrame(root))
+        return failOp(err, "loadRoot: bad frame");
+    if (_frames[root].type != FrameType::PageTable ||
+        _frames[root].level != 4)
+        return failOp(err, "loadRoot: not a declared L4 root");
+    _mmu.setRoot(root * hw::pageSize);
+    return true;
+}
+
+} // namespace vg::sva

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * The Virtual Ghost VM (SVA-OS runtime).
+ *
+ * This is the paper's primary contribution: a thin hardware abstraction
+ * layer that runs at the *same* privilege level as the kernel but is
+ * protected from it by compiler instrumentation. It owns:
+ *
+ *  - the frame-type table backing all MMU checks (S 4.3.2),
+ *  - ghost memory management: allocgm/freegm and secure swapping
+ *    (S 3.2, S 3.3),
+ *  - Interrupt Context save/load/push/reinit and thread state
+ *    (S 4.6),
+ *  - the key-management chain TPM => VG keypair => application keys
+ *    (S 4.4), including application binary signature validation,
+ *  - the trusted random number instruction (S 4.7),
+ *  - the trusted translator: the only way code enters the kernel
+ *    (S 4.2, S 4.5).
+ *
+ * The kernel talks to hardware exclusively through this API.
+ */
+
+#ifndef VG_SVA_VM_HH
+#define VG_SVA_VM_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "compiler/translator.hh"
+#include "crypto/drbg.hh"
+#include "crypto/rsa.hh"
+#include "crypto/sealed.hh"
+#include "hw/iommu.hh"
+#include "hw/mmu.hh"
+#include "hw/phys_mem.hh"
+#include "hw/tpm.hh"
+#include "sva/frame_meta.hh"
+#include "sva/icontext.hh"
+
+namespace vg::sva
+{
+
+/** A signed application binary (S 4.4/S 4.5): the object format is
+ *  extended with an encrypted application-key section, and the whole
+ *  binary is signed at install time. */
+struct AppBinary
+{
+    std::string name;
+    /** Stand-in for the program text the loader hashes. */
+    std::string codeIdentity;
+    /** Application AES key, RSA-encrypted to the VG public key. */
+    std::vector<uint8_t> keySection;
+    /** VG signature over name || identity || keySection. */
+    std::vector<uint8_t> signature;
+};
+
+/** Outcome and diagnostics of a checked SVA-OS operation. */
+struct SvaError
+{
+    std::string message;
+};
+
+/** The Virtual Ghost virtual machine. */
+class SvaVm
+{
+  public:
+    SvaVm(sim::SimContext &ctx, hw::PhysMem &mem, hw::Mmu &mmu,
+          hw::Iommu &iommu, hw::Tpm &tpm);
+
+    // ----------------------------------------------------------------
+    // Install / boot (S 4.4)
+    // ----------------------------------------------------------------
+
+    /** First-boot installation: generate the VG RSA key pair and seal
+     *  the private key under the TPM storage key. @p rsa_bits is kept
+     *  small by default so simulations stay fast. */
+    void install(size_t rsa_bits = 512);
+
+    /** Boot: unseal the private key and initialize the translator. */
+    void boot();
+
+    const crypto::RsaPublicKey &publicKey() const { return _publicKey; }
+
+    // ----------------------------------------------------------------
+    // Frame accounting
+    // ----------------------------------------------------------------
+
+    FrameTable &frames() { return _frames; }
+    const FrameTable &frames() const { return _frames; }
+
+    /** The OS supplies/receives frames for ghost allocation through
+     *  these callbacks (the OS stays the owner of physical memory). */
+    void setFrameProvider(std::function<std::optional<hw::Frame>()> p)
+    {
+        _frameProvider = std::move(p);
+    }
+    void setFrameReceiver(std::function<void(hw::Frame)> r)
+    {
+        _frameReceiver = std::move(r);
+    }
+
+    /** Reserve a frame as SVA internal memory (boot-time). */
+    void reserveSvaFrame(hw::Frame frame);
+
+    // ----------------------------------------------------------------
+    // MMU intrinsics (S 4.3.2) — every one is checked
+    // ----------------------------------------------------------------
+
+    /** Declare @p frame as a page-table page of @p level (1..4).
+     *  Zeroes it and locks it against direct kernel writes. */
+    bool declarePtPage(hw::Frame frame, int level, SvaError *err);
+
+    /** Return a page-table page to ordinary use (must be unlinked). */
+    bool undeclarePtPage(hw::Frame frame, SvaError *err);
+
+    /** Link page-table page @p child under @p parent at the slot
+     *  covering @p va. Parent must be level @p parent_level. */
+    bool installTable(hw::Frame parent, int parent_level, hw::Vaddr va,
+                      hw::Frame child, SvaError *err);
+
+    /** Unlink and retire the (empty) child table under @p parent at
+     *  the slot covering @p va; the child frame returns to Free and
+     *  can be reclaimed by the OS. */
+    bool uninstallTable(hw::Frame parent, int parent_level,
+                        hw::Vaddr va, SvaError *err);
+
+    /** Install a leaf mapping va -> target in the tree rooted at
+     *  @p root. Rejected for ghost VAs, ghost/SVA/PT/code target
+     *  frames (code may map read-only+exec via @p exec_only). */
+    bool mapPage(hw::Frame root, hw::Vaddr va, hw::Frame target,
+                 bool writable, bool user, bool no_exec, SvaError *err);
+
+    /** Remove a leaf mapping. Rejected for ghost VAs. */
+    bool unmapPage(hw::Frame root, hw::Vaddr va, SvaError *err);
+
+    /** Change protections on an existing leaf. Code pages can never
+     *  become writable. */
+    bool protectPage(hw::Frame root, hw::Vaddr va, bool writable,
+                     bool no_exec, SvaError *err);
+
+    /** Load a new address-space root ("mov cr3"), checked. */
+    bool loadRoot(hw::Frame root, SvaError *err);
+
+    // ----------------------------------------------------------------
+    // Ghost memory (S 3.2, Table 1; S 3.3 swapping)
+    // ----------------------------------------------------------------
+
+    /** allocgm(): map @p npages zeroed ghost frames at @p va for the
+     *  process owning @p root. */
+    bool allocGhostMemory(uint64_t pid, hw::Frame root, hw::Vaddr va,
+                          uint64_t npages, SvaError *err);
+
+    /** freegm(): unmap, zero, and return the frames to the OS. */
+    bool freeGhostMemory(uint64_t pid, hw::Frame root, hw::Vaddr va,
+                         uint64_t npages, SvaError *err);
+
+    /** Encrypt+MAC a ghost page so the OS may swap it out; the frame is
+     *  zeroed and returned to the OS. */
+    std::optional<crypto::SealedBlob> swapOutGhostPage(uint64_t pid,
+                                                       hw::Frame root,
+                                                       hw::Vaddr va,
+                                                       SvaError *err);
+
+    /** Verify and restore a swapped ghost page. */
+    bool swapInGhostPage(uint64_t pid, hw::Frame root, hw::Vaddr va,
+                         const crypto::SealedBlob &blob, SvaError *err);
+
+    /** Release every ghost frame owned by @p pid (process exit /
+     *  execve reinit). The frames are zeroed and returned to the OS. */
+    void releaseGhostMemory(uint64_t pid, hw::Frame root);
+
+    /** Ghost pages currently owned by @p pid. */
+    uint64_t ghostPageCount(uint64_t pid) const;
+
+    /** Virtual addresses of @p pid's resident ghost pages (the OS
+     *  sees only addresses, never contents — it needs them to pick
+     *  swap victims). */
+    std::vector<hw::Vaddr> ghostPagesOf(uint64_t pid) const;
+
+    // ----------------------------------------------------------------
+    // Interrupt Context and thread state (S 4.6)
+    // ----------------------------------------------------------------
+
+    /** sva.newstate(): create a thread whose kernel continuation is
+     *  @p kernel_entry; the new IC is cloned from @p clone_from if
+     *  nonzero. Kernel entry points must be pre-registered. */
+    SvaThread *newThread(uint64_t pid, uint64_t kernel_entry,
+                         uint64_t clone_from_tid, SvaError *err);
+
+    /** Register a permissible kernel-continuation entry point. */
+    void registerKernelEntry(uint64_t entry);
+
+    SvaThread *thread(uint64_t tid);
+
+    /** Destroy a thread's SVA state. */
+    void destroyThread(uint64_t tid);
+
+    /** sva.icontext.save(): push a copy of the live IC. */
+    bool icontextSave(uint64_t tid, SvaError *err);
+
+    /** sva.icontext.load(): pop the saved IC back (sigreturn). */
+    bool icontextLoad(uint64_t tid, SvaError *err);
+
+    /** sva.permitFunction(): application registers a valid handler. */
+    void permitFunction(uint64_t pid, uint64_t handler);
+
+    /** sva.ipush.function(): make the interrupted thread run
+     *  @p handler on resume — only if registered (S 4.6.1). */
+    bool ipushFunction(uint64_t tid, uint64_t handler, uint64_t arg,
+                       SvaError *err);
+
+    /** sva.reinit.icontext(): execve path — reset IC to a fresh image
+     *  and drop the old image's ghost memory (S 4.6.2). */
+    bool reinitIcontext(uint64_t tid, uint64_t pc, uint64_t sp,
+                        hw::Frame root, SvaError *err);
+
+    /** Syscall/trap gate: save IC into SVA memory and zero registers
+     *  (cost-accounted; S 4.6). */
+    void syscallEnter(uint64_t tid);
+    void syscallExit(uint64_t tid);
+
+    // ----------------------------------------------------------------
+    // Keys (S 4.4)
+    // ----------------------------------------------------------------
+
+    /** Trusted install tool: package an application with its key. */
+    AppBinary packageApp(const std::string &name,
+                         const std::string &code_identity,
+                         const crypto::AesKey &app_key);
+
+    /** Loader-side validation; false => refuse to start the app. */
+    bool validateAppBinary(const AppBinary &binary, SvaError *err);
+
+    /** Associate a validated binary with a process (exec time). */
+    bool bindProcessToApp(uint64_t pid, const AppBinary &binary,
+                          SvaError *err);
+
+    /** sva.getKey(): the application retrieves its key. */
+    std::optional<crypto::AesKey> getKey(uint64_t pid);
+
+    /** Drop a process's key binding (exit). */
+    void unbindProcess(uint64_t pid);
+
+    /**
+     * Rollback protection (paper S 10 future work): each application
+     * (by binary name) owns a TPM monotonic counter the OS cannot
+     * rewind. Applications bind fresh file versions to the counter
+     * so replayed old ciphertexts fail verification.
+     */
+    uint64_t counterIncrement(uint64_t pid);
+
+    /** Current counter value for @p pid's application (0 if none). */
+    uint64_t counterRead(uint64_t pid);
+
+    // ----------------------------------------------------------------
+    // Trusted randomness (S 4.7)
+    // ----------------------------------------------------------------
+
+    void secureRandom(void *out, size_t len);
+
+    // ----------------------------------------------------------------
+    // Translator (S 4.2 / S 4.5)
+    // ----------------------------------------------------------------
+
+    /** Translate a kernel module shipped as VIR text; assigns a code
+     *  base in the module code region. */
+    cc::TranslateResult translateKernelModule(const std::string &text);
+
+    /** Refuse-unsigned check used before any execution. */
+    bool verifyImage(const cc::MachineImage &image) const;
+
+    sim::SimContext &ctx() { return _ctx; }
+    hw::Mmu &mmu() { return _mmu; }
+    hw::PhysMem &mem() { return _mem; }
+    hw::Iommu &iommu() { return _iommu; }
+
+    /** Count of rejected checked operations (attack telemetry). */
+    uint64_t violationCount() const { return _violations; }
+
+  private:
+    bool failOp(SvaError *err, const std::string &message);
+    bool walkToLeafSlot(hw::Frame root, hw::Vaddr va, hw::Paddr &slot,
+                        SvaError *err);
+    bool mapGhostPage(hw::Frame root, hw::Vaddr va, hw::Frame frame,
+                      SvaError *err);
+    crypto::AesKey swapKey() const;
+
+    sim::SimContext &_ctx;
+    hw::PhysMem &_mem;
+    hw::Mmu &_mmu;
+    hw::Iommu &_iommu;
+    hw::Tpm &_tpm;
+
+    FrameTable _frames;
+    crypto::CtrDrbg _rng;
+
+    crypto::RsaPublicKey _publicKey;
+    crypto::RsaPrivateKey _privateKey;
+    crypto::SealedBlob _sealedPrivateKey;
+    bool _installed = false;
+    bool _booted = false;
+
+    std::vector<uint8_t> _translationKey;
+    std::unique_ptr<cc::Translator> _translator;
+    uint64_t _nextCodeBase;
+
+    std::function<std::optional<hw::Frame>()> _frameProvider;
+    std::function<void(hw::Frame)> _frameReceiver;
+
+    std::map<uint64_t, SvaThread> _threads;
+    uint64_t _nextTid = 1;
+    std::set<uint64_t> _kernelEntries;
+    std::map<uint64_t, std::set<uint64_t>> _permitted; // pid -> fns
+    std::map<uint64_t, crypto::AesKey> _processKeys;   // pid -> key
+    std::map<uint64_t, std::string> _processApp;       // pid -> name
+    std::map<std::string, uint32_t> _appCounterIdx;    // name -> TPM idx
+    uint32_t _nextCounterIdx = 1;
+    std::map<uint64_t, std::vector<std::pair<hw::Frame, hw::Vaddr>>>
+        _ghostPages; // pid -> (frame, va)
+
+    uint64_t _violations = 0;
+};
+
+} // namespace vg::sva
+
+#endif // VG_SVA_VM_HH

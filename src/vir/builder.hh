@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Convenience builder for constructing VIR in C++ (the way our kernel
+ * module sources — including the rootkit of S 7 — are authored when not
+ * shipped as text).
+ */
+
+#ifndef VG_VIR_BUILDER_HH
+#define VG_VIR_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "vir/module.hh"
+
+namespace vg::vir
+{
+
+/** Appends instructions to a function under construction. */
+class IrBuilder
+{
+  public:
+    explicit IrBuilder(Module &mod) : _mod(mod) {}
+
+    /** Start a new function; parameters occupy %0..%num_params-1. */
+    Function &beginFunction(const std::string &name, int num_params);
+
+    /** Allocate a fresh virtual register in the current function. */
+    int newReg();
+
+    /** Create a new basic block and return its index. */
+    int makeBlock(const std::string &name);
+
+    /** Direct subsequent instructions into block @p index. */
+    void setInsertPoint(int index);
+
+    int currentBlock() const { return _blockIndex; }
+
+    // --- Instruction helpers (each returns the dst register) ---------
+    int constI(uint64_t value);
+    int mov(int a);
+    int binop(Opcode op, int a, int b);
+    int add(int a, int b) { return binop(Opcode::Add, a, b); }
+    int sub(int a, int b) { return binop(Opcode::Sub, a, b); }
+    int mul(int a, int b) { return binop(Opcode::Mul, a, b); }
+    int andOp(int a, int b) { return binop(Opcode::And, a, b); }
+    int orOp(int a, int b) { return binop(Opcode::Or, a, b); }
+    int xorOp(int a, int b) { return binop(Opcode::Xor, a, b); }
+    int shl(int a, int b) { return binop(Opcode::Shl, a, b); }
+    int lshr(int a, int b) { return binop(Opcode::LShr, a, b); }
+    int icmp(CmpPred pred, int a, int b);
+    int load(int addr, Width width = Width::I64);
+    void store(int addr, int value, Width width = Width::I64);
+    void memcpy(int dst_addr, int src_addr, int len);
+    int alloca(uint64_t bytes);
+    void br(int target);
+    void condBr(int cond, int then_target, int else_target);
+    int call(const std::string &callee, const std::vector<int> &args);
+    int callInd(int target, const std::vector<int> &args);
+    int funcAddr(const std::string &callee);
+    void ret(int value = -1);
+    void retVoid() { ret(-1); }
+
+  private:
+    void append(Inst inst);
+
+    Module &_mod;
+    Function *_fn = nullptr;
+    int _blockIndex = -1;
+};
+
+} // namespace vg::vir
+
+#endif // VG_VIR_BUILDER_HH

@@ -1,0 +1,105 @@
+#include "vir/inst.hh"
+
+namespace vg::vir
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::ConstI:
+        return "const";
+      case Opcode::Mov:
+        return "mov";
+      case Opcode::Add:
+        return "add";
+      case Opcode::Sub:
+        return "sub";
+      case Opcode::Mul:
+        return "mul";
+      case Opcode::UDiv:
+        return "udiv";
+      case Opcode::URem:
+        return "urem";
+      case Opcode::And:
+        return "and";
+      case Opcode::Or:
+        return "or";
+      case Opcode::Xor:
+        return "xor";
+      case Opcode::Shl:
+        return "shl";
+      case Opcode::LShr:
+        return "lshr";
+      case Opcode::AShr:
+        return "ashr";
+      case Opcode::ICmp:
+        return "icmp";
+      case Opcode::Load:
+        return "load";
+      case Opcode::Store:
+        return "store";
+      case Opcode::Memcpy:
+        return "memcpy";
+      case Opcode::Alloca:
+        return "alloca";
+      case Opcode::Br:
+        return "br";
+      case Opcode::CondBr:
+        return "condbr";
+      case Opcode::Call:
+        return "call";
+      case Opcode::CallInd:
+        return "callind";
+      case Opcode::FuncAddr:
+        return "funcaddr";
+      case Opcode::Ret:
+        return "ret";
+    }
+    return "?";
+}
+
+const char *
+predName(CmpPred pred)
+{
+    switch (pred) {
+      case CmpPred::Eq:
+        return "eq";
+      case CmpPred::Ne:
+        return "ne";
+      case CmpPred::Ult:
+        return "ult";
+      case CmpPred::Ule:
+        return "ule";
+      case CmpPred::Ugt:
+        return "ugt";
+      case CmpPred::Uge:
+        return "uge";
+      case CmpPred::Slt:
+        return "slt";
+      case CmpPred::Sle:
+        return "sle";
+      case CmpPred::Sgt:
+        return "sgt";
+      case CmpPred::Sge:
+        return "sge";
+    }
+    return "?";
+}
+
+const char *
+widthName(Width w)
+{
+    switch (w) {
+      case Width::I8:
+        return "i8";
+      case Width::I16:
+        return "i16";
+      case Width::I32:
+        return "i32";
+      default:
+        return "i64";
+    }
+}
+
+} // namespace vg::vir

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Instruction set of the virtual IR ("VIR").
+ *
+ * VIR stands in for the LLVM IR of the paper's SVA virtual instruction
+ * set: a typed, register-based mid-level IR that all kernel modules are
+ * shipped in. The trusted compiler's instrumentation passes (sandboxing
+ * and CFI) transform VIR / its machine lowering exactly as the paper's
+ * passes transform LLVM IR and x86-64 machine code.
+ *
+ * The IR is register-based rather than SSA: a function owns a flat
+ * virtual register file %0..%N-1, parameters arrive in %0..%k-1, and
+ * instructions name register operands. This keeps the verifier,
+ * instrumentation and code generator small without losing anything the
+ * reproduction needs.
+ */
+
+#ifndef VG_VIR_INST_HH
+#define VG_VIR_INST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vg::vir
+{
+
+/** Value/access width. */
+enum class Width : uint8_t
+{
+    I8,
+    I16,
+    I32,
+    I64,
+};
+
+/** Byte size of a width. */
+constexpr uint64_t
+widthBytes(Width w)
+{
+    switch (w) {
+      case Width::I8:
+        return 1;
+      case Width::I16:
+        return 2;
+      case Width::I32:
+        return 4;
+      default:
+        return 8;
+    }
+}
+
+/** VIR opcodes. */
+enum class Opcode : uint8_t
+{
+    ConstI,   ///< dst = imm
+    Mov,      ///< dst = a
+    Add,      ///< dst = a + b
+    Sub,      ///< dst = a - b
+    Mul,      ///< dst = a * b
+    UDiv,     ///< dst = a / b (unsigned; b==0 traps)
+    URem,     ///< dst = a % b (unsigned; b==0 traps)
+    And,      ///< dst = a & b
+    Or,       ///< dst = a | b
+    Xor,      ///< dst = a ^ b
+    Shl,      ///< dst = a << (b & 63)
+    LShr,     ///< dst = a >> (b & 63) logical
+    AShr,     ///< dst = a >> (b & 63) arithmetic
+    ICmp,     ///< dst = pred(a, b) ? 1 : 0
+    Load,     ///< dst = mem[a] (width bytes)
+    Store,    ///< mem[a] = b (width bytes)
+    Memcpy,   ///< mem[a..a+c) = mem[b..b+c)
+    Alloca,   ///< dst = frame address of imm fresh bytes
+    Br,       ///< jump to block target0
+    CondBr,   ///< if a != 0 goto target0 else target1
+    Call,     ///< dst = callee(args); direct, by symbol name
+    CallInd,  ///< dst = (*a)(args); indirect through a register
+    FuncAddr, ///< dst = code address of function `callee`
+    Ret,      ///< return a (or nothing if a < 0)
+};
+
+/** ICmp predicates. */
+enum class CmpPred : uint8_t
+{
+    Eq,
+    Ne,
+    Ult,
+    Ule,
+    Ugt,
+    Uge,
+    Slt,
+    Sle,
+    Sgt,
+    Sge,
+};
+
+/** One VIR instruction. Register operands are indices; -1 = unused. */
+struct Inst
+{
+    Opcode op = Opcode::ConstI;
+    Width width = Width::I64;
+    CmpPred pred = CmpPred::Eq;
+
+    int dst = -1;
+    int a = -1;
+    int b = -1;
+    int c = -1;
+
+    uint64_t imm = 0;
+
+    /** Symbol for Call / FuncAddr. */
+    std::string callee;
+
+    /** Argument registers for Call / CallInd. */
+    std::vector<int> args;
+
+    /** Block indices for Br / CondBr. */
+    int target0 = -1;
+    int target1 = -1;
+};
+
+/** True if @p op ends a basic block. */
+constexpr bool
+isTerminator(Opcode op)
+{
+    return op == Opcode::Br || op == Opcode::CondBr || op == Opcode::Ret;
+}
+
+/** Mnemonic for an opcode (printer/parser). */
+const char *opcodeName(Opcode op);
+
+/** Mnemonic for a predicate. */
+const char *predName(CmpPred pred);
+
+/** Mnemonic for a width suffix ("i8".."i64"). */
+const char *widthName(Width w);
+
+} // namespace vg::vir
+
+#endif // VG_VIR_INST_HH

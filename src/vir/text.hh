@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Textual VIR: printer and parser.
+ *
+ * This is the module interchange format — the equivalent of LLVM
+ * bitcode in the paper's system. Kernel modules (including hostile
+ * ones) are shipped as VIR text; the trusted translator parses,
+ * verifies, instruments and lowers them. Native code cannot be loaded
+ * at all.
+ *
+ * Grammar (line oriented; ';' starts a comment):
+ *
+ *   module "name"
+ *   func @sym(NPARAMS) {
+ *   label:
+ *     %d = const IMM            ; IMM decimal or 0x hex
+ *     %d = mov %a
+ *     %d = add %a, %b           ; sub mul udiv urem and or xor
+ *                               ; shl lshr ashr likewise
+ *     %d = icmp PRED %a, %b     ; eq ne ult ule ugt uge slt sle sgt sge
+ *     %d = load.WIDTH %a        ; WIDTH in {i8,i16,i32,i64}
+ *     store.WIDTH %a, %b        ; mem[%a] = %b
+ *     memcpy %a, %b, %c         ; dst, src, len
+ *     %d = alloca IMM
+ *     br label
+ *     condbr %a, label1, label2
+ *     %d = call @sym(%a, %b)
+ *     %d = callind %a(%b)
+ *     %d = funcaddr @sym
+ *     ret [%a]
+ *   }
+ */
+
+#ifndef VG_VIR_TEXT_HH
+#define VG_VIR_TEXT_HH
+
+#include <string>
+
+#include "vir/module.hh"
+
+namespace vg::vir
+{
+
+/** Render @p mod in the textual format. */
+std::string print(const Module &mod);
+
+/** Parse result. */
+struct ParseResult
+{
+    bool ok = false;
+    std::string error;
+    Module module;
+};
+
+/** Parse textual VIR. */
+ParseResult parse(const std::string &text);
+
+} // namespace vg::vir
+
+#endif // VG_VIR_TEXT_HH

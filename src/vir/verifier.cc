@@ -1,0 +1,169 @@
+#include "vir/verifier.hh"
+
+#include <set>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace vg::vir
+{
+
+std::string
+VerifyResult::message() const
+{
+    std::ostringstream os;
+    for (const auto &e : errors)
+        os << e << "\n";
+    return os.str();
+}
+
+namespace
+{
+
+/** Per-instruction register and target validation. */
+void
+checkInst(const Function &fn, const BasicBlock &bb, size_t idx,
+          const Inst &inst, std::vector<std::string> &errors)
+{
+    auto err = [&](const std::string &what) {
+        errors.push_back(sim::strprintf(
+            "%s/%s[%zu] %s: %s", fn.name.c_str(), bb.name.c_str(), idx,
+            opcodeName(inst.op), what.c_str()));
+    };
+
+    auto check_reg = [&](int reg, const char *role, bool required) {
+        if (reg < 0) {
+            if (required)
+                err(std::string("missing ") + role + " register");
+            return;
+        }
+        if (reg >= fn.numRegs)
+            err(sim::strprintf("%s register %%%d out of range (%d regs)",
+                               role, reg, fn.numRegs));
+    };
+
+    auto check_target = [&](int target, const char *role) {
+        if (target < 0 || size_t(target) >= fn.blocks.size())
+            err(sim::strprintf("bad %s block index %d", role, target));
+    };
+
+    switch (inst.op) {
+      case Opcode::ConstI:
+        check_reg(inst.dst, "dst", true);
+        break;
+      case Opcode::Mov:
+        check_reg(inst.dst, "dst", true);
+        check_reg(inst.a, "src", true);
+        break;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::UDiv:
+      case Opcode::URem:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::LShr:
+      case Opcode::AShr:
+      case Opcode::ICmp:
+        check_reg(inst.dst, "dst", true);
+        check_reg(inst.a, "lhs", true);
+        check_reg(inst.b, "rhs", true);
+        break;
+      case Opcode::Load:
+        check_reg(inst.dst, "dst", true);
+        check_reg(inst.a, "addr", true);
+        break;
+      case Opcode::Store:
+        check_reg(inst.a, "addr", true);
+        check_reg(inst.b, "value", true);
+        break;
+      case Opcode::Memcpy:
+        check_reg(inst.a, "dst-addr", true);
+        check_reg(inst.b, "src-addr", true);
+        check_reg(inst.c, "len", true);
+        break;
+      case Opcode::Alloca:
+        check_reg(inst.dst, "dst", true);
+        if (inst.imm == 0 || inst.imm > (1 << 20))
+            err("alloca size must be in (0, 1 MB]");
+        break;
+      case Opcode::Br:
+        check_target(inst.target0, "branch");
+        break;
+      case Opcode::CondBr:
+        check_reg(inst.a, "cond", true);
+        check_target(inst.target0, "then");
+        check_target(inst.target1, "else");
+        break;
+      case Opcode::Call:
+        check_reg(inst.dst, "dst", true);
+        if (inst.callee.empty())
+            err("call without callee symbol");
+        for (int arg : inst.args)
+            check_reg(arg, "arg", true);
+        break;
+      case Opcode::CallInd:
+        check_reg(inst.dst, "dst", true);
+        check_reg(inst.a, "target", true);
+        for (int arg : inst.args)
+            check_reg(arg, "arg", true);
+        break;
+      case Opcode::FuncAddr:
+        check_reg(inst.dst, "dst", true);
+        if (inst.callee.empty())
+            err("funcaddr without callee symbol");
+        break;
+      case Opcode::Ret:
+        check_reg(inst.a, "value", false);
+        break;
+    }
+
+    bool last = idx + 1 == bb.insts.size();
+    if (isTerminator(inst.op) && !last)
+        err("terminator in the middle of a block");
+    if (!isTerminator(inst.op) && last)
+        err("block does not end in a terminator");
+}
+
+} // namespace
+
+VerifyResult
+verify(const Module &mod)
+{
+    VerifyResult result;
+    std::set<std::string> names;
+
+    for (const auto &fn : mod.functions) {
+        if (fn.name.empty()) {
+            result.errors.push_back("function with empty name");
+            continue;
+        }
+        if (!names.insert(fn.name).second)
+            result.errors.push_back("duplicate function " + fn.name);
+        if (fn.numParams > fn.numRegs)
+            result.errors.push_back(fn.name +
+                                    ": more params than registers");
+        if (fn.blocks.empty()) {
+            result.errors.push_back(fn.name + ": no basic blocks");
+            continue;
+        }
+        std::set<std::string> block_names;
+        for (const auto &bb : fn.blocks) {
+            if (!block_names.insert(bb.name).second)
+                result.errors.push_back(fn.name + ": duplicate block " +
+                                        bb.name);
+            if (bb.insts.empty()) {
+                result.errors.push_back(fn.name + "/" + bb.name +
+                                        ": empty block");
+                continue;
+            }
+            for (size_t i = 0; i < bb.insts.size(); i++)
+                checkInst(fn, bb, i, bb.insts[i], result.errors);
+        }
+    }
+    return result;
+}
+
+} // namespace vg::vir

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Structural verifier for VIR modules.
+ *
+ * The trusted translator refuses to compile a module that fails
+ * verification — malformed "bitcode" must never reach code generation,
+ * since the instrumentation passes rely on structural invariants.
+ */
+
+#ifndef VG_VIR_VERIFIER_HH
+#define VG_VIR_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+#include "vir/module.hh"
+
+namespace vg::vir
+{
+
+/** Result of verification: empty error list means the module is OK. */
+struct VerifyResult
+{
+    std::vector<std::string> errors;
+
+    bool ok() const { return errors.empty(); }
+
+    /** All errors joined with newlines. */
+    std::string message() const;
+};
+
+/** Check structural invariants of @p mod. */
+VerifyResult verify(const Module &mod);
+
+} // namespace vg::vir
+
+#endif // VG_VIR_VERIFIER_HH

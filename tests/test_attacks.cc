@@ -1,0 +1,204 @@
+/**
+ * @file
+ * The S 7 security experiments: a malicious kernel module mounts the
+ * direct-read attack and the signal-handler code-injection attack on
+ * ssh-agent. On the baseline kernel both steal the secret; under
+ * Virtual Ghost both fail and the agent runs to completion unaffected.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/ssh_common.hh"
+#include "attacks/rootkit.hh"
+#include "kernel/system.hh"
+
+using namespace vg;
+using namespace vg::kern;
+using namespace vg::apps;
+using namespace vg::attacks;
+
+namespace
+{
+
+SystemConfig
+smallConfig(sim::VgConfig vg)
+{
+    SystemConfig cfg;
+    cfg.vg = vg;
+    cfg.memFrames = 4096;
+    cfg.diskBlocks = 4096;
+    cfg.rsaBits = 384;
+    return cfg;
+}
+
+const std::string kSecret = "GHOST-SECRET-KEY"; // 16 bytes
+
+struct AttackRun
+{
+    int agentExit = -1;
+    uint64_t secretVa = 0;
+};
+
+/** Run the agent and an attacker driver side by side. */
+AttackRun
+runAgentUnderAttack(System &sys, bool agent_uses_ghost,
+                    const std::function<void(Kernel &, uint64_t pid,
+                                             uint64_t secret_va)> &mount)
+{
+    AttackRun run;
+
+    AgentConfig agent_cfg;
+    agent_cfg.secret = kSecret;
+    agent_cfg.useGhostMemory = agent_uses_ghost;
+    agent_cfg.maxRequests = 0; // no clients; exit after the spins
+    agent_cfg.idleSpins = 30;
+
+    uint64_t agent_pid = sys.kernel().spawn(
+        "ssh-agent", [&](UserApi &api) {
+            return sshAgent(api, agent_cfg);
+        });
+
+    sys.kernel().spawn("attacker", [&, agent_pid](UserApi &api) {
+        // Wait until the agent has stashed its secret.
+        while (agentSecretAddress() == 0)
+            api.yield();
+        run.secretVa = agentSecretAddress();
+        mount(api.kernel(), agent_pid, run.secretVa);
+        return 0;
+    });
+
+    sys.kernel().run();
+    auto it = sys.kernel().exitCodes().find(agent_pid);
+    run.agentExit = it == sys.kernel().exitCodes().end() ? -1
+                                                         : it->second;
+    return run;
+}
+
+std::vector<uint8_t>
+secretBytes()
+{
+    return std::vector<uint8_t>(kSecret.begin(), kSecret.end());
+}
+
+} // namespace
+
+TEST(Attack1, SucceedsOnBaselineKernel)
+{
+    // Baseline: no VG, agent keeps the secret in traditional memory
+    // (the paper's "malloc configured for traditional memory").
+    System sys(smallConfig(sim::VgConfig::native()));
+    sys.boot();
+
+    AttackRun run = runAgentUnderAttack(
+        sys, /*ghost=*/false,
+        [](Kernel &kernel, uint64_t, uint64_t secret_va) {
+            std::string err;
+            ASSERT_TRUE(mountAttack1(kernel, secret_va, &err)) << err;
+        });
+
+    EXPECT_EQ(run.agentExit, 0);
+    AttackResult r = checkAttack1(sys.kernel(), secretBytes());
+    EXPECT_TRUE(r.dataStolen) << r.detail;
+}
+
+TEST(Attack1, FailsUnderVirtualGhost)
+{
+    System sys(smallConfig(sim::VgConfig::full()));
+    sys.boot();
+
+    AttackRun run = runAgentUnderAttack(
+        sys, /*ghost=*/true,
+        [](Kernel &kernel, uint64_t, uint64_t secret_va) {
+            std::string err;
+            ASSERT_TRUE(mountAttack1(kernel, secret_va, &err)) << err;
+        });
+
+    // The agent is unaffected and exits normally (S 7).
+    EXPECT_EQ(run.agentExit, 0);
+    AttackResult r = checkAttack1(sys.kernel(), secretBytes());
+    EXPECT_FALSE(r.dataStolen) << r.detail;
+    // The module did run and log — it just read deflected junk
+    // (the instrumented loads executed on the simulated CPU).
+    EXPECT_FALSE(r.loot.empty());
+    EXPECT_GT(sys.ctx().stats().get("exec.insts"), 0u);
+}
+
+TEST(Attack2, SucceedsOnBaselineKernel)
+{
+    System sys(smallConfig(sim::VgConfig::native()));
+    sys.boot();
+
+    AttackResult mounted;
+    AttackRun run = runAgentUnderAttack(
+        sys, /*ghost=*/false,
+        [&](Kernel &kernel, uint64_t pid, uint64_t secret_va) {
+            mounted = mountAttack2(kernel, pid, secret_va,
+                                   kSecret.size());
+        });
+
+    EXPECT_TRUE(mounted.mounted) << mounted.detail;
+    EXPECT_EQ(run.agentExit, 0);
+    AttackResult r = checkAttack2(sys.kernel(), secretBytes());
+    EXPECT_TRUE(r.dataStolen) << r.detail;
+}
+
+TEST(Attack2, FailsUnderVirtualGhost)
+{
+    System sys(smallConfig(sim::VgConfig::full()));
+    sys.boot();
+
+    AttackResult mounted;
+    AttackRun run = runAgentUnderAttack(
+        sys, /*ghost=*/true,
+        [&](Kernel &kernel, uint64_t pid, uint64_t secret_va) {
+            mounted = mountAttack2(kernel, pid, secret_va,
+                                   kSecret.size());
+        });
+
+    // The module loads and arms, but sva.ipush.function refuses the
+    // exploit address and the signal is dropped.
+    EXPECT_TRUE(mounted.mounted) << mounted.detail;
+    EXPECT_EQ(run.agentExit, 0);
+    AttackResult r = checkAttack2(sys.kernel(), secretBytes());
+    EXPECT_FALSE(r.dataStolen) << r.detail;
+    EXPECT_GT(sys.ctx().stats().get("kernel.signals_refused"), 0u);
+    EXPECT_GT(sys.vm().violationCount(), 0u);
+}
+
+TEST(Attack2, GhostMemoryAloneStopsAttack1StyleReadsInExploit)
+{
+    // Even if the handler were permitted, under VG the module's own
+    // loads are sandboxed; verify the deflection machinery fires when
+    // the rootkit's read handler is mounted against a ghost secret.
+    System sys(smallConfig(sim::VgConfig::full()));
+    sys.boot();
+
+    uint64_t before = sys.ctx().stats().get("exec.insts");
+    AttackRun run = runAgentUnderAttack(
+        sys, /*ghost=*/true,
+        [](Kernel &kernel, uint64_t, uint64_t secret_va) {
+            std::string err;
+            ASSERT_TRUE(mountAttack1(kernel, secret_va, &err)) << err;
+        });
+    EXPECT_EQ(run.agentExit, 0);
+    // Instrumented module code actually executed.
+    EXPECT_GT(sys.ctx().stats().get("exec.insts"), before);
+}
+
+TEST(Attacks, IagoRandomnessDefeatedByVm)
+{
+    // The S 4.7 protection: a rigged /dev/random cannot feed the
+    // application constants when VG serves randomness.
+    System sys(smallConfig(sim::VgConfig::full()));
+    sys.boot();
+    sys.kernel().setRngRigged(true);
+    sys.runProcess("rng", [](UserApi &api) {
+        uint8_t buf[32];
+        api.osRandom(buf, sizeof(buf));
+        int rigged = 0;
+        for (uint8_t b : buf)
+            rigged += b == 0x41 ? 1 : 0;
+        EXPECT_LT(rigged, 8);
+        return 0;
+    });
+}

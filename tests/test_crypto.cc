@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Crypto substrate tests: SHA-256, AES-128, HMAC, DRBG, sealing.
+ * Known-answer vectors come from FIPS 197, FIPS 180-4 and RFC 4231.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "crypto/aes.hh"
+#include "crypto/drbg.hh"
+#include "crypto/hmac.hh"
+#include "crypto/sealed.hh"
+#include "crypto/sha256.hh"
+
+using namespace vg::crypto;
+
+namespace
+{
+
+std::vector<uint8_t>
+fromHexStr(const std::string &hex)
+{
+    std::vector<uint8_t> out;
+    for (size_t i = 0; i + 1 < hex.size(); i += 2)
+        out.push_back(
+            uint8_t(std::stoul(hex.substr(i, 2), nullptr, 16)));
+    return out;
+}
+
+AesKey
+keyFromHex(const std::string &hex)
+{
+    AesKey k{};
+    auto v = fromHexStr(hex);
+    std::copy(v.begin(), v.end(), k.begin());
+    return k;
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// SHA-256
+// --------------------------------------------------------------------
+
+TEST(Sha256, EmptyString)
+{
+    EXPECT_EQ(toHex(Sha256::hash("", 0)),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc)
+{
+    EXPECT_EQ(toHex(Sha256::hash("abc", 3)),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage)
+{
+    const char *msg = "abcdbcdecdefdefgefghfghighijhijkijkljklm"
+                      "klmnlmnomnopnopq";
+    EXPECT_EQ(toHex(Sha256::hash(msg, std::strlen(msg))),
+              "248d6a61d20638b8e5c026930c3e6039"
+              "a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs)
+{
+    Sha256 h;
+    std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; i++)
+        h.update(chunk.data(), chunk.size());
+    EXPECT_EQ(toHex(h.final()),
+              "cdc76e5c9914fb9281a1c7e284d73e67"
+              "f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot)
+{
+    std::string msg = "The quick brown fox jumps over the lazy dog";
+    Sha256 h;
+    for (char c : msg)
+        h.update(&c, 1);
+    EXPECT_EQ(h.final(), Sha256::hash(msg.data(), msg.size()));
+}
+
+TEST(Sha256, ResetAfterFinal)
+{
+    Sha256 h;
+    h.update("abc", 3);
+    h.final();
+    h.update("abc", 3);
+    EXPECT_EQ(toHex(h.final()),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+}
+
+// --------------------------------------------------------------------
+// AES-128
+// --------------------------------------------------------------------
+
+TEST(Aes, Fips197Vector)
+{
+    Aes128 aes(keyFromHex("000102030405060708090a0b0c0d0e0f"));
+    auto block = fromHexStr("00112233445566778899aabbccddeeff");
+    aes.encryptBlock(block.data());
+    EXPECT_EQ(block, fromHexStr("69c4e0d86a7b0430d8cdb78070b4c55a"));
+    aes.decryptBlock(block.data());
+    EXPECT_EQ(block, fromHexStr("00112233445566778899aabbccddeeff"));
+}
+
+TEST(Aes, NistEcbVector)
+{
+    Aes128 aes(keyFromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    auto block = fromHexStr("6bc1bee22e409f96e93d7e117393172a");
+    aes.encryptBlock(block.data());
+    EXPECT_EQ(block, fromHexStr("3ad77bb40d7a3660a89ecaf32466ef97"));
+}
+
+TEST(Aes, CbcRoundtrip)
+{
+    Aes128 aes(keyFromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    AesBlock iv{};
+    for (int i = 0; i < 16; i++)
+        iv[size_t(i)] = uint8_t(i);
+
+    for (size_t len : {0u, 1u, 15u, 16u, 17u, 100u, 4096u}) {
+        std::vector<uint8_t> plain(len);
+        for (size_t i = 0; i < len; i++)
+            plain[i] = uint8_t(i * 7 + 3);
+        auto cipher = aes.cbcEncrypt(plain, iv);
+        EXPECT_EQ(cipher.size() % 16, 0u);
+        EXPECT_GE(cipher.size(), plain.size() + 1);
+        bool ok = false;
+        auto back = aes.cbcDecrypt(cipher, iv, ok);
+        EXPECT_TRUE(ok) << "len=" << len;
+        EXPECT_EQ(back, plain);
+    }
+}
+
+TEST(Aes, CbcDetectsBadPadding)
+{
+    Aes128 aes(keyFromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    AesBlock iv{};
+    std::vector<uint8_t> plain(32, 0x5a);
+    auto cipher = aes.cbcEncrypt(plain, iv);
+    cipher.back() ^= 0xff;
+    bool ok = true;
+    aes.cbcDecrypt(cipher, iv, ok);
+    // Either padding fails or the plaintext differs; padding failure is
+    // the overwhelmingly likely result.
+    if (ok) {
+        auto got = aes.cbcDecrypt(cipher, iv, ok);
+        EXPECT_NE(got, plain);
+    }
+}
+
+TEST(Aes, CbcRejectsTruncated)
+{
+    Aes128 aes(keyFromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    AesBlock iv{};
+    bool ok = true;
+    aes.cbcDecrypt(std::vector<uint8_t>(15, 0), iv, ok);
+    EXPECT_FALSE(ok);
+}
+
+TEST(Aes, CtrRoundtripAndSymmetry)
+{
+    Aes128 aes(keyFromHex("000102030405060708090a0b0c0d0e0f"));
+    AesBlock nonce{};
+    nonce[0] = 0xaa;
+
+    std::vector<uint8_t> plain(1000);
+    for (size_t i = 0; i < plain.size(); i++)
+        plain[i] = uint8_t(i);
+    auto cipher = aes.ctrCrypt(plain, nonce);
+    EXPECT_NE(cipher, plain);
+    EXPECT_EQ(aes.ctrCrypt(cipher, nonce), plain);
+}
+
+TEST(Aes, CtrCounterAdvancesAcrossBlocks)
+{
+    Aes128 aes(keyFromHex("000102030405060708090a0b0c0d0e0f"));
+    AesBlock nonce{};
+    std::vector<uint8_t> zeros(64, 0);
+    auto ks = aes.ctrCrypt(zeros, nonce);
+    // Keystream blocks must differ.
+    EXPECT_NE(std::memcmp(ks.data(), ks.data() + 16, 16), 0);
+    EXPECT_NE(std::memcmp(ks.data() + 16, ks.data() + 32, 16), 0);
+}
+
+// --------------------------------------------------------------------
+// HMAC (RFC 4231)
+// --------------------------------------------------------------------
+
+TEST(Hmac, Rfc4231Case1)
+{
+    std::vector<uint8_t> key(20, 0x0b);
+    auto mac = hmacSha256(key, "Hi There", 8);
+    EXPECT_EQ(toHex(mac),
+              "b0344c61d8db38535ca8afceaf0bf12b"
+              "881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2)
+{
+    std::vector<uint8_t> key = {'J', 'e', 'f', 'e'};
+    const char *data = "what do ya want for nothing?";
+    auto mac = hmacSha256(key, data, std::strlen(data));
+    EXPECT_EQ(toHex(mac),
+              "5bdcc146bf60754e6a042426089575c7"
+              "5a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, LongKeyIsHashed)
+{
+    std::vector<uint8_t> key(131, 0xaa);
+    const char *data = "Test Using Larger Than Block-Size Key - "
+                       "Hash Key First";
+    auto mac = hmacSha256(key, data, std::strlen(data));
+    EXPECT_EQ(toHex(mac),
+              "60e431591ee0b67f0d8a26aacbf5b77f"
+              "8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, DigestEqualConstantTime)
+{
+    Digest a{}, b{};
+    EXPECT_TRUE(digestEqual(a, b));
+    b[31] = 1;
+    EXPECT_FALSE(digestEqual(a, b));
+}
+
+// --------------------------------------------------------------------
+// DRBG
+// --------------------------------------------------------------------
+
+TEST(Drbg, Deterministic)
+{
+    CtrDrbg a({'s', 'e', 'e', 'd'});
+    CtrDrbg b({'s', 'e', 'e', 'd'});
+    EXPECT_EQ(a.generate(64), b.generate(64));
+}
+
+TEST(Drbg, DifferentSeedsDiverge)
+{
+    CtrDrbg a({'s', 'e', 'e', 'd'});
+    CtrDrbg b({'S', 'E', 'E', 'D'});
+    EXPECT_NE(a.generate(64), b.generate(64));
+}
+
+TEST(Drbg, BoundedValues)
+{
+    CtrDrbg rng({'x'});
+    for (int i = 0; i < 1000; i++)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(Drbg, ReseedChangesStream)
+{
+    CtrDrbg a({'s'});
+    CtrDrbg b({'s'});
+    b.reseed({'m', 'o', 'r', 'e'});
+    EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(Drbg, OutputLooksUniform)
+{
+    CtrDrbg rng({'u'});
+    auto bytes = rng.generate(1 << 16);
+    size_t ones = 0;
+    for (uint8_t b : bytes)
+        ones += size_t(__builtin_popcount(b));
+    double frac = double(ones) / (8.0 * double(bytes.size()));
+    EXPECT_NEAR(frac, 0.5, 0.01);
+}
+
+// --------------------------------------------------------------------
+// Sealed blobs
+// --------------------------------------------------------------------
+
+TEST(Sealed, Roundtrip)
+{
+    AesKey key = keyFromHex("00112233445566778899aabbccddeeff");
+    CtrDrbg rng({'r'});
+    std::vector<uint8_t> plain = {1, 2, 3, 4, 5};
+    SealedBlob blob = seal(key, rng, plain);
+    bool ok = false;
+    EXPECT_EQ(unseal(key, blob, ok), plain);
+    EXPECT_TRUE(ok);
+}
+
+TEST(Sealed, DetectsCiphertextTampering)
+{
+    AesKey key = keyFromHex("00112233445566778899aabbccddeeff");
+    CtrDrbg rng({'r'});
+    SealedBlob blob = seal(key, rng, std::vector<uint8_t>(100, 7));
+    blob.ciphertext[50] ^= 1;
+    bool ok = true;
+    unseal(key, blob, ok);
+    EXPECT_FALSE(ok);
+}
+
+TEST(Sealed, DetectsNonceTampering)
+{
+    AesKey key = keyFromHex("00112233445566778899aabbccddeeff");
+    CtrDrbg rng({'r'});
+    SealedBlob blob = seal(key, rng, std::vector<uint8_t>(16, 9));
+    blob.nonce[0] ^= 1;
+    bool ok = true;
+    unseal(key, blob, ok);
+    EXPECT_FALSE(ok);
+}
+
+TEST(Sealed, AadBindsContext)
+{
+    // A page sealed for one virtual address must not verify for
+    // another (anti-relocation protection for ghost swap).
+    AesKey key = keyFromHex("00112233445566778899aabbccddeeff");
+    CtrDrbg rng({'r'});
+    std::vector<uint8_t> aad1 = {0x10};
+    std::vector<uint8_t> aad2 = {0x20};
+    SealedBlob blob = seal(key, rng, std::vector<uint8_t>(8, 1), aad1);
+    bool ok = true;
+    unseal(key, blob, ok, aad2);
+    EXPECT_FALSE(ok);
+    unseal(key, blob, ok, aad1);
+    EXPECT_TRUE(ok);
+}
+
+TEST(Sealed, WrongKeyFails)
+{
+    AesKey key1 = keyFromHex("00112233445566778899aabbccddeeff");
+    AesKey key2 = keyFromHex("ffeeddccbbaa99887766554433221100");
+    CtrDrbg rng({'r'});
+    SealedBlob blob = seal(key1, rng, std::vector<uint8_t>(8, 1));
+    bool ok = true;
+    unseal(key2, blob, ok);
+    EXPECT_FALSE(ok);
+}
+
+TEST(Sealed, SerializeRoundtrip)
+{
+    AesKey key = keyFromHex("00112233445566778899aabbccddeeff");
+    CtrDrbg rng({'r'});
+    std::vector<uint8_t> plain = {9, 8, 7};
+    SealedBlob blob = seal(key, rng, plain);
+    bool ok = false;
+    SealedBlob back = SealedBlob::deserialize(blob.serialize(), ok);
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(unseal(key, back, ok), plain);
+    EXPECT_TRUE(ok);
+}

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * VGFS and buffer-cache tests (directly over the simulated disk).
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernel/fs.hh"
+
+using namespace vg;
+using namespace vg::kern;
+
+namespace
+{
+
+struct Rig
+{
+    sim::SimContext ctx;
+    hw::PhysMem mem{16};
+    hw::Iommu iommu{mem, ctx};
+    hw::Disk disk{4096, iommu, ctx}; // 16 MB
+    BufferCache cache{disk, ctx, 512};
+    Fs fs{cache, ctx, 4096};
+
+    Rig() { fs.mkfs(); }
+};
+
+} // namespace
+
+TEST(Bcache, HitsAndMisses)
+{
+    sim::SimContext ctx;
+    hw::PhysMem mem(16);
+    hw::Iommu iommu(mem, ctx);
+    hw::Disk disk(128, iommu, ctx);
+    BufferCache cache(disk, ctx, 4);
+
+    cache.get(1);
+    cache.get(1);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+
+    // Evict with a small cache.
+    cache.get(2);
+    cache.get(3);
+    cache.get(4);
+    cache.get(5);
+    cache.get(1); // evicted by now
+    EXPECT_GE(cache.misses(), 5u);
+}
+
+TEST(Bcache, WritebackPersists)
+{
+    sim::SimContext ctx;
+    hw::PhysMem mem(16);
+    hw::Iommu iommu(mem, ctx);
+    hw::Disk disk(128, iommu, ctx);
+    {
+        BufferCache cache(disk, ctx, 4);
+        Buf *b = cache.get(7);
+        b->data[0] = 0x99;
+        cache.markDirty(b);
+        cache.sync();
+    }
+    EXPECT_EQ(disk.rawBlock(7)[0], 0x99);
+}
+
+TEST(Fs, CreateWriteReadRoundtrip)
+{
+    Rig rig;
+    Ino ino = 0;
+    ASSERT_EQ(rig.fs.create("/hello.txt", ino), FsStatus::Ok);
+
+    std::string msg = "hello virtual ghost";
+    ASSERT_EQ(rig.fs.write(ino, 0, msg.data(), msg.size()),
+              int64_t(msg.size()));
+
+    char buf[64] = {};
+    ASSERT_EQ(rig.fs.read(ino, 0, buf, sizeof(buf)),
+              int64_t(msg.size()));
+    EXPECT_EQ(std::string(buf, msg.size()), msg);
+
+    FileStat st;
+    ASSERT_EQ(rig.fs.stat(ino, st), FsStatus::Ok);
+    EXPECT_EQ(st.size, msg.size());
+    EXPECT_EQ(st.type, FileType::Regular);
+}
+
+TEST(Fs, LookupAndDuplicateCreate)
+{
+    Rig rig;
+    Ino a = 0, b = 0;
+    ASSERT_EQ(rig.fs.create("/f", a), FsStatus::Ok);
+    EXPECT_EQ(rig.fs.create("/f", b), FsStatus::Exists);
+    EXPECT_EQ(rig.fs.lookup("/f", b), FsStatus::Ok);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(rig.fs.lookup("/missing", b), FsStatus::NotFound);
+}
+
+TEST(Fs, DirectoriesNestAndList)
+{
+    Rig rig;
+    Ino d = 0, f = 0;
+    ASSERT_EQ(rig.fs.mkdir("/usr", d), FsStatus::Ok);
+    ASSERT_EQ(rig.fs.mkdir("/usr/local", d), FsStatus::Ok);
+    ASSERT_EQ(rig.fs.create("/usr/local/a.txt", f), FsStatus::Ok);
+    ASSERT_EQ(rig.fs.create("/usr/local/b.txt", f), FsStatus::Ok);
+
+    Ino dir = 0;
+    ASSERT_EQ(rig.fs.lookup("/usr/local", dir), FsStatus::Ok);
+    std::vector<std::string> names;
+    ASSERT_EQ(rig.fs.readdir(dir, names), FsStatus::Ok);
+    EXPECT_EQ(names.size(), 2u);
+
+    // Lookup through components.
+    Ino again = 0;
+    EXPECT_EQ(rig.fs.lookup("/usr/local/a.txt", again), FsStatus::Ok);
+}
+
+TEST(Fs, UnlinkFreesSpaceAndName)
+{
+    Rig rig;
+    Ino ino = 0;
+    ASSERT_EQ(rig.fs.create("/tmp.bin", ino), FsStatus::Ok);
+    // Baseline after create: the directory's entry block stays
+    // allocated; unlink only releases the file's data blocks.
+    uint64_t before = rig.fs.freeDataBlocks();
+    std::vector<uint8_t> data(40960, 0xaa);
+    ASSERT_EQ(rig.fs.write(ino, 0, data.data(), data.size()),
+              int64_t(data.size()));
+    EXPECT_LT(rig.fs.freeDataBlocks(), before);
+
+    ASSERT_EQ(rig.fs.unlink("/tmp.bin"), FsStatus::Ok);
+    EXPECT_EQ(rig.fs.freeDataBlocks(), before);
+    Ino gone = 0;
+    EXPECT_EQ(rig.fs.lookup("/tmp.bin", gone), FsStatus::NotFound);
+}
+
+TEST(Fs, UnlinkNonEmptyDirRefused)
+{
+    Rig rig;
+    Ino d = 0, f = 0;
+    ASSERT_EQ(rig.fs.mkdir("/d", d), FsStatus::Ok);
+    ASSERT_EQ(rig.fs.create("/d/f", f), FsStatus::Ok);
+    EXPECT_EQ(rig.fs.unlink("/d"), FsStatus::NotEmpty);
+    ASSERT_EQ(rig.fs.unlink("/d/f"), FsStatus::Ok);
+    EXPECT_EQ(rig.fs.unlink("/d"), FsStatus::Ok);
+}
+
+TEST(Fs, LargeFileThroughIndirectBlocks)
+{
+    Rig rig;
+    Ino ino = 0;
+    ASSERT_EQ(rig.fs.create("/big", ino), FsStatus::Ok);
+
+    // 1 MB crosses from direct (40 KB) into the indirect range.
+    std::vector<uint8_t> data(1 << 20);
+    for (size_t i = 0; i < data.size(); i++)
+        data[i] = uint8_t(i * 131 + 7);
+    ASSERT_EQ(rig.fs.write(ino, 0, data.data(), data.size()),
+              int64_t(data.size()));
+
+    std::vector<uint8_t> back(data.size());
+    ASSERT_EQ(rig.fs.read(ino, 0, back.data(), back.size()),
+              int64_t(back.size()));
+    EXPECT_EQ(back, data);
+}
+
+TEST(Fs, SparseWriteAndHoleRead)
+{
+    Rig rig;
+    Ino ino = 0;
+    ASSERT_EQ(rig.fs.create("/sparse", ino), FsStatus::Ok);
+    uint8_t byte = 0x42;
+    ASSERT_EQ(rig.fs.write(ino, 100000, &byte, 1), 1);
+
+    uint8_t hole[16] = {1, 1, 1};
+    ASSERT_EQ(rig.fs.read(ino, 50000, hole, sizeof(hole)), 16);
+    for (uint8_t b : hole)
+        EXPECT_EQ(b, 0);
+}
+
+TEST(Fs, OffsetReadsAndShortReads)
+{
+    Rig rig;
+    Ino ino = 0;
+    ASSERT_EQ(rig.fs.create("/f", ino), FsStatus::Ok);
+    std::string msg = "0123456789";
+    rig.fs.write(ino, 0, msg.data(), msg.size());
+
+    char buf[4] = {};
+    EXPECT_EQ(rig.fs.read(ino, 8, buf, 4), 2); // short read at EOF
+    EXPECT_EQ(buf[0], '8');
+    EXPECT_EQ(rig.fs.read(ino, 100, buf, 4), 0);
+}
+
+TEST(Fs, TruncateReleasesBlocks)
+{
+    Rig rig;
+    Ino ino = 0;
+    ASSERT_EQ(rig.fs.create("/t", ino), FsStatus::Ok);
+    uint64_t before = rig.fs.freeDataBlocks();
+    std::vector<uint8_t> data(100000, 1);
+    rig.fs.write(ino, 0, data.data(), data.size());
+    ASSERT_EQ(rig.fs.truncate(ino), FsStatus::Ok);
+    EXPECT_EQ(rig.fs.freeDataBlocks(), before);
+    FileStat st;
+    rig.fs.stat(ino, st);
+    EXPECT_EQ(st.size, 0u);
+}
+
+TEST(Fs, MountSeesPersistedData)
+{
+    sim::SimContext ctx;
+    hw::PhysMem mem(16);
+    hw::Iommu iommu(mem, ctx);
+    hw::Disk disk(4096, iommu, ctx);
+    {
+        BufferCache cache(disk, ctx, 512);
+        Fs fs(cache, ctx, 4096);
+        fs.mkfs();
+        Ino ino = 0;
+        ASSERT_EQ(fs.create("/persist", ino), FsStatus::Ok);
+        fs.write(ino, 0, "data", 4);
+        fs.sync();
+    }
+    {
+        BufferCache cache(disk, ctx, 512);
+        Fs fs(cache, ctx, 4096);
+        ASSERT_TRUE(fs.mount());
+        Ino ino = 0;
+        ASSERT_EQ(fs.lookup("/persist", ino), FsStatus::Ok);
+        char buf[8] = {};
+        EXPECT_EQ(fs.read(ino, 0, buf, 8), 4);
+        EXPECT_EQ(std::string(buf, 4), "data");
+    }
+}
+
+TEST(Fs, ManyFilesInOneDirectory)
+{
+    Rig rig;
+    for (int i = 0; i < 200; i++) {
+        Ino ino = 0;
+        ASSERT_EQ(rig.fs.create("/file" + std::to_string(i), ino),
+                  FsStatus::Ok)
+            << i;
+    }
+    Ino dir = 0;
+    rig.fs.lookup("/", dir);
+    std::vector<std::string> names;
+    rig.fs.readdir(dir, names);
+    EXPECT_EQ(names.size(), 200u);
+
+    // Delete half, names stay consistent.
+    for (int i = 0; i < 100; i++)
+        ASSERT_EQ(rig.fs.unlink("/file" + std::to_string(i)),
+                  FsStatus::Ok);
+    names.clear();
+    rig.fs.readdir(dir, names);
+    EXPECT_EQ(names.size(), 100u);
+}

@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Hardware substrate tests: physical memory, MMU walker + TLB, IOMMU,
+ * disk/NIC DMA, TPM, timer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "hw/disk.hh"
+#include "hw/iommu.hh"
+#include "hw/layout.hh"
+#include "hw/mmu.hh"
+#include "hw/nic.hh"
+#include "hw/phys_mem.hh"
+#include "hw/timer.hh"
+#include "hw/tpm.hh"
+#include "sim/context.hh"
+
+using namespace vg;
+using namespace vg::hw;
+
+namespace
+{
+
+/** Build a 4-level mapping by hand: frames 1..3 are tables under the
+ *  root in frame 0; returns the leaf slot written. */
+void
+handMap(PhysMem &mem, Vaddr va, Frame target, bool writable, bool user)
+{
+    // root = frame 0, L3 = frame 1, L2 = frame 2, L1 = frame 3.
+    mem.write64(0 * pageSize + ptIndex(va, PtLevel::L4) * 8,
+                pte::make(1, true, true, false));
+    mem.write64(1 * pageSize + ptIndex(va, PtLevel::L3) * 8,
+                pte::make(2, true, true, false));
+    mem.write64(2 * pageSize + ptIndex(va, PtLevel::L2) * 8,
+                pte::make(3, true, true, false));
+    mem.write64(3 * pageSize + ptIndex(va, PtLevel::L1) * 8,
+                pte::make(target, writable, user, false));
+}
+
+} // namespace
+
+TEST(PhysMem, ReadWriteRoundtrip)
+{
+    PhysMem mem(16);
+    mem.write8(100, 0xab);
+    EXPECT_EQ(mem.read8(100), 0xab);
+    mem.write64(4096, 0x1122334455667788ull);
+    EXPECT_EQ(mem.read64(4096), 0x1122334455667788ull);
+    mem.write32(8, 0xdeadbeef);
+    EXPECT_EQ(mem.read32(8), 0xdeadbeefu);
+    mem.write16(20, 0xcafe);
+    EXPECT_EQ(mem.read16(20), 0xcafe);
+}
+
+TEST(PhysMem, BulkAndZero)
+{
+    PhysMem mem(4);
+    std::vector<uint8_t> data(100, 0x5a);
+    mem.writeBytes(500, data.data(), data.size());
+    std::vector<uint8_t> back(100);
+    mem.readBytes(500, back.data(), back.size());
+    EXPECT_EQ(back, data);
+    mem.zeroFrame(0);
+    EXPECT_EQ(mem.read8(500), 0);
+}
+
+TEST(PhysMem, FrameAccounting)
+{
+    PhysMem mem(8);
+    EXPECT_EQ(mem.numFrames(), 8u);
+    EXPECT_EQ(mem.sizeBytes(), 8 * pageSize);
+    EXPECT_TRUE(mem.valid(8 * pageSize - 1));
+    EXPECT_FALSE(mem.valid(8 * pageSize));
+    EXPECT_TRUE(mem.validFrame(7));
+    EXPECT_FALSE(mem.validFrame(8));
+}
+
+TEST(Layout, SandboxTransform)
+{
+    // Ghost addresses are pushed into the kernel half.
+    Vaddr ghost = ghostBase + 0x1234;
+    Vaddr masked = sandboxAddress(ghost);
+    EXPECT_FALSE(isGhostAddr(masked));
+    EXPECT_EQ(masked, ghost | sandboxOrMask);
+
+    // SVA internal addresses collapse to 0.
+    EXPECT_EQ(sandboxAddress(svaBase + 64), 0u);
+
+    // User and ordinary kernel addresses pass through.
+    EXPECT_EQ(sandboxAddress(0x400000), 0x400000u);
+    Vaddr kern = kernelBase + 0x999;
+    EXPECT_EQ(sandboxAddress(kern), kern | sandboxOrMask);
+    EXPECT_EQ(kern | sandboxOrMask, kern); // already has bit 39 set
+}
+
+TEST(Mmu, TranslateMappedPage)
+{
+    sim::SimContext ctx;
+    PhysMem mem(16);
+    Mmu mmu(mem, ctx);
+    handMap(mem, 0x400000, 5, true, true);
+    mmu.setRoot(0);
+
+    auto r = mmu.translate(0x400123, Access::Read, Privilege::User);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.paddr, 5 * pageSize + 0x123);
+}
+
+TEST(Mmu, TlbHitIsCheaperThanWalk)
+{
+    sim::SimContext ctx;
+    PhysMem mem(16);
+    Mmu mmu(mem, ctx);
+    handMap(mem, 0x400000, 5, true, true);
+    mmu.setRoot(0);
+
+    sim::Stopwatch sw(ctx.clock());
+    mmu.translate(0x400000, Access::Read, Privilege::User);
+    sim::Cycles walk_cost = sw.elapsed();
+    sw.restart();
+    mmu.translate(0x400008, Access::Read, Privilege::User);
+    sim::Cycles hit_cost = sw.elapsed();
+    EXPECT_LT(hit_cost, walk_cost);
+    EXPECT_EQ(ctx.stats().get("mmu.tlb_hits"), 1u);
+    EXPECT_EQ(ctx.stats().get("mmu.tlb_misses"), 1u);
+}
+
+TEST(Mmu, PermissionChecks)
+{
+    sim::SimContext ctx;
+    PhysMem mem(16);
+    Mmu mmu(mem, ctx);
+    handMap(mem, 0x400000, 5, false, false); // read-only, kernel-only
+    mmu.setRoot(0);
+
+    auto w = mmu.translate(0x400000, Access::Write, Privilege::Kernel);
+    EXPECT_FALSE(w.ok);
+    EXPECT_EQ(w.fault, FaultKind::Protection);
+
+    auto u = mmu.translate(0x400000, Access::Read, Privilege::User);
+    EXPECT_FALSE(u.ok);
+    EXPECT_EQ(u.fault, FaultKind::Protection);
+
+    auto k = mmu.translate(0x400000, Access::Read, Privilege::Kernel);
+    EXPECT_TRUE(k.ok);
+}
+
+TEST(Mmu, NotPresentFaults)
+{
+    sim::SimContext ctx;
+    PhysMem mem(16);
+    Mmu mmu(mem, ctx);
+    mmu.setRoot(0);
+    auto r = mmu.translate(0x400000, Access::Read, Privilege::Kernel);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.fault, FaultKind::NotPresent);
+}
+
+TEST(Mmu, NonCanonicalFaults)
+{
+    sim::SimContext ctx;
+    PhysMem mem(16);
+    Mmu mmu(mem, ctx);
+    mmu.setRoot(0);
+    auto r = mmu.translate(0x0000900000000000ull, Access::Read,
+                           Privilege::Kernel);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.fault, FaultKind::NonCanonical);
+}
+
+TEST(Mmu, InvalidatePageDropsStaleTlbEntry)
+{
+    sim::SimContext ctx;
+    PhysMem mem(16);
+    Mmu mmu(mem, ctx);
+    handMap(mem, 0x400000, 5, true, true);
+    mmu.setRoot(0);
+    mmu.translate(0x400000, Access::Read, Privilege::User);
+
+    // Change the mapping behind the TLB's back, then invalidate.
+    mem.write64(3 * pageSize + ptIndex(0x400000, PtLevel::L1) * 8,
+                pte::make(6, true, true, false));
+    mmu.invalidatePage(0x400000);
+    auto r = mmu.translate(0x400000, Access::Read, Privilege::User);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.paddr, 6 * pageSize);
+}
+
+TEST(Mmu, ProbeDoesNotChargeTime)
+{
+    sim::SimContext ctx;
+    PhysMem mem(16);
+    Mmu mmu(mem, ctx);
+    handMap(mem, 0x400000, 5, true, true);
+    mmu.setRoot(0);
+    sim::Cycles before = ctx.clock().now();
+    auto pte_val = mmu.probe(0x400000);
+    EXPECT_EQ(ctx.clock().now(), before);
+    ASSERT_TRUE(pte_val.has_value());
+    EXPECT_EQ(pte::frameNum(*pte_val), 5u);
+    EXPECT_FALSE(mmu.probe(0x500000).has_value());
+}
+
+TEST(Iommu, BlocksProtectedFrames)
+{
+    sim::SimContext ctx;
+    PhysMem mem(16);
+    Iommu iommu(mem, ctx);
+    uint8_t buf[16] = {1, 2, 3};
+
+    EXPECT_TRUE(iommu.dmaWrite(5 * pageSize, buf, 16));
+    iommu.protectFrame(5);
+    EXPECT_FALSE(iommu.dmaWrite(5 * pageSize, buf, 16));
+    EXPECT_FALSE(iommu.dmaRead(5 * pageSize, buf, 16));
+    EXPECT_EQ(iommu.blockedCount(), 2u);
+    iommu.unprotectFrame(5);
+    EXPECT_TRUE(iommu.dmaRead(5 * pageSize, buf, 16));
+}
+
+TEST(Iommu, RangeStraddlingProtectedFrameBlocked)
+{
+    sim::SimContext ctx;
+    PhysMem mem(16);
+    Iommu iommu(mem, ctx);
+    iommu.protectFrame(6);
+    uint8_t buf[64];
+    // Range ends inside frame 6.
+    EXPECT_FALSE(iommu.dmaRead(6 * pageSize - 32, buf, 64));
+    // Range entirely in frame 5 is fine.
+    EXPECT_TRUE(iommu.dmaRead(5 * pageSize, buf, 64));
+}
+
+TEST(Iommu, DisabledProtectionAllowsDma)
+{
+    sim::SimContext ctx(sim::VgConfig::native());
+    PhysMem mem(16);
+    Iommu iommu(mem, ctx);
+    iommu.protectFrame(5);
+    uint8_t buf[16];
+    EXPECT_TRUE(iommu.dmaRead(5 * pageSize, buf, 16));
+}
+
+TEST(Disk, BufferedReadWrite)
+{
+    sim::SimContext ctx;
+    PhysMem mem(16);
+    Iommu iommu(mem, ctx);
+    Disk disk(64, iommu, ctx);
+
+    std::vector<uint8_t> block(Disk::blockSize, 0x7e);
+    sim::Cycles before = ctx.clock().now();
+    disk.writeBlock(3, block.data());
+    EXPECT_GT(ctx.clock().now(), before); // latency charged
+
+    std::vector<uint8_t> back(Disk::blockSize);
+    disk.readBlock(3, back.data());
+    EXPECT_EQ(back, block);
+}
+
+TEST(Disk, DmaPathRespectsIommu)
+{
+    sim::SimContext ctx;
+    PhysMem mem(16);
+    Iommu iommu(mem, ctx);
+    Disk disk(64, iommu, ctx);
+
+    std::memset(disk.rawBlock(7), 0x42, Disk::blockSize);
+    EXPECT_TRUE(disk.dmaReadBlock(7, 2 * pageSize));
+    EXPECT_EQ(mem.read8(2 * pageSize), 0x42);
+
+    iommu.protectFrame(3);
+    EXPECT_FALSE(disk.dmaReadBlock(7, 3 * pageSize));
+    EXPECT_FALSE(disk.dmaWriteBlock(7, 3 * pageSize));
+}
+
+TEST(Nic, PairDelivery)
+{
+    sim::SimContext ctx;
+    PhysMem mem(16);
+    Iommu iommu(mem, ctx);
+    Nic a(iommu, ctx), b(iommu, ctx);
+    a.connectTo(&b);
+    b.connectTo(&a);
+
+    a.send({1, 2, 3});
+    ASSERT_TRUE(b.hasPacket());
+    EXPECT_EQ(b.receive(), (std::vector<uint8_t>{1, 2, 3}));
+    EXPECT_FALSE(b.hasPacket());
+    EXPECT_EQ(a.packetsSent(), 1u);
+    EXPECT_EQ(b.packetsReceived(), 1u);
+}
+
+TEST(Nic, WireTimeScalesWithBytes)
+{
+    sim::SimContext ctx;
+    PhysMem mem(16);
+    Iommu iommu(mem, ctx);
+    Nic a(iommu, ctx), b(iommu, ctx);
+    a.connectTo(&b);
+
+    // Wire occupancy is booked on the link schedule, not the CPU.
+    uint64_t t0 = ctx.clock().now();
+    uint64_t r1 = a.send(std::vector<uint8_t>(100, 0));
+    uint64_t cpu1 = ctx.clock().now() - t0;
+    uint64_t wire1 = r1 - t0;
+
+    uint64_t t1 = ctx.clock().now();
+    uint64_t r2 = a.send(std::vector<uint8_t>(1400, 0));
+    uint64_t wire2 = r2 - r1;
+    EXPECT_GT(wire2, wire1);
+    // Sender CPU charge does not scale with packet size.
+    EXPECT_EQ(ctx.clock().now() - t1, cpu1);
+    // Back-to-back packets serialize on the link.
+    EXPECT_GT(r2, r1);
+}
+
+TEST(Nic, DmaSendBlockedByIommu)
+{
+    sim::SimContext ctx;
+    PhysMem mem(16);
+    Iommu iommu(mem, ctx);
+    Nic a(iommu, ctx), b(iommu, ctx);
+    a.connectTo(&b);
+    iommu.protectFrame(4);
+    EXPECT_FALSE(a.sendFromDma(4 * pageSize, 100));
+    EXPECT_TRUE(a.sendFromDma(5 * pageSize, 100));
+    EXPECT_TRUE(b.hasPacket());
+}
+
+TEST(Tpm, SealUnsealRoundtrip)
+{
+    Tpm tpm({'t', 'e', 's', 't'});
+    std::vector<uint8_t> secret = {9, 9, 9};
+    auto blob = tpm.seal(secret);
+    bool ok = false;
+    EXPECT_EQ(tpm.unseal(blob, ok), secret);
+    EXPECT_TRUE(ok);
+}
+
+TEST(Tpm, DetectsTampering)
+{
+    Tpm tpm({'t'});
+    auto blob = tpm.seal({1, 2, 3});
+    blob.ciphertext[0] ^= 1;
+    bool ok = true;
+    tpm.unseal(blob, ok);
+    EXPECT_FALSE(ok);
+}
+
+TEST(Tpm, DifferentTpmsCannotUnseal)
+{
+    Tpm tpm1({'a'});
+    Tpm tpm2({'b'});
+    auto blob = tpm1.seal({5});
+    bool ok = true;
+    tpm2.unseal(blob, ok);
+    EXPECT_FALSE(ok);
+}
+
+TEST(Timer, FiresOnSchedule)
+{
+    sim::Clock clock;
+    Timer timer(clock);
+    EXPECT_FALSE(timer.due());
+    timer.setInterval(1000);
+    EXPECT_FALSE(timer.due());
+    clock.advance(999);
+    EXPECT_FALSE(timer.due());
+    clock.advance(1);
+    EXPECT_TRUE(timer.due());
+    timer.acknowledge();
+    EXPECT_FALSE(timer.due());
+    clock.advance(1000);
+    EXPECT_TRUE(timer.due());
+}
+
+TEST(Timer, AcknowledgeSkipsMissedPeriods)
+{
+    sim::Clock clock;
+    Timer timer(clock);
+    timer.setInterval(100);
+    clock.advance(1000);
+    EXPECT_TRUE(timer.due());
+    timer.acknowledge();
+    EXPECT_FALSE(timer.due());
+    clock.advance(100);
+    EXPECT_TRUE(timer.due());
+}

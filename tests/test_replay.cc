@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Rollback/replay protection (the paper's S 10 future-work question:
+ * "how should applications ensure that the OS does not perform replay
+ * attacks by providing older versions of previously encrypted
+ * files?"). Our answer: TPM monotonic counters exposed through the VM
+ * bind each versioned write to a value the OS cannot rewind.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ghost/runtime.hh"
+#include "kernel/system.hh"
+
+using namespace vg;
+using namespace vg::kern;
+
+namespace
+{
+
+SystemConfig
+cfg()
+{
+    SystemConfig c;
+    c.memFrames = 4096;
+    c.diskBlocks = 4096;
+    c.rsaBits = 384;
+    return c;
+}
+
+std::vector<uint8_t>
+bytes(const std::string &s)
+{
+    return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+} // namespace
+
+TEST(Tpm, MonotonicCountersNeverGoBackwards)
+{
+    hw::Tpm tpm({'c'});
+    EXPECT_EQ(tpm.monotonicRead(1), 0u);
+    EXPECT_EQ(tpm.monotonicIncrement(1), 1u);
+    EXPECT_EQ(tpm.monotonicIncrement(1), 2u);
+    EXPECT_EQ(tpm.monotonicRead(1), 2u);
+    EXPECT_EQ(tpm.monotonicRead(2), 0u); // independent counters
+    EXPECT_EQ(tpm.monotonicIncrement(2), 1u);
+    EXPECT_EQ(tpm.monotonicRead(1), 2u);
+}
+
+TEST(Replay, VersionedRoundtrip)
+{
+    System sys(cfg());
+    sys.boot();
+    crypto::AesKey key{};
+    sva::AppBinary bin = sys.vm().packageApp("vapp", "vcode", key);
+
+    int code = sys.runProcess("v", [&](UserApi &api) {
+        return api.execve(&bin, [](UserApi &napi) {
+            ghost::GhostRuntime rt(napi);
+            if (!rt.writeVersionedFile("/cfg", bytes("version-1")))
+                return 1;
+            std::vector<uint8_t> out;
+            if (!rt.readVersionedFile("/cfg", out))
+                return 2;
+            if (out != bytes("version-1"))
+                return 3;
+            // Update in place: still readable.
+            if (!rt.writeVersionedFile("/cfg", bytes("version-2")))
+                return 4;
+            if (!rt.readVersionedFile("/cfg", out))
+                return 5;
+            if (out != bytes("version-2"))
+                return 6;
+            return 0;
+        });
+    });
+    EXPECT_EQ(code, 0);
+}
+
+TEST(Replay, OsReplayOfOldVersionRejected)
+{
+    System sys(cfg());
+    sys.boot();
+    crypto::AesKey key{};
+    sva::AppBinary bin = sys.vm().packageApp("vapp", "vcode", key);
+
+    // First run: write v1; the hostile OS archives the raw file.
+    std::vector<uint8_t> archived;
+    sys.runProcess("writer1", [&](UserApi &api) {
+        return api.execve(&bin, [&](UserApi &napi) {
+            ghost::GhostRuntime rt(napi);
+            rt.writeVersionedFile("/cfg", bytes("old-policy"));
+            return 0;
+        });
+    });
+    {
+        Ino ino = 0;
+        ASSERT_EQ(sys.kernel().fs().lookup("/cfg", ino), FsStatus::Ok);
+        FileStat st;
+        sys.kernel().fs().stat(ino, st);
+        archived.resize(st.size);
+        sys.kernel().fs().read(ino, 0, archived.data(), st.size);
+    }
+
+    // Second run: write v2 (e.g. a revoked-keys update).
+    sys.runProcess("writer2", [&](UserApi &api) {
+        return api.execve(&bin, [&](UserApi &napi) {
+            ghost::GhostRuntime rt(napi);
+            rt.writeVersionedFile("/cfg", bytes("new-policy"));
+            return 0;
+        });
+    });
+
+    // The OS replays the *old*, validly-sealed file.
+    {
+        Ino ino = 0;
+        sys.kernel().fs().lookup("/cfg", ino);
+        sys.kernel().fs().truncate(ino);
+        sys.kernel().fs().write(ino, 0, archived.data(),
+                                archived.size());
+    }
+
+    // The application detects the rollback.
+    int code = sys.runProcess("reader", [&](UserApi &api) {
+        return api.execve(&bin, [](UserApi &napi) {
+            ghost::GhostRuntime rt(napi);
+            std::vector<uint8_t> out;
+            // Replayed old version must NOT verify.
+            return rt.readVersionedFile("/cfg", out) ? 1 : 0;
+        });
+    });
+    EXPECT_EQ(code, 0);
+}
+
+TEST(Replay, UnversionedFilesRemainReplayable)
+{
+    // Negative control: plain secure files (no counter) do not detect
+    // replay — which is exactly why the paper flags it as an open
+    // problem.
+    System sys(cfg());
+    sys.boot();
+    crypto::AesKey key{};
+    sva::AppBinary bin = sys.vm().packageApp("vapp", "vcode", key);
+
+    std::vector<uint8_t> archived;
+    sys.runProcess("w1", [&](UserApi &api) {
+        return api.execve(&bin, [&](UserApi &napi) {
+            ghost::GhostRuntime rt(napi);
+            rt.writeSecureFile("/plain", bytes("old"));
+            return 0;
+        });
+    });
+    Ino ino = 0;
+    sys.kernel().fs().lookup("/plain", ino);
+    FileStat st;
+    sys.kernel().fs().stat(ino, st);
+    archived.resize(st.size);
+    sys.kernel().fs().read(ino, 0, archived.data(), st.size);
+
+    sys.runProcess("w2", [&](UserApi &api) {
+        return api.execve(&bin, [&](UserApi &napi) {
+            ghost::GhostRuntime rt(napi);
+            rt.writeSecureFile("/plain", bytes("new"));
+            return 0;
+        });
+    });
+    sys.kernel().fs().truncate(ino);
+    sys.kernel().fs().write(ino, 0, archived.data(), archived.size());
+
+    int code = sys.runProcess("r", [&](UserApi &api) {
+        return api.execve(&bin, [](UserApi &napi) {
+            ghost::GhostRuntime rt(napi);
+            std::vector<uint8_t> out;
+            bool ok = rt.readSecureFile("/plain", out);
+            // The replayed file decrypts fine — and is stale.
+            return ok && out == bytes("old") ? 0 : 1;
+        });
+    });
+    EXPECT_EQ(code, 0);
+}
+
+TEST(Replay, CountersArePerApplication)
+{
+    System sys(cfg());
+    sys.boot();
+    crypto::AesKey key{};
+    sva::AppBinary a = sys.vm().packageApp("app-a", "ca", key);
+    sva::AppBinary b = sys.vm().packageApp("app-b", "cb", key);
+
+    sys.runProcess("a", [&](UserApi &api) {
+        return api.execve(&a, [&](UserApi &napi) {
+            ghost::GhostRuntime rt(napi);
+            rt.writeVersionedFile("/a1", bytes("x"));
+            rt.writeVersionedFile("/a2", bytes("y"));
+            return 0;
+        });
+    });
+    // app-b's first versioned write starts at its own counter = 1;
+    // its reads are unaffected by app-a's activity.
+    int code = sys.runProcess("b", [&](UserApi &api) {
+        return api.execve(&b, [&](UserApi &napi) {
+            ghost::GhostRuntime rt(napi);
+            if (!rt.writeVersionedFile("/b1", bytes("z")))
+                return 1;
+            std::vector<uint8_t> out;
+            return rt.readVersionedFile("/b1", out) &&
+                           out == bytes("z")
+                       ? 0
+                       : 2;
+        });
+    });
+    EXPECT_EQ(code, 0);
+}

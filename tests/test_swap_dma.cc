@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Kernel-level ghost swapping (S 3.3) and the DMA attack vector
+ * (S 2.2.1 / S 4.3.3): the OS may swap ghost pages but sees only
+ * ciphertext; devices cannot be pointed at ghost frames.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "kernel/system.hh"
+
+using namespace vg;
+using namespace vg::kern;
+
+namespace
+{
+
+SystemConfig
+cfg(sim::VgConfig vg = sim::VgConfig::full())
+{
+    SystemConfig c;
+    c.vg = vg;
+    c.memFrames = 4096;
+    c.diskBlocks = 4096;
+    c.rsaBits = 384;
+    return c;
+}
+
+} // namespace
+
+TEST(GhostSwap, RoundtripThroughOsSwapStore)
+{
+    System sys(cfg());
+    sys.boot();
+    sys.runProcess("swapper", [&](UserApi &api) {
+        hw::Vaddr gva = api.allocGhost(4);
+        const char *secret = "swap me out and back";
+        EXPECT_TRUE(api.ghostWrite(gva, secret, 20));
+        EXPECT_TRUE(api.ghostWrite(gva + 3 * hw::pageSize, "tail", 4));
+
+        // Memory pressure: the OS swaps all four pages out.
+        EXPECT_EQ(sys.kernel().swapOutGhost(api.pid(), 100), 4u);
+        EXPECT_EQ(sys.vm().ghostPageCount(api.pid()), 0u);
+        EXPECT_EQ(sys.kernel().swappedGhostPages(api.pid()), 4u);
+
+        // Transparent swap-in on the next access.
+        char back[24] = {};
+        EXPECT_TRUE(api.ghostRead(gva, back, 20));
+        EXPECT_EQ(std::memcmp(back, secret, 20), 0);
+        EXPECT_TRUE(api.ghostRead(gva + 3 * hw::pageSize, back, 4));
+        EXPECT_EQ(std::memcmp(back, "tail", 4), 0);
+        EXPECT_EQ(sys.kernel().swappedGhostPages(api.pid()), 2u);
+        EXPECT_GT(sys.ctx().stats().get("kernel.ghost_swapins"), 0u);
+        return 0;
+    });
+}
+
+TEST(GhostSwap, OsSeesOnlyCiphertext)
+{
+    System sys(cfg());
+    sys.boot();
+    sys.runProcess("swapper", [&](UserApi &api) {
+        hw::Vaddr gva = api.allocGhost(1);
+        const char *secret = "PLAINTEXT-MARKER";
+        api.ghostWrite(gva, secret, 16);
+        sys.kernel().swapOutGhost(api.pid(), 1);
+
+        crypto::SealedBlob *blob =
+            sys.kernel().swappedBlob(api.pid(), gva);
+        EXPECT_NE(blob, nullptr);
+        if (!blob)
+            return 1;
+        std::string ct(blob->ciphertext.begin(),
+                       blob->ciphertext.end());
+        EXPECT_EQ(ct.find(secret), std::string::npos);
+        return 0;
+    });
+}
+
+TEST(GhostSwap, TamperedSwapPageRefused)
+{
+    System sys(cfg());
+    sys.boot();
+    sys.runProcess("swapper", [&](UserApi &api) {
+        hw::Vaddr gva = api.allocGhost(1);
+        api.ghostWrite(gva, "x", 1);
+        sys.kernel().swapOutGhost(api.pid(), 1);
+
+        crypto::SealedBlob *blob =
+            sys.kernel().swappedBlob(api.pid(), gva);
+        EXPECT_NE(blob, nullptr);
+        if (!blob)
+            return 1;
+        blob->ciphertext[17] ^= 0x40; // hostile OS edit
+
+        char c = 0;
+        EXPECT_FALSE(api.ghostRead(gva, &c, 1));
+        EXPECT_GT(sys.vm().violationCount(), 0u);
+        return 0;
+    });
+}
+
+TEST(GhostSwap, FrameReturnedToOsIsScrubbed)
+{
+    System sys(cfg());
+    sys.boot();
+    sys.runProcess("swapper", [&](UserApi &api) {
+        hw::Vaddr gva = api.allocGhost(1);
+        api.ghostWrite(gva, "SCRUBME!", 8);
+        // Find the physical frame before swap-out.
+        auto pte = sys.mmu().probe(gva);
+        EXPECT_TRUE(pte.has_value());
+        if (!pte)
+            return 1;
+        hw::Frame frame = hw::pte::frameNum(*pte);
+
+        sys.kernel().swapOutGhost(api.pid(), 1);
+        // The returned frame holds zeroes, not the secret.
+        uint64_t word = sys.mem().read64(frame * hw::pageSize);
+        EXPECT_EQ(word, 0u);
+        return 0;
+    });
+}
+
+// --------------------------------------------------------------------
+// DMA attacks (S 2.2.1 bullet 3, defended per S 4.3.3)
+// --------------------------------------------------------------------
+
+TEST(DmaAttack, DiskCannotReadGhostFrames)
+{
+    System sys(cfg());
+    sys.boot();
+    sys.runProcess("victim", [&](UserApi &api) {
+        hw::Vaddr gva = api.allocGhost(1);
+        api.ghostWrite(gva, "DMA-TARGET-SECRET", 17);
+        auto pte = sys.mmu().probe(gva);
+        EXPECT_TRUE(pte.has_value());
+        if (!pte)
+            return 1;
+        hw::Paddr pa = hw::pte::frameAddr(*pte);
+
+        // Hostile OS points the disk controller at the ghost frame.
+        EXPECT_FALSE(sys.disk().dmaWriteBlock(7, pa)); // exfiltrate
+        EXPECT_FALSE(sys.disk().dmaReadBlock(7, pa));  // corrupt
+        EXPECT_GT(sys.iommu().blockedCount(), 0u);
+
+        // Nothing reached the platter.
+        std::string block(reinterpret_cast<char *>(sys.disk()
+                                                       .rawBlock(7)),
+                          hw::Disk::blockSize);
+        EXPECT_EQ(block.find("DMA-TARGET-SECRET"), std::string::npos);
+        return 0;
+    });
+}
+
+TEST(DmaAttack, NicCannotTransmitGhostFrames)
+{
+    System sys(cfg());
+    sys.boot();
+    sys.runProcess("victim", [&](UserApi &api) {
+        hw::Vaddr gva = api.allocGhost(1);
+        api.ghostWrite(gva, "wire-secret", 11);
+        auto pte = sys.mmu().probe(gva);
+        EXPECT_TRUE(pte.has_value());
+        if (!pte)
+            return 1;
+        hw::Paddr pa = hw::pte::frameAddr(*pte);
+
+        hw::Nic nic_a(sys.iommu(), sys.ctx());
+        hw::Nic nic_b(sys.iommu(), sys.ctx());
+        nic_a.connectTo(&nic_b);
+        EXPECT_FALSE(nic_a.sendFromDma(pa, 64));
+        EXPECT_FALSE(nic_b.hasPacket());
+        return 0;
+    });
+}
+
+TEST(DmaAttack, PageTableAndSvaFramesAlsoProtected)
+{
+    System sys(cfg());
+    sys.boot();
+    sys.runProcess("victim", [&](UserApi &api) {
+        // The process root table frame is a PT frame.
+        hw::Frame root = api.proc().rootFrame;
+        EXPECT_FALSE(sys.disk().dmaWriteBlock(3, root * hw::pageSize));
+        EXPECT_FALSE(sys.disk().dmaReadBlock(3, root * hw::pageSize));
+        return 0;
+    });
+}
+
+TEST(DmaAttack, BaselineKernelIsVulnerable)
+{
+    // Without VG the same DMA succeeds — the protection, not the
+    // device model, is what stops it.
+    System sys(cfg(sim::VgConfig::native()));
+    sys.boot();
+    sys.runProcess("victim", [&](UserApi &api) {
+        hw::Vaddr va = api.mmap(hw::pageSize);
+        api.poke(va, 8, 0x1122334455667788ull);
+        hw::Paddr pa = 0;
+        // Resolve through the page tables via a peek side effect.
+        auto pte = sys.mmu().probe(va);
+        EXPECT_TRUE(pte.has_value());
+        if (!pte)
+            return 1;
+        pa = hw::pte::frameAddr(*pte);
+        EXPECT_TRUE(sys.disk().dmaWriteBlock(9, pa));
+        uint64_t leaked = 0;
+        std::memcpy(&leaked, sys.disk().rawBlock(9), 8);
+        EXPECT_EQ(leaked, 0x1122334455667788ull);
+        return 0;
+    });
+}
