@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_files.dir/bench_files.cc.o"
+  "CMakeFiles/bench_files.dir/bench_files.cc.o.d"
+  "bench_files"
+  "bench_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lmbench.dir/bench_lmbench.cc.o"
+  "CMakeFiles/bench_lmbench.dir/bench_lmbench.cc.o.d"
+  "bench_lmbench"
+  "bench_lmbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lmbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

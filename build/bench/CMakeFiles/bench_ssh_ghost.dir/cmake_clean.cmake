@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ssh_ghost.dir/bench_ssh_ghost.cc.o"
+  "CMakeFiles/bench_ssh_ghost.dir/bench_ssh_ghost.cc.o.d"
+  "bench_ssh_ghost"
+  "bench_ssh_ghost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ssh_ghost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sshd.dir/bench_sshd.cc.o"
+  "CMakeFiles/bench_sshd.dir/bench_sshd.cc.o.d"
+  "bench_sshd"
+  "bench_sshd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sshd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

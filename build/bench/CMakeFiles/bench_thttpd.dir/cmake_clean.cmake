@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thttpd.dir/bench_thttpd.cc.o"
+  "CMakeFiles/bench_thttpd.dir/bench_thttpd.cc.o.d"
+  "bench_thttpd"
+  "bench_thttpd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thttpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

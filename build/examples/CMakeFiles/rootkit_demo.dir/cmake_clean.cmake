@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rootkit_demo.dir/rootkit_demo.cpp.o"
+  "CMakeFiles/rootkit_demo.dir/rootkit_demo.cpp.o.d"
+  "rootkit_demo"
+  "rootkit_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rootkit_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_vault.dir/secure_vault.cpp.o"
+  "CMakeFiles/secure_vault.dir/secure_vault.cpp.o.d"
+  "secure_vault"
+  "secure_vault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_vault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

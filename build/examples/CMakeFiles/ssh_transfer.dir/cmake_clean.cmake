@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssh_transfer.dir/ssh_transfer.cpp.o"
+  "CMakeFiles/ssh_transfer.dir/ssh_transfer.cpp.o.d"
+  "ssh_transfer"
+  "ssh_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssh_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

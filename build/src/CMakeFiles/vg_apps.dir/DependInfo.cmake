@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/lmbench.cc" "src/CMakeFiles/vg_apps.dir/apps/lmbench.cc.o" "gcc" "src/CMakeFiles/vg_apps.dir/apps/lmbench.cc.o.d"
+  "/root/repo/src/apps/postmark.cc" "src/CMakeFiles/vg_apps.dir/apps/postmark.cc.o" "gcc" "src/CMakeFiles/vg_apps.dir/apps/postmark.cc.o.d"
+  "/root/repo/src/apps/ssh_agent.cc" "src/CMakeFiles/vg_apps.dir/apps/ssh_agent.cc.o" "gcc" "src/CMakeFiles/vg_apps.dir/apps/ssh_agent.cc.o.d"
+  "/root/repo/src/apps/ssh_client.cc" "src/CMakeFiles/vg_apps.dir/apps/ssh_client.cc.o" "gcc" "src/CMakeFiles/vg_apps.dir/apps/ssh_client.cc.o.d"
+  "/root/repo/src/apps/ssh_common.cc" "src/CMakeFiles/vg_apps.dir/apps/ssh_common.cc.o" "gcc" "src/CMakeFiles/vg_apps.dir/apps/ssh_common.cc.o.d"
+  "/root/repo/src/apps/ssh_keygen.cc" "src/CMakeFiles/vg_apps.dir/apps/ssh_keygen.cc.o" "gcc" "src/CMakeFiles/vg_apps.dir/apps/ssh_keygen.cc.o.d"
+  "/root/repo/src/apps/sshd.cc" "src/CMakeFiles/vg_apps.dir/apps/sshd.cc.o" "gcc" "src/CMakeFiles/vg_apps.dir/apps/sshd.cc.o.d"
+  "/root/repo/src/apps/thttpd.cc" "src/CMakeFiles/vg_apps.dir/apps/thttpd.cc.o" "gcc" "src/CMakeFiles/vg_apps.dir/apps/thttpd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vg_ghost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vg_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vg_sva.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vg_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vg_vir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vg_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vg_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

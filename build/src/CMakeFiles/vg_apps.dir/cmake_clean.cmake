@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vg_apps.dir/apps/lmbench.cc.o"
+  "CMakeFiles/vg_apps.dir/apps/lmbench.cc.o.d"
+  "CMakeFiles/vg_apps.dir/apps/postmark.cc.o"
+  "CMakeFiles/vg_apps.dir/apps/postmark.cc.o.d"
+  "CMakeFiles/vg_apps.dir/apps/ssh_agent.cc.o"
+  "CMakeFiles/vg_apps.dir/apps/ssh_agent.cc.o.d"
+  "CMakeFiles/vg_apps.dir/apps/ssh_client.cc.o"
+  "CMakeFiles/vg_apps.dir/apps/ssh_client.cc.o.d"
+  "CMakeFiles/vg_apps.dir/apps/ssh_common.cc.o"
+  "CMakeFiles/vg_apps.dir/apps/ssh_common.cc.o.d"
+  "CMakeFiles/vg_apps.dir/apps/ssh_keygen.cc.o"
+  "CMakeFiles/vg_apps.dir/apps/ssh_keygen.cc.o.d"
+  "CMakeFiles/vg_apps.dir/apps/sshd.cc.o"
+  "CMakeFiles/vg_apps.dir/apps/sshd.cc.o.d"
+  "CMakeFiles/vg_apps.dir/apps/thttpd.cc.o"
+  "CMakeFiles/vg_apps.dir/apps/thttpd.cc.o.d"
+  "libvg_apps.a"
+  "libvg_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vg_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vg_attacks.dir/attacks/rootkit.cc.o"
+  "CMakeFiles/vg_attacks.dir/attacks/rootkit.cc.o.d"
+  "libvg_attacks.a"
+  "libvg_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vg_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/cfi_pass.cc" "src/CMakeFiles/vg_compiler.dir/compiler/cfi_pass.cc.o" "gcc" "src/CMakeFiles/vg_compiler.dir/compiler/cfi_pass.cc.o.d"
+  "/root/repo/src/compiler/codegen.cc" "src/CMakeFiles/vg_compiler.dir/compiler/codegen.cc.o" "gcc" "src/CMakeFiles/vg_compiler.dir/compiler/codegen.cc.o.d"
+  "/root/repo/src/compiler/exec.cc" "src/CMakeFiles/vg_compiler.dir/compiler/exec.cc.o" "gcc" "src/CMakeFiles/vg_compiler.dir/compiler/exec.cc.o.d"
+  "/root/repo/src/compiler/mcode.cc" "src/CMakeFiles/vg_compiler.dir/compiler/mcode.cc.o" "gcc" "src/CMakeFiles/vg_compiler.dir/compiler/mcode.cc.o.d"
+  "/root/repo/src/compiler/sandbox_pass.cc" "src/CMakeFiles/vg_compiler.dir/compiler/sandbox_pass.cc.o" "gcc" "src/CMakeFiles/vg_compiler.dir/compiler/sandbox_pass.cc.o.d"
+  "/root/repo/src/compiler/translator.cc" "src/CMakeFiles/vg_compiler.dir/compiler/translator.cc.o" "gcc" "src/CMakeFiles/vg_compiler.dir/compiler/translator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vg_vir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vg_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vg_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vg_compiler.dir/compiler/cfi_pass.cc.o"
+  "CMakeFiles/vg_compiler.dir/compiler/cfi_pass.cc.o.d"
+  "CMakeFiles/vg_compiler.dir/compiler/codegen.cc.o"
+  "CMakeFiles/vg_compiler.dir/compiler/codegen.cc.o.d"
+  "CMakeFiles/vg_compiler.dir/compiler/exec.cc.o"
+  "CMakeFiles/vg_compiler.dir/compiler/exec.cc.o.d"
+  "CMakeFiles/vg_compiler.dir/compiler/mcode.cc.o"
+  "CMakeFiles/vg_compiler.dir/compiler/mcode.cc.o.d"
+  "CMakeFiles/vg_compiler.dir/compiler/sandbox_pass.cc.o"
+  "CMakeFiles/vg_compiler.dir/compiler/sandbox_pass.cc.o.d"
+  "CMakeFiles/vg_compiler.dir/compiler/translator.cc.o"
+  "CMakeFiles/vg_compiler.dir/compiler/translator.cc.o.d"
+  "libvg_compiler.a"
+  "libvg_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vg_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

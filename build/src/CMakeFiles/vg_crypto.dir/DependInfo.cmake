@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cc" "src/CMakeFiles/vg_crypto.dir/crypto/aes.cc.o" "gcc" "src/CMakeFiles/vg_crypto.dir/crypto/aes.cc.o.d"
+  "/root/repo/src/crypto/bignum.cc" "src/CMakeFiles/vg_crypto.dir/crypto/bignum.cc.o" "gcc" "src/CMakeFiles/vg_crypto.dir/crypto/bignum.cc.o.d"
+  "/root/repo/src/crypto/drbg.cc" "src/CMakeFiles/vg_crypto.dir/crypto/drbg.cc.o" "gcc" "src/CMakeFiles/vg_crypto.dir/crypto/drbg.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/CMakeFiles/vg_crypto.dir/crypto/hmac.cc.o" "gcc" "src/CMakeFiles/vg_crypto.dir/crypto/hmac.cc.o.d"
+  "/root/repo/src/crypto/rsa.cc" "src/CMakeFiles/vg_crypto.dir/crypto/rsa.cc.o" "gcc" "src/CMakeFiles/vg_crypto.dir/crypto/rsa.cc.o.d"
+  "/root/repo/src/crypto/sealed.cc" "src/CMakeFiles/vg_crypto.dir/crypto/sealed.cc.o" "gcc" "src/CMakeFiles/vg_crypto.dir/crypto/sealed.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/CMakeFiles/vg_crypto.dir/crypto/sha256.cc.o" "gcc" "src/CMakeFiles/vg_crypto.dir/crypto/sha256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

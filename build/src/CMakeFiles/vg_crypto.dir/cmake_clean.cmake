@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vg_crypto.dir/crypto/aes.cc.o"
+  "CMakeFiles/vg_crypto.dir/crypto/aes.cc.o.d"
+  "CMakeFiles/vg_crypto.dir/crypto/bignum.cc.o"
+  "CMakeFiles/vg_crypto.dir/crypto/bignum.cc.o.d"
+  "CMakeFiles/vg_crypto.dir/crypto/drbg.cc.o"
+  "CMakeFiles/vg_crypto.dir/crypto/drbg.cc.o.d"
+  "CMakeFiles/vg_crypto.dir/crypto/hmac.cc.o"
+  "CMakeFiles/vg_crypto.dir/crypto/hmac.cc.o.d"
+  "CMakeFiles/vg_crypto.dir/crypto/rsa.cc.o"
+  "CMakeFiles/vg_crypto.dir/crypto/rsa.cc.o.d"
+  "CMakeFiles/vg_crypto.dir/crypto/sealed.cc.o"
+  "CMakeFiles/vg_crypto.dir/crypto/sealed.cc.o.d"
+  "CMakeFiles/vg_crypto.dir/crypto/sha256.cc.o"
+  "CMakeFiles/vg_crypto.dir/crypto/sha256.cc.o.d"
+  "libvg_crypto.a"
+  "libvg_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vg_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vg_ghost.dir/ghost/gmalloc.cc.o"
+  "CMakeFiles/vg_ghost.dir/ghost/gmalloc.cc.o.d"
+  "CMakeFiles/vg_ghost.dir/ghost/runtime.cc.o"
+  "CMakeFiles/vg_ghost.dir/ghost/runtime.cc.o.d"
+  "libvg_ghost.a"
+  "libvg_ghost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vg_ghost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/disk.cc" "src/CMakeFiles/vg_hw.dir/hw/disk.cc.o" "gcc" "src/CMakeFiles/vg_hw.dir/hw/disk.cc.o.d"
+  "/root/repo/src/hw/iommu.cc" "src/CMakeFiles/vg_hw.dir/hw/iommu.cc.o" "gcc" "src/CMakeFiles/vg_hw.dir/hw/iommu.cc.o.d"
+  "/root/repo/src/hw/mmu.cc" "src/CMakeFiles/vg_hw.dir/hw/mmu.cc.o" "gcc" "src/CMakeFiles/vg_hw.dir/hw/mmu.cc.o.d"
+  "/root/repo/src/hw/nic.cc" "src/CMakeFiles/vg_hw.dir/hw/nic.cc.o" "gcc" "src/CMakeFiles/vg_hw.dir/hw/nic.cc.o.d"
+  "/root/repo/src/hw/phys_mem.cc" "src/CMakeFiles/vg_hw.dir/hw/phys_mem.cc.o" "gcc" "src/CMakeFiles/vg_hw.dir/hw/phys_mem.cc.o.d"
+  "/root/repo/src/hw/tpm.cc" "src/CMakeFiles/vg_hw.dir/hw/tpm.cc.o" "gcc" "src/CMakeFiles/vg_hw.dir/hw/tpm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vg_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vg_hw.dir/hw/disk.cc.o"
+  "CMakeFiles/vg_hw.dir/hw/disk.cc.o.d"
+  "CMakeFiles/vg_hw.dir/hw/iommu.cc.o"
+  "CMakeFiles/vg_hw.dir/hw/iommu.cc.o.d"
+  "CMakeFiles/vg_hw.dir/hw/mmu.cc.o"
+  "CMakeFiles/vg_hw.dir/hw/mmu.cc.o.d"
+  "CMakeFiles/vg_hw.dir/hw/nic.cc.o"
+  "CMakeFiles/vg_hw.dir/hw/nic.cc.o.d"
+  "CMakeFiles/vg_hw.dir/hw/phys_mem.cc.o"
+  "CMakeFiles/vg_hw.dir/hw/phys_mem.cc.o.d"
+  "CMakeFiles/vg_hw.dir/hw/tpm.cc.o"
+  "CMakeFiles/vg_hw.dir/hw/tpm.cc.o.d"
+  "libvg_hw.a"
+  "libvg_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vg_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvg_hw.a"
+)

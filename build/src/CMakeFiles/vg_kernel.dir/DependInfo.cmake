@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/bcache.cc" "src/CMakeFiles/vg_kernel.dir/kernel/bcache.cc.o" "gcc" "src/CMakeFiles/vg_kernel.dir/kernel/bcache.cc.o.d"
+  "/root/repo/src/kernel/fs.cc" "src/CMakeFiles/vg_kernel.dir/kernel/fs.cc.o" "gcc" "src/CMakeFiles/vg_kernel.dir/kernel/fs.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/CMakeFiles/vg_kernel.dir/kernel/kernel.cc.o" "gcc" "src/CMakeFiles/vg_kernel.dir/kernel/kernel.cc.o.d"
+  "/root/repo/src/kernel/kmem.cc" "src/CMakeFiles/vg_kernel.dir/kernel/kmem.cc.o" "gcc" "src/CMakeFiles/vg_kernel.dir/kernel/kmem.cc.o.d"
+  "/root/repo/src/kernel/module_api.cc" "src/CMakeFiles/vg_kernel.dir/kernel/module_api.cc.o" "gcc" "src/CMakeFiles/vg_kernel.dir/kernel/module_api.cc.o.d"
+  "/root/repo/src/kernel/syscalls.cc" "src/CMakeFiles/vg_kernel.dir/kernel/syscalls.cc.o" "gcc" "src/CMakeFiles/vg_kernel.dir/kernel/syscalls.cc.o.d"
+  "/root/repo/src/kernel/system.cc" "src/CMakeFiles/vg_kernel.dir/kernel/system.cc.o" "gcc" "src/CMakeFiles/vg_kernel.dir/kernel/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vg_sva.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vg_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vg_vir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vg_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vg_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vg_kernel.dir/kernel/bcache.cc.o"
+  "CMakeFiles/vg_kernel.dir/kernel/bcache.cc.o.d"
+  "CMakeFiles/vg_kernel.dir/kernel/fs.cc.o"
+  "CMakeFiles/vg_kernel.dir/kernel/fs.cc.o.d"
+  "CMakeFiles/vg_kernel.dir/kernel/kernel.cc.o"
+  "CMakeFiles/vg_kernel.dir/kernel/kernel.cc.o.d"
+  "CMakeFiles/vg_kernel.dir/kernel/kmem.cc.o"
+  "CMakeFiles/vg_kernel.dir/kernel/kmem.cc.o.d"
+  "CMakeFiles/vg_kernel.dir/kernel/module_api.cc.o"
+  "CMakeFiles/vg_kernel.dir/kernel/module_api.cc.o.d"
+  "CMakeFiles/vg_kernel.dir/kernel/syscalls.cc.o"
+  "CMakeFiles/vg_kernel.dir/kernel/syscalls.cc.o.d"
+  "CMakeFiles/vg_kernel.dir/kernel/system.cc.o"
+  "CMakeFiles/vg_kernel.dir/kernel/system.cc.o.d"
+  "libvg_kernel.a"
+  "libvg_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vg_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

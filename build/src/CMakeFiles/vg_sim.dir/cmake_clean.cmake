@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vg_sim.dir/sim/log.cc.o"
+  "CMakeFiles/vg_sim.dir/sim/log.cc.o.d"
+  "CMakeFiles/vg_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/vg_sim.dir/sim/stats.cc.o.d"
+  "libvg_sim.a"
+  "libvg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

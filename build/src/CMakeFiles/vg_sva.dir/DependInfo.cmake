@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sva/ghost.cc" "src/CMakeFiles/vg_sva.dir/sva/ghost.cc.o" "gcc" "src/CMakeFiles/vg_sva.dir/sva/ghost.cc.o.d"
+  "/root/repo/src/sva/mmu_ops.cc" "src/CMakeFiles/vg_sva.dir/sva/mmu_ops.cc.o" "gcc" "src/CMakeFiles/vg_sva.dir/sva/mmu_ops.cc.o.d"
+  "/root/repo/src/sva/vm.cc" "src/CMakeFiles/vg_sva.dir/sva/vm.cc.o" "gcc" "src/CMakeFiles/vg_sva.dir/sva/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vg_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vg_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vg_vir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vg_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vg_sva.dir/sva/ghost.cc.o"
+  "CMakeFiles/vg_sva.dir/sva/ghost.cc.o.d"
+  "CMakeFiles/vg_sva.dir/sva/mmu_ops.cc.o"
+  "CMakeFiles/vg_sva.dir/sva/mmu_ops.cc.o.d"
+  "CMakeFiles/vg_sva.dir/sva/vm.cc.o"
+  "CMakeFiles/vg_sva.dir/sva/vm.cc.o.d"
+  "libvg_sva.a"
+  "libvg_sva.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vg_sva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vir/builder.cc" "src/CMakeFiles/vg_vir.dir/vir/builder.cc.o" "gcc" "src/CMakeFiles/vg_vir.dir/vir/builder.cc.o.d"
+  "/root/repo/src/vir/inst.cc" "src/CMakeFiles/vg_vir.dir/vir/inst.cc.o" "gcc" "src/CMakeFiles/vg_vir.dir/vir/inst.cc.o.d"
+  "/root/repo/src/vir/parser.cc" "src/CMakeFiles/vg_vir.dir/vir/parser.cc.o" "gcc" "src/CMakeFiles/vg_vir.dir/vir/parser.cc.o.d"
+  "/root/repo/src/vir/printer.cc" "src/CMakeFiles/vg_vir.dir/vir/printer.cc.o" "gcc" "src/CMakeFiles/vg_vir.dir/vir/printer.cc.o.d"
+  "/root/repo/src/vir/verifier.cc" "src/CMakeFiles/vg_vir.dir/vir/verifier.cc.o" "gcc" "src/CMakeFiles/vg_vir.dir/vir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vg_vir.dir/vir/builder.cc.o"
+  "CMakeFiles/vg_vir.dir/vir/builder.cc.o.d"
+  "CMakeFiles/vg_vir.dir/vir/inst.cc.o"
+  "CMakeFiles/vg_vir.dir/vir/inst.cc.o.d"
+  "CMakeFiles/vg_vir.dir/vir/parser.cc.o"
+  "CMakeFiles/vg_vir.dir/vir/parser.cc.o.d"
+  "CMakeFiles/vg_vir.dir/vir/printer.cc.o"
+  "CMakeFiles/vg_vir.dir/vir/printer.cc.o.d"
+  "CMakeFiles/vg_vir.dir/vir/verifier.cc.o"
+  "CMakeFiles/vg_vir.dir/vir/verifier.cc.o.d"
+  "libvg_vir.a"
+  "libvg_vir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vg_vir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

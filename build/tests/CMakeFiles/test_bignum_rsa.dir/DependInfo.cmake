@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bignum_rsa.cc" "tests/CMakeFiles/test_bignum_rsa.dir/test_bignum_rsa.cc.o" "gcc" "tests/CMakeFiles/test_bignum_rsa.dir/test_bignum_rsa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vg_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vg_ghost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vg_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vg_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vg_sva.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vg_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vg_vir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vg_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vg_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

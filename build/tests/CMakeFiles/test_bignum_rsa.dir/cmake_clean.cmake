@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bignum_rsa.dir/test_bignum_rsa.cc.o"
+  "CMakeFiles/test_bignum_rsa.dir/test_bignum_rsa.cc.o.d"
+  "test_bignum_rsa"
+  "test_bignum_rsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bignum_rsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

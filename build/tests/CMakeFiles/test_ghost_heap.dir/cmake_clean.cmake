@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ghost_heap.dir/test_ghost_heap.cc.o"
+  "CMakeFiles/test_ghost_heap.dir/test_ghost_heap.cc.o.d"
+  "test_ghost_heap"
+  "test_ghost_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ghost_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

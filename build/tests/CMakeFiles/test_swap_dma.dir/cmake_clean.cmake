@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swap_dma.dir/test_swap_dma.cc.o"
+  "CMakeFiles/test_swap_dma.dir/test_swap_dma.cc.o.d"
+  "test_swap_dma"
+  "test_swap_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swap_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

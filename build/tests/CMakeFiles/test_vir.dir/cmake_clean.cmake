@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vir.dir/test_vir.cc.o"
+  "CMakeFiles/test_vir.dir/test_vir.cc.o.d"
+  "test_vir"
+  "test_vir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
