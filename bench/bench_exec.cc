@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Host-side throughput of the execution engine: interpreted
+ * instructions per wall-clock second for the same workload module
+ * under three configurations:
+ *
+ *   - native:           no instrumentation (upper bound);
+ *   - vg-fused:         full Virtual Ghost instrumentation with the
+ *                       fused SandboxAddr masking op (default);
+ *   - vg-unfused:       full instrumentation with the 13-instruction
+ *                       unfused mask sequence (pre-fusion engine).
+ *
+ * Unlike bench_micro this is a standalone harness: it prints a small
+ * table and writes machine-readable results to BENCH_exec.json in the
+ * current directory. Pass --smoke (or set VG_BENCH_SCALE=smoke) for a
+ * fast CI run.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "compiler/exec.hh"
+#include "compiler/translator.hh"
+#include "sim/config.hh"
+#include "sim/context.hh"
+
+using namespace vg;
+
+namespace
+{
+
+const char *kModuleSrc = R"(
+func @work(1) {
+entry:
+  %1 = const 0
+  %2 = const 0
+  br head
+head:
+  %3 = icmp ult %2, %0
+  condbr %3, body, done
+body:
+  %4 = alloca 64
+  store.i64 %4, %2
+  %5 = load.i64 %4
+  %1 = add %1, %5
+  %6 = const 1
+  %2 = add %2, %6
+  br head
+done:
+  ret %1
+}
+)";
+
+class NullPort : public cc::MemPort
+{
+  public:
+    bool
+    read(uint64_t, unsigned, uint64_t &out) override
+    {
+        out = 0;
+        return true;
+    }
+    bool write(uint64_t, unsigned, uint64_t) override { return true; }
+    bool copy(uint64_t, uint64_t, uint64_t) override { return true; }
+};
+
+struct Result {
+    std::string name;
+    uint64_t instsPerCall = 0;
+    double usPerCall = 0;
+    double hostInstsPerSec = 0;
+};
+
+/** Translate kModuleSrc under @p vg, then call work(N) repeatedly for
+ *  at least @p minSeconds of wall clock. */
+Result
+measure(const std::string &name, const sim::VgConfig &vg,
+        uint64_t iters, double minSeconds)
+{
+    sim::SimContext ctx(vg);
+    std::vector<uint8_t> key(32, 1);
+    cc::Translator tr(key, ctx);
+    auto r = tr.translateText(kModuleSrc, 0xffffff9000000000ull);
+    if (!r.ok) {
+        std::fprintf(stderr, "translate failed: %s\n",
+                     r.error.c_str());
+        std::exit(1);
+    }
+    NullPort port;
+    cc::ExternTable externs;
+    cc::Executor exec(*r.image, port, externs, ctx,
+                      0xffffffa000000000ull, 1 << 20);
+
+    // Warm up (also captures the per-call instruction count).
+    auto warm = exec.call("work", {iters});
+    if (!warm.ok) {
+        std::fprintf(stderr, "%s: workload faulted: %s\n",
+                     name.c_str(), warm.detail.c_str());
+        std::exit(1);
+    }
+
+    using clock = std::chrono::steady_clock;
+    uint64_t calls = 0, insts = 0;
+    auto start = clock::now();
+    double elapsed = 0;
+    do {
+        auto res = exec.call("work", {iters});
+        insts += res.instsExecuted;
+        calls++;
+        elapsed = std::chrono::duration<double>(clock::now() - start)
+                      .count();
+    } while (elapsed < minSeconds);
+
+    Result out;
+    out.name = name;
+    out.instsPerCall = insts / calls;
+    out.usPerCall = elapsed * 1e6 / double(calls);
+    out.hostInstsPerSec = double(insts) / elapsed;
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; i++)
+        if (!std::strcmp(argv[i], "--smoke"))
+            smoke = true;
+    const char *env = std::getenv("VG_BENCH_SCALE");
+    if (env && !std::strcmp(env, "smoke"))
+        smoke = true;
+
+    const uint64_t iters = smoke ? 200 : 2000;
+    const double minSeconds = smoke ? 0.05 : 0.5;
+
+    sim::VgConfig unfused = sim::VgConfig::full();
+    unfused.fuseSandboxMasks = false;
+
+    std::vector<Result> results;
+    results.push_back(
+        measure("native", sim::VgConfig::native(), iters, minSeconds));
+    results.push_back(
+        measure("vg-fused", sim::VgConfig::full(), iters, minSeconds));
+    results.push_back(measure("vg-unfused", unfused, iters,
+                              minSeconds));
+
+    std::printf("%-12s %14s %12s %18s\n", "config", "insts/call",
+                "us/call", "host insts/sec");
+    for (const auto &r : results)
+        std::printf("%-12s %14llu %12.2f %18.3e\n", r.name.c_str(),
+                    (unsigned long long)r.instsPerCall, r.usPerCall,
+                    r.hostInstsPerSec);
+
+    const Result &fused = results[1];
+    const Result &unf = results[2];
+    double speedup = unf.usPerCall / fused.usPerCall;
+    std::printf("fused vs unfused host speedup: %.2fx\n", speedup);
+
+    std::FILE *f = std::fopen("BENCH_exec.json", "w");
+    if (!f) {
+        std::perror("BENCH_exec.json");
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"exec\",\n  \"smoke\": %s,\n",
+                 smoke ? "true" : "false");
+    std::fprintf(f, "  \"work_iters\": %llu,\n",
+                 (unsigned long long)iters);
+    std::fprintf(f, "  \"configs\": [\n");
+    for (size_t i = 0; i < results.size(); i++) {
+        const Result &r = results[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"insts_per_call\": %llu,"
+                     " \"us_per_call\": %.3f,"
+                     " \"host_insts_per_sec\": %.1f}%s\n",
+                     r.name.c_str(),
+                     (unsigned long long)r.instsPerCall, r.usPerCall,
+                     r.hostInstsPerSec, i + 1 < results.size() ? ","
+                                                               : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"fused_vs_unfused_speedup\": %.3f\n}\n",
+                 speedup);
+    std::fclose(f);
+    return 0;
+}

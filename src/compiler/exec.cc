@@ -36,43 +36,112 @@ Executor::Executor(const MachineImage &image, MemPort &mem,
                    const ExternTable &externs, sim::SimContext &ctx,
                    uint64_t stack_base, uint64_t stack_size)
     : _image(image), _mem(mem), _externs(externs), _ctx(ctx),
-      _stackBase(stack_base), _stackSize(stack_size)
+      _stackBase(stack_base), _stackSize(stack_size),
+      _hInsts(ctx.stats().handle("exec.insts"))
 {
-    for (const auto &[name, info] : _image.functions)
-        _byAddr[info.entryAddr] = &info;
+    const size_t n = image.code.size();
+    _entryOf.assign(n, nullptr);
+    for (const auto &[name, info] : image.functions) {
+        size_t idx = size_t((info.entryAddr - image.codeBase) /
+                            mInstBytes);
+        if (idx < n)
+            _entryOf[idx] = &info;
+    }
+
+    // Predecode: one pass over the image, resolving everything that
+    // does not depend on run-time values.
+    _decoded.reserve(n);
+    for (size_t i = 0; i < n; i++) {
+        const MInst &m = image.code[i];
+        DInst d;
+        d.op = m.op;
+        d.width = m.width;
+        d.pred = m.pred;
+        d.dst = m.dst;
+        d.a = m.a;
+        d.b = m.b;
+        d.c = m.c;
+        d.imm = m.imm;
+        if (m.op == MOp::SandboxAddr)
+            d.cost = uint8_t(sandboxMaskSeqLen);
+        if (!m.args.empty()) {
+            d.argsOff = uint32_t(_argPool.size());
+            d.argsCnt = uint32_t(m.args.size());
+            for (int r : m.args)
+                _argPool.push_back(r);
+        }
+        switch (m.op) {
+          case MOp::Jump:
+          case MOp::JumpIfZero:
+            // Codegen only emits in-image aligned targets; anything
+            // else decodes to an out-of-range index that faults as
+            // BadInstruction, matching the old at(pc) == null path.
+            d.target = image.contains(m.imm)
+                           ? uint32_t((m.imm - image.codeBase) /
+                                      mInstBytes)
+                           : uint32_t(n);
+            break;
+          case MOp::CallDirect:
+            d.fn = image.contains(m.imm)
+                       ? _entryOf[size_t((m.imm - image.codeBase) /
+                                         mInstBytes)]
+                       : nullptr;
+            if (d.fn)
+                d.target = uint32_t((d.fn->entryAddr - image.codeBase) /
+                                    mInstBytes);
+            break;
+          case MOp::CallExt: {
+            auto it = externs.fns.find(m.callee);
+            if (it != externs.fns.end())
+                d.ext = &it->second;
+            break;
+          }
+          default:
+            break;
+        }
+        _decoded.push_back(d);
+    }
 }
 
 const FuncInfo *
 Executor::funcAt(uint64_t entry_addr) const
 {
-    auto it = _byAddr.find(entry_addr);
-    return it == _byAddr.end() ? nullptr : it->second;
+    if (!_image.contains(entry_addr))
+        return nullptr;
+    return _entryOf[size_t((entry_addr - _image.codeBase) / mInstBytes)];
+}
+
+ExecResult
+Executor::badTarget(std::string detail)
+{
+    ExecResult r;
+    r.fault = ExecFault::BadCallTarget;
+    r.detail = std::move(detail);
+    return r;
 }
 
 ExecResult
 Executor::call(const std::string &name, const std::vector<uint64_t> &args)
 {
     auto it = _image.functions.find(name);
-    if (it == _image.functions.end()) {
-        ExecResult r;
-        r.fault = ExecFault::BadCallTarget;
-        r.detail = "no such function " + name;
-        return r;
-    }
+    if (it == _image.functions.end())
+        return badTarget("no such function " + name);
     return run(it->second, args);
+}
+
+ExecResult
+Executor::call(const FuncInfo &fn, const std::vector<uint64_t> &args)
+{
+    return run(fn, args);
 }
 
 ExecResult
 Executor::callAddr(uint64_t entry_addr, const std::vector<uint64_t> &args)
 {
     const FuncInfo *info = funcAt(entry_addr);
-    if (!info) {
-        ExecResult r;
-        r.fault = ExecFault::BadCallTarget;
-        r.detail = sim::strprintf("no function at %#lx",
-                                  (unsigned long)entry_addr);
-        return r;
-    }
+    if (!info)
+        return badTarget(sim::strprintf("no function at %#lx",
+                                        (unsigned long)entry_addr));
     return run(*info, args);
 }
 
@@ -80,34 +149,51 @@ ExecResult
 Executor::run(const FuncInfo &entry_fn, const std::vector<uint64_t> &args)
 {
     ExecResult result;
-    uint64_t sp = _stackBase + _stackSize;
-    std::vector<Frame> stack;
+    const DInst *code = _decoded.data();
+    const size_t code_len = _decoded.size();
+    sim::Clock &clock = _ctx.clock();
 
-    auto push_frame = [&](const FuncInfo &fn,
-                          const std::vector<uint64_t> &fn_args,
-                          uint64_t ret_addr, int caller_dst) -> bool {
+    // Stack discipline over the shared frame/register pools makes the
+    // engine reentrant (an extern may call back into this Executor).
+    const size_t frame_floor = _frames.size();
+    const size_t reg_floor = _regStack.size();
+    uint64_t sp = _stackBase + _stackSize;
+    std::vector<uint64_t> ext_args; // reused for every CallExt this run
+
+    auto byte_addr = [&](size_t idx) {
+        return _image.codeBase + idx * mInstBytes;
+    };
+
+    auto push_frame = [&](const FuncInfo &fn, uint32_t ret_idx,
+                          int32_t caller_dst) -> bool {
         if (fn.frameBytes + 4096 > sp - _stackBase)
             return false;
         sp -= fn.frameBytes;
-        Frame f;
-        f.regs.assign(size_t(std::max(fn.numRegs, 1)), 0);
-        for (size_t i = 0;
-             i < fn_args.size() && i < size_t(fn.numParams); i++)
-            f.regs[i] = fn_args[i];
-        f.framePtr = sp;
-        f.returnAddr = ret_addr;
-        f.callerDst = caller_dst;
-        stack.push_back(std::move(f));
+        FrameRec fr;
+        fr.fn = &fn;
+        fr.regBase = uint32_t(_regStack.size());
+        fr.retIdx = ret_idx;
+        fr.callerDst = caller_dst;
+        fr.framePtr = sp;
+        // resize() value-initializes the new elements, so a recycled
+        // span starts zeroed exactly like a fresh register file.
+        _regStack.resize(_regStack.size() +
+                             size_t(std::max(fn.numRegs, 1)),
+                         0);
+        _frames.push_back(fr);
         return true;
     };
 
-    if (!push_frame(entry_fn, args, 0, -1)) {
+    if (!push_frame(entry_fn, 0, -1)) {
         result.fault = ExecFault::StackOverflow;
         return result;
     }
+    for (size_t i = 0;
+         i < args.size() && i < size_t(entry_fn.numParams); i++)
+        _regStack[_frames.back().regBase + i] = args[i];
 
-    uint64_t pc = entry_fn.entryAddr;
-    const FuncInfo *cur_fn = &entry_fn;
+    size_t pc = size_t((entry_fn.entryAddr - _image.codeBase) /
+                       mInstBytes);
 
     auto fault = [&](ExecFault kind, const std::string &detail) {
         result.fault = kind;
@@ -117,73 +203,58 @@ Executor::run(const FuncInfo &entry_fn, const std::vector<uint64_t> &args)
 
     // Return from the current frame; true if the whole run finished.
     auto do_return = [&](uint64_t value, bool checked) -> bool {
-        Frame done = std::move(stack.back());
-        stack.pop_back();
-        sp += cur_fn->frameBytes;
-        if (stack.empty()) {
+        FrameRec done = _frames.back();
+        _frames.pop_back();
+        _regStack.resize(done.regBase);
+        sp += done.fn->frameBytes;
+        if (_frames.size() == frame_floor) {
             result.ok = true;
             result.value = value;
             return true;
         }
         if (checked) {
             // Validate the CFI label at the return site.
-            const MInst *site = _image.at(done.returnAddr);
-            _ctx.clock().advance(_ctx.costs().cfiPerTransfer);
-            if (!site || site->op != MOp::CfiLabel ||
-                site->imm != cfiLabelValue) {
+            clock.advance(_ctx.costs().cfiPerTransfer);
+            if (done.retIdx >= code_len ||
+                code[done.retIdx].op != MOp::CfiLabel ||
+                code[done.retIdx].imm != cfiLabelValue) {
                 fault(ExecFault::CfiViolation,
                       "return to unlabeled site");
                 return true;
             }
         }
         if (done.callerDst >= 0)
-            stack.back().regs[size_t(done.callerDst)] = value;
-        pc = done.returnAddr;
-        // Re-derive the enclosing function for frame accounting.
-        const FuncInfo *enclosing = nullptr;
-        for (const auto &[addr, info] : _byAddr) {
-            if (addr <= pc)
-                enclosing = info;
-            else
-                break;
-        }
-        cur_fn = enclosing;
+            _regStack[_frames.back().regBase +
+                      uint32_t(done.callerDst)] = value;
+        pc = done.retIdx;
         return false;
     };
 
-    auto enter_call = [&](uint64_t target, const std::vector<uint64_t> &a,
-                          uint64_t ret_addr, int dst,
-                          bool checked) -> bool {
-        if (checked) {
-            _ctx.clock().advance(_ctx.costs().cfiPerTransfer);
-            // Mask the target out of user space (paper: the CFI check
-            // "masks the target address to ensure that it is not a
-            // user-space address").
-            target |= hw::kernelBase;
-            const MInst *at_target = _image.at(target);
-            if (!at_target || at_target->op != MOp::CfiLabel ||
-                at_target->imm != cfiLabelValue) {
-                fault(ExecFault::CfiViolation,
-                      sim::strprintf("indirect call to %#lx without "
-                                     "label",
-                                     (unsigned long)target));
-                return false;
-            }
-        }
-        const FuncInfo *callee = funcAt(target);
+    // Enter a resolved callee, copying argument registers from the
+    // caller's frame straight into the callee's (no temporary vector).
+    auto enter_call = [&](const FuncInfo *callee, uint64_t target_addr,
+                          uint32_t args_off, uint32_t args_cnt,
+                          uint32_t ret_idx, int32_t dst) -> bool {
         if (!callee) {
             fault(ExecFault::BadCallTarget,
                   sim::strprintf("call to %#lx which is not a function "
                                  "entry",
-                                 (unsigned long)target));
+                                 (unsigned long)target_addr));
             return false;
         }
-        if (!push_frame(*callee, a, ret_addr, dst)) {
+        uint32_t caller_base = _frames.back().regBase;
+        if (!push_frame(*callee, ret_idx, dst)) {
             fault(ExecFault::StackOverflow, "module stack exhausted");
             return false;
         }
-        pc = callee->entryAddr;
-        cur_fn = callee;
+        uint32_t callee_base = _frames.back().regBase;
+        uint32_t n = std::min(args_cnt, uint32_t(callee->numParams));
+        for (uint32_t i = 0; i < n; i++) {
+            int32_t r = _argPool[args_off + i];
+            _regStack[callee_base + i] =
+                r < 0 ? 0 : _regStack[caller_base + uint32_t(r)];
+        }
+        pc = size_t((callee->entryAddr - _image.codeBase) / mInstBytes);
         return true;
     };
 
@@ -192,80 +263,80 @@ Executor::run(const FuncInfo &entry_fn, const std::vector<uint64_t> &args)
             fault(ExecFault::FuelExhausted, "instruction budget spent");
             break;
         }
-        const MInst *m = _image.at(pc);
-        if (!m) {
+        if (pc >= code_len) {
             fault(ExecFault::BadInstruction,
                   sim::strprintf("pc %#lx outside code",
-                                 (unsigned long)pc));
+                                 (unsigned long)byte_addr(pc)));
             break;
         }
-        result.instsExecuted++;
-        _ctx.clock().advance(1);
+        const DInst &m = code[pc];
+        result.instsExecuted += m.cost;
+        clock.advance(m.cost);
 
-        Frame &frame = stack.back();
-        auto reg = [&](int r) -> uint64_t {
-            return r < 0 ? 0 : frame.regs[size_t(r)];
+        uint64_t *regs = _regStack.data() + _frames.back().regBase;
+        auto reg = [&](int32_t r) -> uint64_t {
+            return r < 0 ? 0 : regs[uint32_t(r)];
         };
-        auto set = [&](int r, uint64_t v) {
+        auto set = [&](int32_t r, uint64_t v) {
             if (r >= 0)
-                frame.regs[size_t(r)] = v;
+                regs[uint32_t(r)] = v;
         };
 
-        uint64_t next_pc = pc + mInstBytes;
+        size_t next_pc = pc + 1;
         bool stop = false;
 
-        switch (m->op) {
+        switch (m.op) {
           case MOp::ConstI:
-            set(m->dst, m->imm);
+            set(m.dst, m.imm);
             break;
           case MOp::Mov:
-            set(m->dst, reg(m->a));
+            set(m.dst, reg(m.a));
             break;
           case MOp::Add:
-            set(m->dst, reg(m->a) + reg(m->b));
+            set(m.dst, reg(m.a) + reg(m.b));
             break;
           case MOp::Sub:
-            set(m->dst, reg(m->a) - reg(m->b));
+            set(m.dst, reg(m.a) - reg(m.b));
             break;
           case MOp::Mul:
-            set(m->dst, reg(m->a) * reg(m->b));
+            set(m.dst, reg(m.a) * reg(m.b));
             break;
           case MOp::UDiv:
           case MOp::URem: {
-            uint64_t d = reg(m->b);
+            uint64_t d = reg(m.b);
             if (d == 0) {
                 fault(ExecFault::DivideByZero, "division by zero");
                 stop = true;
                 break;
             }
-            set(m->dst, m->op == MOp::UDiv ? reg(m->a) / d
-                                           : reg(m->a) % d);
+            set(m.dst, m.op == MOp::UDiv ? reg(m.a) / d
+                                         : reg(m.a) % d);
             break;
           }
           case MOp::And:
-            set(m->dst, reg(m->a) & reg(m->b));
+            set(m.dst, reg(m.a) & reg(m.b));
             break;
           case MOp::Or:
-            set(m->dst, reg(m->a) | reg(m->b));
+            set(m.dst, reg(m.a) | reg(m.b));
             break;
           case MOp::Xor:
-            set(m->dst, reg(m->a) ^ reg(m->b));
+            set(m.dst, reg(m.a) ^ reg(m.b));
             break;
           case MOp::Shl:
-            set(m->dst, reg(m->a) << (reg(m->b) & 63));
+            set(m.dst, reg(m.a) << (reg(m.b) & 63));
             break;
           case MOp::LShr:
-            set(m->dst, reg(m->a) >> (reg(m->b) & 63));
+            set(m.dst, reg(m.a) >> (reg(m.b) & 63));
             break;
           case MOp::AShr:
-            set(m->dst,
-                uint64_t(int64_t(reg(m->a)) >> (reg(m->b) & 63)));
+            set(m.dst,
+                uint64_t(int64_t(reg(m.a)) >> (reg(m.b) & 63)));
             break;
           case MOp::ICmp: {
-            uint64_t a = reg(m->a), b = reg(m->b);
+            uint64_t a = reg(m.a), b = reg(m.b);
             int64_t sa = int64_t(a), sb = int64_t(b);
             bool v = false;
-            switch (m->pred) {
+            switch (m.pred) {
               case vir::CmpPred::Eq:
                 v = a == b;
                 break;
@@ -297,104 +368,126 @@ Executor::run(const FuncInfo &entry_fn, const std::vector<uint64_t> &args)
                 v = sa >= sb;
                 break;
             }
-            set(m->dst, v ? 1 : 0);
+            set(m.dst, v ? 1 : 0);
+            break;
+          }
+          case MOp::SandboxAddr: {
+            // Fused ghost/SVA masking sequence; bit-identical to the
+            // unfused 13-instruction form (see peephole.cc).
+            uint64_t a = reg(m.a);
+            uint64_t masked =
+                a | (uint64_t(a >= hw::ghostBase) << 39);
+            uint64_t keep = uint64_t(
+                !(masked >= hw::svaBase && masked < hw::svaEnd));
+            set(m.dst, masked * keep);
             break;
           }
           case MOp::Load: {
             uint64_t v = 0;
-            if (!_mem.read(reg(m->a), unsigned(widthBytes(m->width)),
+            if (!_mem.read(reg(m.a), unsigned(widthBytes(m.width)),
                            v)) {
                 fault(ExecFault::MemFault,
                       sim::strprintf("load fault at %#lx",
-                                     (unsigned long)reg(m->a)));
+                                     (unsigned long)reg(m.a)));
                 stop = true;
                 break;
             }
-            _ctx.clock().advance(1);
-            set(m->dst, v);
+            clock.advance(1);
+            set(m.dst, v);
             break;
           }
           case MOp::Store:
-            if (!_mem.write(reg(m->a), unsigned(widthBytes(m->width)),
-                            reg(m->b))) {
+            if (!_mem.write(reg(m.a), unsigned(widthBytes(m.width)),
+                            reg(m.b))) {
                 fault(ExecFault::MemFault,
                       sim::strprintf("store fault at %#lx",
-                                     (unsigned long)reg(m->a)));
+                                     (unsigned long)reg(m.a)));
                 stop = true;
                 break;
             }
-            _ctx.clock().advance(1);
+            clock.advance(1);
             break;
           case MOp::Memcpy: {
-            uint64_t len = reg(m->c);
-            if (!_mem.copy(reg(m->a), reg(m->b), len)) {
+            uint64_t len = reg(m.c);
+            if (!_mem.copy(reg(m.a), reg(m.b), len)) {
                 fault(ExecFault::MemFault, "memcpy fault");
                 stop = true;
                 break;
             }
-            _ctx.clock().advance(len / _ctx.costs().bulkBytesPerCycle +
-                                 1);
+            clock.advance(len / _ctx.costs().bulkBytesPerCycle + 1);
             break;
           }
           case MOp::FrameAddr:
-            set(m->dst, frame.framePtr + m->imm);
+            set(m.dst, _frames.back().framePtr + m.imm);
             break;
           case MOp::Jump:
-            next_pc = m->imm;
+            next_pc = m.target;
             break;
           case MOp::JumpIfZero:
-            if (reg(m->a) == 0)
-                next_pc = m->imm;
+            if (reg(m.a) == 0)
+                next_pc = m.target;
             break;
-          case MOp::CallDirect: {
-            std::vector<uint64_t> call_args;
-            call_args.reserve(m->args.size());
-            for (int r : m->args)
-                call_args.push_back(reg(r));
-            if (!enter_call(m->imm, call_args, next_pc, m->dst, false))
+          case MOp::CallDirect:
+            if (!enter_call(m.fn, m.imm, m.argsOff, m.argsCnt,
+                            uint32_t(next_pc), m.dst))
                 stop = true;
-            else
-                next_pc = pc; // pc already updated by enter_call
             if (!stop)
                 continue;
             break;
-          }
           case MOp::CallInd:
           case MOp::CallIndChecked: {
-            std::vector<uint64_t> call_args;
-            call_args.reserve(m->args.size());
-            for (int r : m->args)
-                call_args.push_back(reg(r));
-            bool checked = m->op == MOp::CallIndChecked;
-            if (!enter_call(reg(m->a), call_args, next_pc, m->dst,
-                            checked))
+            uint64_t target = reg(m.a);
+            if (m.op == MOp::CallIndChecked) {
+                clock.advance(_ctx.costs().cfiPerTransfer);
+                // Mask the target out of user space (paper: the CFI
+                // check "masks the target address to ensure that it is
+                // not a user-space address").
+                target |= hw::kernelBase;
+                const DInst *at_target =
+                    _image.contains(target)
+                        ? &code[size_t((target - _image.codeBase) /
+                                       mInstBytes)]
+                        : nullptr;
+                if (!at_target || at_target->op != MOp::CfiLabel ||
+                    at_target->imm != cfiLabelValue) {
+                    fault(ExecFault::CfiViolation,
+                          sim::strprintf("indirect call to %#lx "
+                                         "without label",
+                                         (unsigned long)target));
+                    stop = true;
+                    break;
+                }
+            }
+            if (!enter_call(funcAt(target), target, m.argsOff,
+                            m.argsCnt, uint32_t(next_pc), m.dst))
                 stop = true;
             if (!stop)
                 continue;
             break;
           }
           case MOp::CallExt: {
-            auto it = _externs.fns.find(m->callee);
-            if (it == _externs.fns.end()) {
+            if (!m.ext) {
                 fault(ExecFault::UnknownExtern,
-                      "unresolved symbol " + m->callee);
+                      "unresolved symbol " + _image.code[pc].callee);
                 stop = true;
                 break;
             }
-            std::vector<uint64_t> call_args;
-            call_args.reserve(m->args.size());
-            for (int r : m->args)
-                call_args.push_back(reg(r));
-            _ctx.clock().advance(2);
-            set(m->dst, it->second(call_args));
+            ext_args.clear();
+            ext_args.reserve(m.argsCnt);
+            for (uint32_t i = 0; i < m.argsCnt; i++)
+                ext_args.push_back(reg(_argPool[m.argsOff + i]));
+            clock.advance(2);
+            uint64_t v = (*m.ext)(ext_args);
+            // The extern may have re-entered this Executor and grown
+            // the register stack; refresh the frame pointer.
+            regs = _regStack.data() + _frames.back().regBase;
+            set(m.dst, v);
             break;
           }
           case MOp::Ret:
           case MOp::CheckRet: {
-            uint64_t value = reg(m->a >= 0 ? m->a : -1);
-            // VIR Ret carries its value in `a`; lowered Ret keeps it.
-            value = m->a >= 0 ? reg(m->a) : 0;
-            if (do_return(value, m->op == MOp::CheckRet))
+            uint64_t value = m.a >= 0 ? reg(m.a) : 0;
+            if (do_return(value, m.op == MOp::CheckRet))
                 stop = true;
             if (!stop)
                 continue;
@@ -410,7 +503,9 @@ Executor::run(const FuncInfo &entry_fn, const std::vector<uint64_t> &args)
         pc = next_pc;
     }
 
-    _ctx.stats().add("exec.insts", result.instsExecuted);
+    _frames.resize(frame_floor);
+    _regStack.resize(reg_floor);
+    sim::StatSet::add(_hInsts, result.instsExecuted);
     return result;
 }
 

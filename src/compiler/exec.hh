@@ -9,6 +9,15 @@
  * enforce label semantics — a violation terminates the run, exactly as
  * Virtual Ghost terminates a kernel thread whose control flow goes
  * astray (S 4.5).
+ *
+ * Fast-path engine: the Executor predecodes the image once at
+ * construction into a dense index-addressed instruction array —
+ * branch targets become array indices, direct-call targets become
+ * FuncInfo pointers, extern callees and hot stat counters are interned
+ * — so the per-instruction loop does no address arithmetic beyond one
+ * bounds check, no string-keyed map lookup, and no per-frame heap
+ * allocation (call frames are spans of one flat register stack that is
+ * reused across runs).
  */
 
 #ifndef VG_COMPILER_EXEC_HH
@@ -84,6 +93,10 @@ class Executor
     /**
      * @param stack_base  lowest address of the module stack region
      * @param stack_size  bytes available for frames
+     *
+     * Predecodes the image and resolves extern callees against
+     * @p externs; both must outlive the Executor, and extern entries
+     * the image references must already be present.
      */
     Executor(const MachineImage &image, MemPort &mem,
              const ExternTable &externs, sim::SimContext &ctx,
@@ -91,6 +104,11 @@ class Executor
 
     /** Invoke @p name with @p args; returns when it returns/faults. */
     ExecResult call(const std::string &name,
+                    const std::vector<uint64_t> &args);
+
+    /** Invoke a pre-resolved function of this image (hot dispatch
+     *  path: no name lookup). */
+    ExecResult call(const FuncInfo &fn,
                     const std::vector<uint64_t> &args);
 
     /** Invoke by entry address (SVA uses this for checked dispatch). */
@@ -101,17 +119,45 @@ class Executor
     void setFuel(uint64_t fuel) { _fuel = fuel; }
 
   private:
-    struct Frame
+    /** One predecoded instruction: operands by value, control-flow
+     *  targets as array indices, callees as resolved pointers. */
+    struct DInst
     {
-        std::vector<uint64_t> regs;
+        MOp op = MOp::ConstI;
+        vir::Width width = vir::Width::I64;
+        vir::CmpPred pred = vir::CmpPred::Eq;
+        /** Machine instructions this dispatch models (fused ops >1). */
+        uint8_t cost = 1;
+        int32_t dst = -1;
+        int32_t a = -1;
+        int32_t b = -1;
+        int32_t c = -1;
+        uint64_t imm = 0;
+        /** Decoded index: jump target / direct-callee entry. */
+        uint32_t target = 0;
+        /** Call argument registers: span of _argPool. */
+        uint32_t argsOff = 0;
+        uint32_t argsCnt = 0;
+        /** Resolved direct callee (null = not a function entry). */
+        const FuncInfo *fn = nullptr;
+        /** Resolved extern (null = unresolved symbol). */
+        const ExternFn *ext = nullptr;
+    };
+
+    /** One call frame: a span of the flat register stack. */
+    struct FrameRec
+    {
+        const FuncInfo *fn = nullptr; ///< enclosing function
+        uint32_t regBase = 0;         ///< first register in _regStack
+        uint32_t retIdx = 0;          ///< decoded resume index
+        int32_t callerDst = -1;
         uint64_t framePtr = 0;
-        uint64_t returnAddr = 0;
-        int callerDst = -1;
     };
 
     const FuncInfo *funcAt(uint64_t entry_addr) const;
     ExecResult run(const FuncInfo &entry_fn,
                    const std::vector<uint64_t> &args);
+    static ExecResult badTarget(std::string detail);
 
     const MachineImage &_image;
     MemPort &_mem;
@@ -120,7 +166,19 @@ class Executor
     uint64_t _stackBase;
     uint64_t _stackSize;
     uint64_t _fuel = 50'000'000;
-    std::map<uint64_t, const FuncInfo *> _byAddr;
+
+    std::vector<DInst> _decoded;
+    std::vector<int32_t> _argPool;
+    /** Per-instruction-index FuncInfo for entry addresses (O(1)
+     *  function lookup for indirect calls), null elsewhere. */
+    std::vector<const FuncInfo *> _entryOf;
+
+    /** Flat register stack + frame records, reused across runs (and
+     *  used with stack discipline, so reentrant extern calls nest). */
+    std::vector<uint64_t> _regStack;
+    std::vector<FrameRec> _frames;
+
+    sim::StatHandle _hInsts;
 };
 
 } // namespace vg::cc

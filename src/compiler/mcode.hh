@@ -60,7 +60,17 @@ enum class MOp : uint8_t
     Ret,             ///< uninstrumented return
     CheckRet,        ///< CFI: require CfiLabel at the return site
     CfiLabel,        ///< imm = label value; executes as a no-op
+    SandboxAddr,     ///< dst = sandboxed a (fused ghost/SVA mask sequence)
 };
+
+/**
+ * Length of the straight-line masking sequence sandboxPass emits per
+ * memory operand. The machine-level peephole (fuseSandboxPass)
+ * recognizes exactly this many instructions and folds them into one
+ * SandboxAddr, which models the same number of machine instructions
+ * (identical simulated cycles and instruction counts) in one dispatch.
+ */
+constexpr unsigned sandboxMaskSeqLen = 13;
 
 /** The single conservative CFI label value (S 5: one label for all
  *  call sites and function entries). */

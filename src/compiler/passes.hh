@@ -31,6 +31,7 @@ struct PassStats
 {
     uint64_t sitesInstrumented = 0;
     uint64_t instsAdded = 0;
+    uint64_t instsRemoved = 0;
 };
 
 /** Run the load/store sandboxing pass over every function in @p mod. */
@@ -54,6 +55,15 @@ PassStats mmapMaskPass(vir::Module &mod,
  *    until final layout).
  */
 PassStats cfiPass(std::vector<MInst> &code);
+
+/**
+ * Machine-level peephole over one function's code (pre-layout, local
+ * jump targets). Recognizes the sandboxMaskSeqLen-instruction ghost/SVA
+ * masking sequence emitted by sandboxPass and folds each occurrence
+ * into a single SandboxAddr instruction with byte-identical semantics.
+ * Intra-function jump targets are remapped; runs before cfiPass.
+ */
+PassStats fuseSandboxPass(std::vector<MInst> &code);
 
 } // namespace vg::cc
 

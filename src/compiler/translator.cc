@@ -37,7 +37,8 @@ Translator::translateText(const std::string &text, uint64_t code_base)
     h.update(text.data(), text.size());
     h.update(&code_base, sizeof(code_base));
     uint8_t flags = uint8_t((_ctx.config().sandboxMemory ? 1 : 0) |
-                            (_ctx.config().cfi ? 2 : 0));
+                            (_ctx.config().cfi ? 2 : 0) |
+                            (_ctx.config().fuseSandboxMasks ? 4 : 0));
     h.update(&flags, 1);
     std::string key = crypto::toHex(h.final());
 
@@ -86,6 +87,12 @@ Translator::translateModule(vir::Module mod, uint64_t code_base)
     lowered.reserve(mod.functions.size());
     for (const auto &fn : mod.functions) {
         LoweredFunc lf = lowerFunction(fn);
+        if (_ctx.config().sandboxMemory &&
+            _ctx.config().fuseSandboxMasks) {
+            PassStats s = fuseSandboxPass(lf.code);
+            result.fuseStats.sitesInstrumented += s.sitesInstrumented;
+            result.fuseStats.instsRemoved += s.instsRemoved;
+        }
         if (_ctx.config().cfi) {
             PassStats s = cfiPass(lf.code);
             result.cfiStats.sitesInstrumented += s.sitesInstrumented;

@@ -3,8 +3,9 @@
  * The trusted translator: the only way code enters the kernel.
  *
  * Pipeline (S 4.2, S 5): parse VIR text -> verify -> sandbox pass (IR)
- * -> lower to machine code -> CFI pass (machine) -> layout -> sign the
- * translation with the VM's HMAC key -> cache. Translations are looked
+ * -> lower to machine code -> sandbox-mask fusion peephole (machine)
+ * -> CFI pass (machine) -> layout -> sign the translation with the
+ * VM's HMAC key -> cache. Translations are looked
  * up by the SHA-256 of their source, so recompilation of unchanged
  * modules is free and tampered caches are detected via the signature.
  */
@@ -34,6 +35,7 @@ struct TranslateResult
     std::shared_ptr<const MachineImage> image;
     PassStats sandboxStats;
     PassStats cfiStats;
+    PassStats fuseStats;
     bool fromCache = false;
 };
 

@@ -510,9 +510,13 @@ Kernel::interposeSyscall(Sys sys, const std::string &module_name,
     auto it = _modules.find(module_name);
     if (it == _modules.end())
         return false;
-    if (!it->second.image->functions.count(function_name))
+    auto fit = it->second.image->functions.find(function_name);
+    if (fit == it->second.image->functions.end())
         return false;
-    _interposed[int(sys)] = {module_name, function_name};
+    // Resolve module and function once; moduleDispatch then runs the
+    // handler with no string-keyed lookup on the syscall path.
+    _interposed[int(sys)] = {module_name, function_name, &it->second,
+                             &fit->second};
     _ctx.stats().add("kernel.syscalls_interposed");
     return true;
 }
@@ -617,11 +621,8 @@ Kernel::moduleDispatch(Sys sys, const std::vector<uint64_t> &args,
     auto it = _interposed.find(int(sys));
     if (it == _interposed.end())
         return false;
-    auto mit = _modules.find(it->second.first);
-    if (mit == _modules.end())
-        return false;
-    cc::ExecResult r = mit->second.executor->call(it->second.second,
-                                                  args);
+    cc::ExecResult r = it->second.module->executor->call(*it->second.fn,
+                                                         args);
     if (!r.ok) {
         // A faulting handler terminates the kernel thread servicing
         // the syscall (S 4.5); the syscall itself fails.

@@ -357,7 +357,17 @@ class Kernel
         _ghostSwap;
 
     std::map<std::string, KernelModule> _modules;
-    std::map<int, std::pair<std::string, std::string>> _interposed;
+
+    /** One interposed syscall handler, resolved at registration time
+     *  so the per-syscall dispatch does no string-keyed lookups. */
+    struct Interposition
+    {
+        std::string moduleName;
+        std::string functionName;
+        KernelModule *module = nullptr;   ///< into _modules (stable)
+        const cc::FuncInfo *fn = nullptr; ///< into the module image
+    };
+    std::map<int, Interposition> _interposed;
     cc::ExternTable _moduleExterns;
 
     // Baton machinery.

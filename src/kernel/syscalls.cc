@@ -145,27 +145,30 @@ void
 Kernel::executeUserContextCode(Process &proc, uint64_t code_addr,
                                uint64_t arg)
 {
+    // The extern table must be fully populated before the Executor is
+    // constructed: extern callees are interned at predecode time.
+    UserPort port(*this, proc);
+    cc::ExternTable externs;
+    externs.fns["u_write"] =
+        [this, &proc](const std::vector<uint64_t> &args) {
+            if (args.size() < 3)
+                return uint64_t(0);
+            int64_t n = doWrite(proc, int(args[0]), args[1],
+                                args[2]);
+            return uint64_t(n);
+        };
+    externs.fns["u_log"] =
+        [this](const std::vector<uint64_t> &args) {
+            _console.write(sim::strprintf(
+                "[user-exploit] value=%#lx\n",
+                args.empty() ? 0ul : (unsigned long)args[0]));
+            return uint64_t(0);
+        };
+
     // Find the module image containing this address.
     for (auto &[name, module] : _modules) {
         if (!module.image->contains(code_addr))
             continue;
-        UserPort port(*this, proc);
-        cc::ExternTable externs;
-        externs.fns["u_write"] =
-            [this, &proc](const std::vector<uint64_t> &args) {
-                if (args.size() < 3)
-                    return uint64_t(0);
-                int64_t n = doWrite(proc, int(args[0]), args[1],
-                                    args[2]);
-                return uint64_t(n);
-            };
-        externs.fns["u_log"] =
-            [this](const std::vector<uint64_t> &args) {
-                _console.write(sim::strprintf(
-                    "[user-exploit] value=%#lx\n",
-                    args.empty() ? 0ul : (unsigned long)args[0]));
-                return uint64_t(0);
-            };
         cc::Executor exec(*module.image, port, externs, _ctx,
                           0xffffffb800000000ull, 1 << 20);
         cc::ExecResult r = exec.callAddr(code_addr, {arg});

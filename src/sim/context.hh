@@ -58,9 +58,9 @@ class SimContext
         if (_config.cfi)
             c += xfers * _costs.cfiPerTransfer;
         _clock.advance(c);
-        _stats.add("kernel.insts", insts);
-        _stats.add("kernel.memops", memops);
-        _stats.add("kernel.transfers", xfers);
+        StatSet::add(_hKernInsts, insts);
+        StatSet::add(_hKernMemops, memops);
+        StatSet::add(_hKernTransfers, xfers);
     }
 
     /** Charge a bulk kernel copy (memcpy/copyin/copyout) of @p bytes. */
@@ -71,7 +71,7 @@ class SimContext
         if (_config.sandboxMemory)
             c += _costs.sandboxPerBulk;
         _clock.advance(c);
-        _stats.add("kernel.bulk_bytes", bytes);
+        StatSet::add(_hKernBulkBytes, bytes);
     }
 
     /** Charge syscall entry + exit gate cost. */
@@ -82,7 +82,7 @@ class SimContext
         if (_config.protectInterruptContext)
             c += _costs.syscallGateVgExtra;
         _clock.advance(c);
-        _stats.add("sva.syscalls");
+        StatSet::add(_hSvaSyscalls);
     }
 
     /** Charge trap/interrupt delivery. */
@@ -93,7 +93,7 @@ class SimContext
         if (_config.protectInterruptContext)
             c += _costs.trapVgExtra;
         _clock.advance(c);
-        _stats.add("sva.traps");
+        StatSet::add(_hSvaTraps);
     }
 
     /** Charge a context switch. */
@@ -104,7 +104,7 @@ class SimContext
         if (_config.protectInterruptContext)
             c += _costs.contextSwitchVgExtra;
         _clock.advance(c);
-        _stats.add("sva.context_switches");
+        StatSet::add(_hSvaContextSwitches);
     }
 
     /** Charge one page-table-entry update. */
@@ -115,7 +115,7 @@ class SimContext
         if (_config.mmuChecks)
             c += _costs.mmuUpdateVgExtra;
         _clock.advance(c);
-        _stats.add("sva.mmu_updates");
+        StatSet::add(_hSvaMmuUpdates);
     }
 
     /** Charge application-side computation (uninstrumented). */
@@ -123,7 +123,7 @@ class SimContext
     chargeUserWork(uint64_t insts)
     {
         _clock.advance(insts * _costs.kernInst);
-        _stats.add("user.insts", insts);
+        StatSet::add(_hUserInsts, insts);
     }
 
     /** Charge application-side AES over @p bytes. */
@@ -131,7 +131,7 @@ class SimContext
     chargeAes(uint64_t bytes)
     {
         _clock.advance(bytes * _costs.aesPerByte);
-        _stats.add("crypto.aes_bytes", bytes);
+        StatSet::add(_hAesBytes, bytes);
     }
 
     /** Charge application-side SHA-256 over @p bytes. */
@@ -139,7 +139,7 @@ class SimContext
     chargeSha(uint64_t bytes)
     {
         _clock.advance(bytes * _costs.shaPerByte);
-        _stats.add("crypto.sha_bytes", bytes);
+        StatSet::add(_hShaBytes, bytes);
     }
 
   private:
@@ -147,6 +147,22 @@ class SimContext
     StatSet _stats;
     VgConfig _config;
     CostModel _costs;
+
+    // Interned counters for the per-event charging helpers above; the
+    // helpers run on every simulated kernel memory access, so they must
+    // not pay a string-keyed map lookup per call.
+    StatHandle _hKernInsts = _stats.handle("kernel.insts");
+    StatHandle _hKernMemops = _stats.handle("kernel.memops");
+    StatHandle _hKernTransfers = _stats.handle("kernel.transfers");
+    StatHandle _hKernBulkBytes = _stats.handle("kernel.bulk_bytes");
+    StatHandle _hSvaSyscalls = _stats.handle("sva.syscalls");
+    StatHandle _hSvaTraps = _stats.handle("sva.traps");
+    StatHandle _hSvaContextSwitches =
+        _stats.handle("sva.context_switches");
+    StatHandle _hSvaMmuUpdates = _stats.handle("sva.mmu_updates");
+    StatHandle _hUserInsts = _stats.handle("user.insts");
+    StatHandle _hAesBytes = _stats.handle("crypto.aes_bytes");
+    StatHandle _hShaBytes = _stats.handle("crypto.sha_bytes");
 };
 
 } // namespace vg::sim

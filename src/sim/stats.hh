@@ -6,6 +6,11 @@
  * simulation (kernel memory accesses, CFI checks, MMU updates, DMA
  * bytes, ...). Counters are created on first use and can be dumped or
  * snapshotted for differential measurement.
+ *
+ * Hot paths intern a counter once via handle() and bump it through the
+ * returned StatHandle — a stable pointer into the registry — so no
+ * string-keyed map lookup happens per event. Handles stay valid for
+ * the life of the StatSet, across reset().
  */
 
 #ifndef VG_SIM_STATS_HH
@@ -19,6 +24,9 @@
 namespace vg::sim
 {
 
+/** Interned counter: bump via StatSet::add(handle) with no lookup. */
+using StatHandle = uint64_t *;
+
 /** A registry of named monotonically increasing counters. */
 class StatSet
 {
@@ -28,6 +36,23 @@ class StatSet
     add(const std::string &name, uint64_t delta = 1)
     {
         _counters[name] += delta;
+    }
+
+    /**
+     * Intern @p name, creating the counter at 0. The handle is a
+     * stable pointer (std::map references never move) valid until the
+     * StatSet is destroyed; reset() zeroes it in place.
+     */
+    StatHandle handle(const std::string &name)
+    {
+        return &_counters[name];
+    }
+
+    /** Increment an interned counter: one add, no lookup. */
+    static void
+    add(StatHandle h, uint64_t delta = 1)
+    {
+        *h += delta;
     }
 
     /** Current value of @p name (0 if never touched). */
@@ -41,8 +66,13 @@ class StatSet
     /** All counters in name order. */
     const std::map<std::string, uint64_t> &all() const { return _counters; }
 
-    /** Reset every counter to zero. */
-    void reset() { _counters.clear(); }
+    /** Reset every counter to zero (interned handles stay valid). */
+    void
+    reset()
+    {
+        for (auto &[name, value] : _counters)
+            value = 0;
+    }
 
     /** Render the counters as one line per stat, "name value". */
     std::string dump() const;

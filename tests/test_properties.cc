@@ -457,3 +457,137 @@ TEST_P(DifferentialSweep, InstrumentationPreservesSemantics)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSweep,
                          ::testing::Values(10, 20, 30, 40));
+
+// --------------------------------------------------------------------
+// Fused vs unfused sandbox masking: byte-identical semantics
+// --------------------------------------------------------------------
+
+namespace
+{
+
+/** Recording port that faults on the null page, so SVA-internal
+ *  accesses (rewritten to address 0) produce observable MemFaults. */
+class NullFaultPort : public MemPort
+{
+  public:
+    bool
+    read(uint64_t va, unsigned, uint64_t &out) override
+    {
+        touched.push_back(va);
+        out = va * 0x9e3779b97f4a7c15ull; // address-derived value
+        return va >= hw::pageSize;
+    }
+
+    bool
+    write(uint64_t va, unsigned, uint64_t) override
+    {
+        touched.push_back(va);
+        return va >= hw::pageSize;
+    }
+
+    bool
+    copy(uint64_t dst, uint64_t src, uint64_t) override
+    {
+        touched.push_back(dst);
+        touched.push_back(src);
+        return dst >= hw::pageSize && src >= hw::pageSize;
+    }
+
+    std::vector<uint64_t> touched;
+};
+
+} // namespace
+
+/** Sweep: the fused SandboxAddr machine op and the unfused
+ *  13-instruction masking sequence produce identical final addresses,
+ *  identical fault behavior, identical instruction counts and
+ *  identical simulated cycles for every address class. */
+class FusionSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(FusionSweep, FusedAndUnfusedMaskingAgree)
+{
+    crypto::CtrDrbg rng({uint8_t(GetParam()), 'f', 'u'});
+    const char *src = R"(
+func @probe(2) {
+entry:
+  %2 = load.i64 %0
+  store.i64 %0, %2
+  %3 = const 24
+  memcpy %1, %0, %3
+  %4 = load.i8 %1
+  ret %4
+}
+)";
+
+    sim::VgConfig unfused_cfg = sim::VgConfig::full();
+    unfused_cfg.fuseSandboxMasks = false;
+    sim::SimContext fctx(sim::VgConfig::full());
+    sim::SimContext uctx(unfused_cfg);
+    Translator ftr(std::vector<uint8_t>(32, 9), fctx);
+    Translator utr(std::vector<uint8_t>(32, 9), uctx);
+    auto ft = ftr.translateText(src, kCodeBase);
+    auto ut = utr.translateText(src, kCodeBase);
+    ASSERT_TRUE(ft.ok) << ft.error;
+    ASSERT_TRUE(ut.ok) << ut.error;
+
+    // Fusion actually happened: 5 masked operands (load, store,
+    // memcpy dst+src, load), 12 insts saved each.
+    EXPECT_EQ(ft.fuseStats.sitesInstrumented, 5u);
+    EXPECT_EQ(ft.image->code.size() + ft.fuseStats.instsRemoved,
+              ut.image->code.size());
+
+    NullFaultPort fport, uport;
+    ExternTable externs;
+    Executor fexec(*ft.image, fport, externs, fctx, kStackBase, 1 << 20);
+    Executor uexec(*ut.image, uport, externs, uctx, kStackBase, 1 << 20);
+
+    for (int i = 0; i < 120; i++) {
+        uint64_t a = rng.next64();
+        uint64_t b = rng.next64();
+        // Cycle both operands through the address classes: ghost,
+        // SVA-internal, kernel, user, and fully random.
+        switch (i % 5) {
+          case 0:
+            a = hw::ghostBase + (a % (hw::ghostEnd - hw::ghostBase));
+            break;
+          case 1:
+            a = hw::svaBase + (a % (hw::svaEnd - hw::svaBase));
+            b = hw::svaBase + (b % (hw::svaEnd - hw::svaBase));
+            break;
+          case 2:
+            a = hw::kernelBase + (a % (1ull << 30));
+            break;
+          case 3:
+            a %= hw::userEnd;
+            b = hw::ghostBase + (b % (hw::ghostEnd - hw::ghostBase));
+            break;
+          default:
+            break;
+        }
+
+        fport.touched.clear();
+        uport.touched.clear();
+        sim::Cycles fstart = fctx.clock().now();
+        sim::Cycles ustart = uctx.clock().now();
+        auto fr = fexec.call("probe", {a, b});
+        auto ur = uexec.call("probe", {a, b});
+
+        EXPECT_EQ(fr.ok, ur.ok) << std::hex << a << "/" << b;
+        EXPECT_EQ(fr.fault, ur.fault)
+            << faultName(fr.fault) << " vs " << faultName(ur.fault)
+            << " for " << std::hex << a << "/" << b;
+        EXPECT_EQ(fr.value, ur.value) << std::hex << a << "/" << b;
+        EXPECT_EQ(fr.instsExecuted, ur.instsExecuted)
+            << "fused cost accounting diverged for " << std::hex << a;
+        EXPECT_EQ(fctx.clock().now() - fstart,
+                  uctx.clock().now() - ustart)
+            << "simulated cycles diverged for " << std::hex << a;
+        EXPECT_EQ(fport.touched, uport.touched)
+            << "final addresses diverged for " << std::hex << a << "/"
+            << b;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusionSweep,
+                         ::testing::Values(3, 14, 15, 92));
