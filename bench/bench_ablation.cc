@@ -42,6 +42,13 @@ main()
         {"full Virtual Ghost", sim::VgConfig::full()},
     };
 
+    bool smoke = smokeScale();
+    uint64_t n1 = smoke ? 200 : 1000;
+    uint64_t n2 = smoke ? 100 : 500;
+    uint64_t nf = smoke ? 15 : 50;
+
+    BenchReport report("ablation");
+
     banner("Ablation: null syscall / open+close / mmap latency "
            "(usec) by protection\nfeature");
     std::printf("%-22s %10s %10s %10s %10s\n", "Configuration",
@@ -50,17 +57,17 @@ main()
     double base_null = 0, base_oc = 0, base_mmap = 0, base_fork = 0;
     for (const Config &config : configs) {
         double null_lat =
-            measureOn(config.cfg, [](kern::UserApi &api) {
-                return latNullSyscall(api, 1000);
+            measureOn(config.cfg, [&](kern::UserApi &api) {
+                return latNullSyscall(api, n1);
             });
-        double oc = measureOn(config.cfg, [](kern::UserApi &api) {
-            return latOpenClose(api, 500);
+        double oc = measureOn(config.cfg, [&](kern::UserApi &api) {
+            return latOpenClose(api, n2);
         });
-        double mm = measureOn(config.cfg, [](kern::UserApi &api) {
-            return latMmap(api, 500);
+        double mm = measureOn(config.cfg, [&](kern::UserApi &api) {
+            return latMmap(api, n2);
         });
-        double fe = measureOn(config.cfg, [](kern::UserApi &api) {
-            return latForkExit(api, 50);
+        double fe = measureOn(config.cfg, [&](kern::UserApi &api) {
+            return latForkExit(api, nf);
         });
         if (base_null == 0) {
             base_null = null_lat;
@@ -73,6 +80,16 @@ main()
         std::printf("%-22s %8.2fx %8.2fx %8.2fx %8.2fx\n", "",
                     null_lat / base_null, oc / base_oc, mm / base_mmap,
                     fe / base_fork);
+        report.row()
+            .str("config", config.name)
+            .num("null_us", null_lat)
+            .num("open_close_us", oc)
+            .num("mmap_us", mm)
+            .num("fork_exit_us", fe)
+            .num("null_overhead", null_lat / base_null)
+            .num("open_close_overhead", oc / base_oc)
+            .num("mmap_overhead", mm / base_mmap)
+            .num("fork_exit_overhead", fe / base_fork);
     }
 
     std::printf("\nReading: sandboxing and CFI dominate "
@@ -80,5 +97,5 @@ main()
                 "protection dominates the syscall gate (null "
                 "syscall);\nMMU checks matter for mapping-heavy "
                 "operations (mmap, fork).\n");
-    return 0;
+    return report.write() ? 0 : 1;
 }

@@ -15,8 +15,11 @@ int
 main()
 {
     bool paper = paperScale();
-    uint64_t count = paper ? 1000 : 300;
-    int runs = paper ? 10 : 3;
+    uint64_t count = paper ? 1000 : smokeScale() ? 60 : 300;
+    int runs = paper ? 10 : smokeScale() ? 1 : 3;
+
+    BenchReport report("files");
+    report.top().count("count", count).count("runs", uint64_t(runs));
 
     struct SizeRow
     {
@@ -58,6 +61,12 @@ main()
                     sizeLabel(row.size).c_str(), nat, vgr, nat / vgr,
                     row.paperCreateNat, row.paperCreateVg,
                     row.paperCreateNat / row.paperCreateVg);
+        report.row()
+            .str("test", "create")
+            .count("file_bytes", row.size)
+            .num("native_per_sec", nat)
+            .num("vg_per_sec", vgr)
+            .num("overhead", nat / vgr);
     }
 
     banner("Table 3. LMBench: files deleted per second");
@@ -80,6 +89,12 @@ main()
                     sizeLabel(row.size).c_str(), nat, vgr, nat / vgr,
                     row.paperDeleteNat, row.paperDeleteVg,
                     row.paperDeleteNat / row.paperDeleteVg);
+        report.row()
+            .str("test", "delete")
+            .count("file_bytes", row.size)
+            .num("native_per_sec", nat)
+            .num("vg_per_sec", vgr)
+            .num("overhead", nat / vgr);
     }
-    return 0;
+    return report.write() ? 0 : 1;
 }

@@ -30,7 +30,8 @@ int
 main()
 {
     bool paper = paperScale();
-    int runs = paper ? 10 : 3;
+    bool smoke = smokeScale();
+    int runs = paper ? 10 : smoke ? 1 : 3;
     uint64_t scale = paper ? 1 : 1;
 
     std::vector<Row> rows = {
@@ -62,6 +63,14 @@ main()
          1000 * scale, 3.05, 10.3, "3.40x"},
     };
 
+    if (smoke) {
+        for (Row &row : rows)
+            row.iters = std::max<uint64_t>(row.iters / 10, 25);
+    }
+
+    BenchReport report("lmbench");
+    report.top().count("runs", uint64_t(runs));
+
     banner("Table 2. LMBench latencies (microseconds, simulated)");
     std::printf("%-26s %10s %10s %9s | %10s %10s %9s\n", "Test",
                 "Native", "VGhost", "Overhead", "paper-Nat",
@@ -79,6 +88,15 @@ main()
         std::printf("%-26s %10.3f %10.3f %8.2fx | %10.3f %10.1f %9s\n",
                     row.name, native, vg, vg / native, row.paperNative,
                     row.paperVg, row.paperOverhead);
+        report.row()
+            .str("test", row.name)
+            .count("iters", row.iters)
+            .num("native_us", native)
+            .num("vg_us", vg)
+            .num("overhead", vg / native)
+            .num("paper_native_us", row.paperNative)
+            .num("paper_vg_us", row.paperVg)
+            .str("paper_overhead", row.paperOverhead);
     }
 
     std::printf("\nNotes: absolute values come from the calibrated "
@@ -86,5 +104,5 @@ main()
                 "overhead column. fork latencies depend on the\n"
                 "benchmarked process's resident-set size, which is far "
                 "smaller here than\nin lmbench.\n");
-    return 0;
+    return report.write() ? 0 : 1;
 }

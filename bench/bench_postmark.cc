@@ -34,10 +34,17 @@ int
 main()
 {
     bool paper = paperScale();
+    bool smoke = smokeScale();
     PostmarkConfig cfg; // paper parameters by default
-    cfg.transactions = paper ? 500000 : 20000;
-    cfg.baseFiles = paper ? 500 : 200;
-    int runs = paper ? 5 : 3;
+    cfg.transactions = paper ? 500000 : smoke ? 2000 : 20000;
+    cfg.baseFiles = paper ? 500 : smoke ? 50 : 200;
+    int runs = paper ? 5 : smoke ? 1 : 3;
+
+    BenchReport report("postmark");
+    report.top()
+        .count("transactions", cfg.transactions)
+        .count("base_files", cfg.baseFiles)
+        .count("runs", uint64_t(runs));
 
     banner("Table 5. Postmark (500 B - 9.77 KB files, 512 B blocks, "
            "biases 5,\nbuffered I/O)");
@@ -61,5 +68,14 @@ main()
                 vgs / nat);
     std::printf("%-12s %12.2f %12.2f %9.2fx   (500k transactions)\n",
                 "paper", 14.30, 67.50, 4.72);
-    return 0;
+
+    report.row()
+        .str("test", "postmark")
+        .num("native_s", nat)
+        .num("vg_s", vgs)
+        .num("overhead", vgs / nat)
+        .num("paper_native_s", 14.30)
+        .num("paper_vg_s", 67.50)
+        .num("paper_overhead", 4.72);
+    return report.write() ? 0 : 1;
 }

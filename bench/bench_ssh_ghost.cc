@@ -76,7 +76,11 @@ int
 main()
 {
     bool paper = paperScale();
-    uint64_t max_size = paper ? (64ull << 20) : (4ull << 20);
+    uint64_t max_size =
+        paper ? (64ull << 20) : smokeScale() ? (1ull << 20) : (4ull << 20);
+
+    BenchReport report("ssh_ghost");
+    report.top().count("max_file_bytes", max_size);
 
     banner("Figure 4. Ghosting SSH client average transfer rate "
            "(KB/s)\n(both clients on the Virtual Ghost kernel; "
@@ -92,8 +96,14 @@ main()
         worst = std::max(worst, red);
         std::printf("%-10s %14.0f %14.0f %11.1f%%\n",
                     sizeLabel(size).c_str(), plain, ghost, red);
+        report.row()
+            .count("file_bytes", size)
+            .num("plain_kbps", plain)
+            .num("ghosting_kbps", ghost)
+            .num("reduction_pct", red);
     }
     std::printf("\nWorst-case reduction: %.1f%% (paper: max 5%%)\n",
                 worst);
-    return 0;
+    report.top().num("worst_reduction_pct", worst);
+    return report.write() ? 0 : 1;
 }

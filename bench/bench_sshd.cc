@@ -80,7 +80,11 @@ int
 main()
 {
     bool paper = paperScale();
-    uint64_t max_size = paper ? (64ull << 20) : (4ull << 20);
+    uint64_t max_size =
+        paper ? (64ull << 20) : smokeScale() ? (1ull << 20) : (4ull << 20);
+
+    BenchReport report("sshd");
+    report.top().count("max_file_bytes", max_size);
 
     banner("Figure 3. SSH server average transfer rate (KB/s)\n"
            "(non-ghosting client; paper: 23% mean reduction, 45% "
@@ -100,9 +104,15 @@ main()
         n++;
         std::printf("%-10s %12.0f %12.0f %11.1f%%\n",
                     sizeLabel(size).c_str(), nat, vgb, red);
+        report.row()
+            .count("file_bytes", size)
+            .num("native_kbps", nat)
+            .num("vg_kbps", vgb)
+            .num("reduction_pct", red);
     }
     std::printf("\nMean reduction across sizes: %.1f%% "
                 "(paper: 23%% mean, 45%% worst case)\n",
                 reductions / n);
-    return 0;
+    report.top().num("mean_reduction_pct", reductions / n);
+    return report.write() ? 0 : 1;
 }

@@ -73,7 +73,10 @@ int
 main()
 {
     bool paper = paperScale();
-    uint64_t requests = paper ? 10000 : 50;
+    uint64_t requests = paper ? 10000 : smokeScale() ? 12 : 50;
+
+    BenchReport report("thttpd");
+    report.top().count("requests", requests);
 
     banner("Figure 2. thttpd average bandwidth (KB/s) vs file size\n"
            "(ApacheBench workload; paper: VG impact negligible)");
@@ -88,11 +91,16 @@ main()
         std::printf("%-10s %12.0f %12.0f %9.1f%%\n",
                     sizeLabel(size).c_str(), nat, vgb,
                     100.0 * vgb / nat);
+        report.row()
+            .count("file_bytes", size)
+            .num("native_kbps", nat)
+            .num("vg_kbps", vgb)
+            .num("vg_vs_native", nat > 0 ? vgb / nat : 0.0);
     }
 
     std::printf("\nPaper's Figure 2 shows overlapping curves from "
                 "1 KB to 1 MB (y-axis 512\nto 131072 KB/s): the "
                 "transfer path is wire/copy bound, so kernel\n"
                 "instrumentation is hidden.\n");
-    return 0;
+    return report.write() ? 0 : 1;
 }

@@ -12,11 +12,13 @@
 #ifndef VG_BENCH_COMMON_HH
 #define VG_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "kernel/system.hh"
@@ -31,6 +33,162 @@ paperScale()
     const char *env = std::getenv("VG_BENCH_SCALE");
     return env && std::strcmp(env, "paper") == 0;
 }
+
+/** True when VG_BENCH_SCALE=smoke (CI-sized run). */
+inline bool
+smokeScale()
+{
+    const char *env = std::getenv("VG_BENCH_SCALE");
+    return env && std::strcmp(env, "smoke") == 0;
+}
+
+/** The active scale's name, for labelling result files. */
+inline const char *
+scaleName()
+{
+    return paperScale() ? "paper" : smokeScale() ? "smoke" : "default";
+}
+
+/**
+ * Machine-readable results: every bench binary writes one
+ * BENCH_<name>.json to the current directory so the perf trajectory
+ * (native vs VG cycles, overhead ratios, host wall time) can be
+ * tracked without scraping stdout. Fields keep insertion order; the
+ * report stamps total host wall time at write().
+ */
+class BenchReport
+{
+  public:
+    /** One JSON object: keys with pre-rendered values. */
+    class Obj
+    {
+      public:
+        Obj &
+        num(const std::string &key, double v)
+        {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%.6g", v);
+            return raw(key, buf);
+        }
+
+        Obj &
+        count(const std::string &key, uint64_t v)
+        {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%llu",
+                          (unsigned long long)v);
+            return raw(key, buf);
+        }
+
+        Obj &
+        str(const std::string &key, const std::string &v)
+        {
+            return raw(key, quote(v));
+        }
+
+        Obj &
+        flag(const std::string &key, bool v)
+        {
+            return raw(key, v ? "true" : "false");
+        }
+
+        const std::vector<std::pair<std::string, std::string>> &
+        fields() const
+        {
+            return _fields;
+        }
+
+      private:
+        Obj &
+        raw(const std::string &key, const std::string &rendered)
+        {
+            _fields.emplace_back(key, rendered);
+            return *this;
+        }
+
+        static std::string
+        quote(const std::string &s)
+        {
+            std::string out = "\"";
+            for (char c : s) {
+                if (c == '"' || c == '\\') {
+                    out += '\\';
+                    out += c;
+                } else if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+            }
+            out += '"';
+            return out;
+        }
+
+        std::vector<std::pair<std::string, std::string>> _fields;
+    };
+
+    explicit BenchReport(const std::string &bench)
+        : _bench(bench), _start(std::chrono::steady_clock::now())
+    {
+        _top.str("bench", bench);
+        _top.str("scale", scaleName());
+    }
+
+    /** Top-level scalars ("speedup", "work_iters", ...). */
+    Obj &top() { return _top; }
+
+    /** Append one result row (shows up under "results"). */
+    Obj &
+    row()
+    {
+        _rows.emplace_back();
+        return _rows.back();
+    }
+
+    /**
+     * Write BENCH_<name>.json. Returns false (after perror) if the
+     * file cannot be created, so main() can propagate a nonzero exit.
+     */
+    bool
+    write()
+    {
+        double host = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - _start)
+                          .count();
+        std::string path = "BENCH_" + _bench + ".json";
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::perror(path.c_str());
+            return false;
+        }
+        std::fprintf(f, "{\n");
+        for (const auto &[k, v] : _top.fields())
+            std::fprintf(f, "  \"%s\": %s,\n", k.c_str(), v.c_str());
+        std::fprintf(f, "  \"results\": [\n");
+        for (size_t i = 0; i < _rows.size(); i++) {
+            std::fprintf(f, "    {");
+            const auto &fields = _rows[i].fields();
+            for (size_t j = 0; j < fields.size(); j++)
+                std::fprintf(f, "%s\"%s\": %s", j ? ", " : "",
+                             fields[j].first.c_str(),
+                             fields[j].second.c_str());
+            std::fprintf(f, "}%s\n", i + 1 < _rows.size() ? "," : "");
+        }
+        std::fprintf(f, "  ],\n");
+        std::fprintf(f, "  \"host_seconds\": %.3f\n}\n", host);
+        std::fclose(f);
+        std::printf("wrote %s (%.2fs host)\n", path.c_str(), host);
+        return true;
+    }
+
+  private:
+    std::string _bench;
+    std::chrono::steady_clock::time_point _start;
+    Obj _top;
+    std::vector<Obj> _rows;
+};
 
 /** Standard machine sizing for benchmarks. */
 inline kern::SystemConfig

@@ -8,7 +8,9 @@ namespace vg::hw
 {
 
 Disk::Disk(uint64_t blocks, Iommu &iommu, sim::SimContext &ctx)
-    : _data(blocks * blockSize, 0), _iommu(iommu), _ctx(ctx)
+    : _data(blocks * blockSize, 0), _iommu(iommu), _ctx(ctx),
+      _hRequests(ctx.stats().handle("disk.requests")),
+      _hBlocks(ctx.stats().handle("disk.blocks"))
 {
     if (blocks == 0)
         sim::fatal("Disk: must have at least one block");
@@ -27,8 +29,8 @@ Disk::charge(uint64_t blocks)
 {
     _ctx.clock().advance(_ctx.costs().ssdRequest +
                          blocks * _ctx.costs().ssdPerBlock);
-    _ctx.stats().add("disk.requests");
-    _ctx.stats().add("disk.blocks", blocks);
+    sim::StatSet::add(_hRequests);
+    sim::StatSet::add(_hBlocks, blocks);
 }
 
 void

@@ -59,6 +59,8 @@ class Disk
     std::vector<uint8_t> _data;
     Iommu &_iommu;
     sim::SimContext &_ctx;
+    sim::StatHandle _hRequests;
+    sim::StatHandle _hBlocks;
 };
 
 } // namespace vg::hw

@@ -3,7 +3,11 @@
 namespace vg::hw
 {
 
-Iommu::Iommu(PhysMem &mem, sim::SimContext &ctx) : _mem(mem), _ctx(ctx) {}
+Iommu::Iommu(PhysMem &mem, sim::SimContext &ctx)
+    : _mem(mem), _ctx(ctx),
+      _hBlockedDma(ctx.stats().handle("iommu.blocked_dma")),
+      _hDmaBytes(ctx.stats().handle("iommu.dma_bytes"))
+{}
 
 void
 Iommu::protectFrame(Frame frame)
@@ -44,11 +48,11 @@ Iommu::dmaWrite(Paddr pa, const void *buf, uint64_t len)
 {
     if (!rangeAllowed(pa, len)) {
         _blocked++;
-        _ctx.stats().add("iommu.blocked_dma");
+        sim::StatSet::add(_hBlockedDma);
         return false;
     }
     _mem.writeBytes(pa, buf, len);
-    _ctx.stats().add("iommu.dma_bytes", len);
+    sim::StatSet::add(_hDmaBytes, len);
     return true;
 }
 
@@ -57,11 +61,11 @@ Iommu::dmaRead(Paddr pa, void *buf, uint64_t len)
 {
     if (!rangeAllowed(pa, len)) {
         _blocked++;
-        _ctx.stats().add("iommu.blocked_dma");
+        sim::StatSet::add(_hBlockedDma);
         return false;
     }
     _mem.readBytes(pa, buf, len);
-    _ctx.stats().add("iommu.dma_bytes", len);
+    sim::StatSet::add(_hDmaBytes, len);
     return true;
 }
 

@@ -60,6 +60,8 @@ class Iommu
     sim::SimContext &_ctx;
     std::unordered_set<Frame> _protected;
     uint64_t _blocked = 0;
+    sim::StatHandle _hBlockedDma;
+    sim::StatHandle _hDmaBytes;
 };
 
 } // namespace vg::hw

@@ -5,7 +5,12 @@
 namespace vg::hw
 {
 
-Mmu::Mmu(PhysMem &mem, sim::SimContext &ctx) : _mem(mem), _ctx(ctx) {}
+Mmu::Mmu(PhysMem &mem, sim::SimContext &ctx)
+    : _mem(mem), _ctx(ctx),
+      _hTlbHits(ctx.stats().handle("mmu.tlb_hits")),
+      _hTlbMisses(ctx.stats().handle("mmu.tlb_misses")),
+      _hPermRewalks(ctx.stats().handle("mmu.tlb_perm_rewalks"))
+{}
 
 void
 Mmu::setRoot(Paddr root)
@@ -22,10 +27,11 @@ Mmu::flushTlb()
 {
     for (auto &e : _tlb)
         e.valid = false;
+    _generation++;
 }
 
 size_t
-Mmu::tlbIndex(Vaddr va) const
+Mmu::tlbIndex(Vaddr va)
 {
     return (va >> pageShift) % tlbEntries;
 }
@@ -34,8 +40,10 @@ void
 Mmu::invalidatePage(Vaddr va)
 {
     TlbEntry &e = _tlb[tlbIndex(va)];
-    if (e.valid && e.vpage == pageOf(va))
+    if (e.valid && e.vpage == pageOf(va)) {
         e.valid = false;
+        _generation++;
+    }
 }
 
 bool
@@ -95,8 +103,11 @@ Mmu::walk(Vaddr va, Access access, Privilege priv, bool charge)
     res.ok = true;
     res.paddr = pa;
     res.fault = FaultKind::None;
+    res.pte = entry;
 
     TlbEntry &t = _tlb[tlbIndex(va)];
+    if (t.valid && (t.vpage != pageOf(va) || t.pte != entry))
+        _generation++; // evicting (or rewriting) a live entry
     t.valid = true;
     t.vpage = pageOf(va);
     t.pte = entry;
@@ -110,17 +121,20 @@ Mmu::translate(Vaddr va, Access access, Privilege priv)
     if (t.valid && t.vpage == pageOf(va)) {
         if (allowed(t.pte, access, priv)) {
             _ctx.clock().advance(_ctx.costs().tlbHit);
-            _ctx.stats().add("mmu.tlb_hits");
+            sim::StatSet::add(_hTlbHits);
             TranslateResult res;
             res.ok = true;
             res.paddr = pte::frameAddr(t.pte) + pageOffset(va);
             res.faultVa = va;
+            res.pte = t.pte;
             return res;
         }
         // Permission upgrade needed: re-walk (the PTE may have been
-        // changed to allow it).
+        // changed to allow it). Not a TLB miss — the entry is present.
+        sim::StatSet::add(_hPermRewalks);
+        return walk(va, access, priv, true);
     }
-    _ctx.stats().add("mmu.tlb_misses");
+    sim::StatSet::add(_hTlbMisses);
     return walk(va, access, priv, true);
 }
 

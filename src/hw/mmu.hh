@@ -34,6 +34,8 @@ struct TranslateResult
     Paddr paddr = 0;
     FaultKind fault = FaultKind::None;
     Vaddr faultVa = 0;
+    /** Leaf PTE on success (lets callers cache perms with the paddr). */
+    Pte pte = 0;
 };
 
 /** The memory-management unit: CR3, TLB, walker. */
@@ -63,6 +65,26 @@ class Mmu
      */
     std::optional<Pte> probe(Vaddr va) const;
 
+    /**
+     * Monotonic count of events that may have removed or replaced a
+     * TLB entry: CR3 loads, TLB flushes, invlpg of a live entry, and
+     * walks that evict a live entry. While the generation is
+     * unchanged, any entry a caller observed via translate() is still
+     * installed with the same PTE, so translation caches layered above
+     * the MMU (see Kmem) stay exact: a cached hit charges the same
+     * tlbHit cost the TLB hit would have.
+     */
+    uint64_t generation() const { return _generation; }
+
+    /** Whether PTE @p e permits @p access at @p priv. */
+    static bool allowed(Pte e, Access access, Privilege priv);
+
+    static constexpr size_t tlbEntries = 64;
+
+    /** Direct-mapped TLB set for @p va (two live pages sharing a set
+     *  evict each other on alternating access). */
+    static size_t tlbIndex(Vaddr va);
+
   private:
     struct TlbEntry
     {
@@ -71,17 +93,17 @@ class Mmu
         Pte pte = 0;
     };
 
-    static constexpr size_t tlbEntries = 64;
-
     TranslateResult walk(Vaddr va, Access access, Privilege priv,
                          bool charge);
-    static bool allowed(Pte e, Access access, Privilege priv);
-    size_t tlbIndex(Vaddr va) const;
 
     PhysMem &_mem;
     sim::SimContext &_ctx;
     Paddr _root = 0;
     std::array<TlbEntry, tlbEntries> _tlb;
+    uint64_t _generation = 0;
+    sim::StatHandle _hTlbHits;
+    sim::StatHandle _hTlbMisses;
+    sim::StatHandle _hPermRewalks;
 };
 
 } // namespace vg::hw

@@ -5,7 +5,12 @@
 namespace vg::hw
 {
 
-Nic::Nic(Iommu &iommu, sim::SimContext &ctx) : _iommu(iommu), _ctx(ctx) {}
+Nic::Nic(Iommu &iommu, sim::SimContext &ctx)
+    : _iommu(iommu), _ctx(ctx),
+      _hTxPackets(ctx.stats().handle("nic.tx_packets")),
+      _hTxBytes(ctx.stats().handle("nic.tx_bytes")),
+      _hRxPackets(ctx.stats().handle("nic.rx_packets"))
+{}
 
 uint64_t
 Nic::send(const std::vector<uint8_t> &packet)
@@ -26,8 +31,8 @@ Nic::send(const std::vector<uint8_t> &packet)
                                         _linkFreeAt);
     _linkFreeAt = start + wire;
 
-    _ctx.stats().add("nic.tx_packets");
-    _ctx.stats().add("nic.tx_bytes", packet.size());
+    sim::StatSet::add(_hTxPackets);
+    sim::StatSet::add(_hTxBytes, packet.size());
     _sent++;
     _peer->deliver(packet);
     return _linkFreeAt;
@@ -38,7 +43,7 @@ Nic::deliver(std::vector<uint8_t> packet)
 {
     _rx.push_back(std::move(packet));
     _received++;
-    _ctx.stats().add("nic.rx_packets");
+    sim::StatSet::add(_hRxPackets);
 }
 
 std::vector<uint8_t>

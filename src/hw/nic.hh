@@ -68,6 +68,9 @@ class Nic
     uint64_t _received = 0;
     /** When the outbound link becomes idle (cycles). */
     uint64_t _linkFreeAt = 0;
+    sim::StatHandle _hTxPackets;
+    sim::StatHandle _hTxBytes;
+    sim::StatHandle _hRxPackets;
 };
 
 } // namespace vg::hw

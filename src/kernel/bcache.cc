@@ -7,7 +7,11 @@ namespace vg::kern
 
 BufferCache::BufferCache(hw::Disk &disk, sim::SimContext &ctx,
                          uint64_t capacity_blocks)
-    : _disk(disk), _ctx(ctx), _capacity(capacity_blocks)
+    : _disk(disk), _ctx(ctx), _capacity(capacity_blocks),
+      _hHits(ctx.stats().handle("bcache.hits")),
+      _hMisses(ctx.stats().handle("bcache.misses")),
+      _hZeroFills(ctx.stats().handle("bcache.zero_fills")),
+      _hWritebacks(ctx.stats().handle("bcache.writebacks"))
 {}
 
 Buf *
@@ -20,13 +24,13 @@ BufferCache::get(uint64_t block_no)
     auto it = _index.find(block_no);
     if (it != _index.end()) {
         _hits++;
-        _ctx.stats().add("bcache.hits");
+        sim::StatSet::add(_hHits);
         _lru.splice(_lru.begin(), _lru, it->second);
         return &*_lru.begin();
     }
 
     _misses++;
-    _ctx.stats().add("bcache.misses");
+    sim::StatSet::add(_hMisses);
     evictIfNeeded();
 
     Buf buf;
@@ -45,12 +49,15 @@ BufferCache::getZeroed(uint64_t block_no)
     auto it = _index.find(block_no);
     if (it != _index.end()) {
         _hits++;
+        sim::StatSet::add(_hHits);
         _lru.splice(_lru.begin(), _lru, it->second);
         Buf *buf = &*_lru.begin();
         std::fill(buf->data.begin(), buf->data.end(), 0);
         buf->dirty = true;
         return buf;
     }
+    _misses++;
+    sim::StatSet::add(_hMisses);
     evictIfNeeded();
     Buf buf;
     buf.blockNo = block_no;
@@ -58,7 +65,7 @@ BufferCache::getZeroed(uint64_t block_no)
     buf.dirty = true;
     _lru.push_front(std::move(buf));
     _index[block_no] = _lru.begin();
-    _ctx.stats().add("bcache.zero_fills");
+    sim::StatSet::add(_hZeroFills);
     return &*_lru.begin();
 }
 
@@ -87,7 +94,7 @@ BufferCache::writeback(Buf &buf)
 {
     _disk.writeBlock(buf.blockNo, buf.data.data());
     buf.dirty = false;
-    _ctx.stats().add("bcache.writebacks");
+    sim::StatSet::add(_hWritebacks);
 }
 
 void

@@ -73,6 +73,10 @@ class BufferCache
     std::unordered_map<uint64_t, std::list<Buf>::iterator> _index;
     uint64_t _hits = 0;
     uint64_t _misses = 0;
+    sim::StatHandle _hHits;
+    sim::StatHandle _hMisses;
+    sim::StatHandle _hZeroFills;
+    sim::StatHandle _hWritebacks;
 };
 
 } // namespace vg::kern

@@ -32,7 +32,11 @@ fsStatusName(FsStatus status)
 }
 
 Fs::Fs(BufferCache &cache, sim::SimContext &ctx, uint64_t disk_blocks)
-    : _cache(cache), _ctx(ctx)
+    : _cache(cache), _ctx(ctx),
+      _hCreates(ctx.stats().handle("fs.creates")),
+      _hUnlinks(ctx.stats().handle("fs.unlinks")),
+      _hBytesRead(ctx.stats().handle("fs.bytes_read")),
+      _hBytesWritten(ctx.stats().handle("fs.bytes_written"))
 {
     // Size the regions: ~1 inode per 8 data blocks, min 64 inodes.
     uint64_t inode_blocks =
@@ -477,7 +481,7 @@ Fs::create(const std::string &path, Ino &out)
         freeInode(ino);
         return s;
     }
-    _ctx.stats().add("fs.creates");
+    sim::StatSet::add(_hCreates);
     out = ino;
     return FsStatus::Ok;
 }
@@ -532,7 +536,7 @@ Fs::unlink(const std::string &path)
         return s;
     freeFileBlocks(inode);
     freeInode(ino);
-    _ctx.stats().add("fs.unlinks");
+    sim::StatSet::add(_hUnlinks);
     return FsStatus::Ok;
 }
 
@@ -595,7 +599,7 @@ Fs::read(Ino ino, uint64_t off, void *buf, uint64_t len)
         }
         done += chunk;
     }
-    _ctx.stats().add("fs.bytes_read", len);
+    sim::StatSet::add(_hBytesRead, len);
     return int64_t(len);
 }
 
@@ -623,7 +627,7 @@ Fs::write(Ino ino, uint64_t off, const void *buf, uint64_t len)
     if (off + len > inode.size)
         inode.size = off + len;
     storeInode(ino, inode);
-    _ctx.stats().add("fs.bytes_written", len);
+    sim::StatSet::add(_hBytesWritten, len);
     return int64_t(len);
 }
 

@@ -170,6 +170,10 @@ class Fs
 
     BufferCache &_cache;
     sim::SimContext &_ctx;
+    sim::StatHandle _hCreates;
+    sim::StatHandle _hUnlinks;
+    sim::StatHandle _hBytesRead;
+    sim::StatHandle _hBytesWritten;
     Super _super{};
     uint64_t _freeBlocks = 0;
     bool _mounted = false;

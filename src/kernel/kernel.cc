@@ -12,7 +12,19 @@ Kernel::Kernel(sim::SimContext &ctx, hw::PhysMem &mem, hw::Mmu &mmu,
                hw::Nic &nic_a, hw::Nic &nic_b, sva::SvaVm &vm)
     : _ctx(ctx), _mem(mem), _mmu(mmu), _iommu(iommu), _tpm(tpm),
       _disk(disk), _nicA(nic_a), _nicB(nic_b), _vm(vm),
-      _timer(ctx.clock())
+      _timer(ctx.clock()),
+      _hPageFaults(ctx.stats().handle("kernel.page_faults")),
+      _hPagesMaterialized(
+          ctx.stats().handle("kernel.pages_materialized")),
+      _hCowFaults(ctx.stats().handle("kernel.cow_faults")),
+      _hFilePageIns(ctx.stats().handle("kernel.file_page_ins")),
+      _hProcessExits(ctx.stats().handle("kernel.process_exits")),
+      _hSpawns(ctx.stats().handle("kernel.spawns")),
+      _hForks(ctx.stats().handle("kernel.forks")),
+      _hExecs(ctx.stats().handle("kernel.execs")),
+      _hSignalsDelivered(
+          ctx.stats().handle("kernel.signals_delivered")),
+      _hNetBytesSent(ctx.stats().handle("net.bytes_sent"))
 {}
 
 Kernel::~Kernel()
@@ -135,7 +147,7 @@ Kernel::materializePage(Process &proc, hw::Vaddr va)
         if (n > 0)
             _mem.writeBytes(*frame * hw::pageSize, page_buf,
                             uint64_t(n));
-        _ctx.stats().add("kernel.file_page_ins");
+        sim::StatSet::add(_hFilePageIns);
     } else {
         // Demand-zero: the kernel zeroes the page before mapping.
         _mem.zeroFrame(*frame);
@@ -149,7 +161,7 @@ Kernel::materializePage(Process &proc, hw::Vaddr va)
         return false;
     }
     proc.userPages[page] = {*frame, false};
-    _ctx.stats().add("kernel.pages_materialized");
+    sim::StatSet::add(_hPagesMaterialized);
     return true;
 }
 
@@ -162,7 +174,7 @@ Kernel::copyOnWrite(Process &proc, hw::Vaddr page)
 
     _ctx.chargeTrap();
     _ctx.chargeKernelWork(180, 75, 18); // fault decode + vm_object walk
-    _ctx.stats().add("kernel.cow_faults");
+    sim::StatSet::add(_hCowFaults);
     sva::SvaError err;
 
     hw::Frame old_frame = it->second.frame;
@@ -206,7 +218,7 @@ Kernel::handleUserAccess(Process &proc, hw::Vaddr va, hw::Access access,
             // page in from the backing file.
             _ctx.chargeTrap();
             _ctx.chargeKernelWork(120, 45, 12); // decode + vm lookup
-            _ctx.stats().add("kernel.page_faults");
+            sim::StatSet::add(_hPageFaults);
             if (!materializePage(proc, va))
                 return false;
         } else if (r.fault == hw::FaultKind::Protection &&
@@ -316,7 +328,7 @@ Kernel::spawn(const std::string &name,
         p.state = ProcState::Zombie;
         _exitCodes[p.pid] = code;
         p.exitCode = code;
-        _ctx.stats().add("kernel.process_exits");
+        sim::StatSet::add(_hProcessExits);
         wakeup(reinterpret_cast<const void *>(uintptr_t(p.pid)));
         std::unique_lock<std::mutex> lk(_mtx);
         p.batonHeld = false;
@@ -326,7 +338,7 @@ Kernel::spawn(const std::string &name,
     });
 
     _procs[pid] = std::move(proc);
-    _ctx.stats().add("kernel.spawns");
+    sim::StatSet::add(_hSpawns);
     return pid;
 }
 

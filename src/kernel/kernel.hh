@@ -379,6 +379,18 @@ class Kernel
     bool _rngRigged = false;
     uint64_t _osRngState = 0x123456789abcdefull;
 
+    // Hot-path counters, interned once at construction.
+    sim::StatHandle _hPageFaults;
+    sim::StatHandle _hPagesMaterialized;
+    sim::StatHandle _hCowFaults;
+    sim::StatHandle _hFilePageIns;
+    sim::StatHandle _hProcessExits;
+    sim::StatHandle _hSpawns;
+    sim::StatHandle _hForks;
+    sim::StatHandle _hExecs;
+    sim::StatHandle _hSignalsDelivered;
+    sim::StatHandle _hNetBytesSent;
+
     friend struct ModuleExternBinder;
 };
 

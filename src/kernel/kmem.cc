@@ -1,5 +1,6 @@
 #include "kernel/kmem.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "hw/layout.hh"
@@ -10,7 +11,10 @@ namespace vg::kern
 
 Kmem::Kmem(sim::SimContext &ctx, hw::PhysMem &mem, hw::Mmu &mmu,
            sva::SvaVm &vm)
-    : _ctx(ctx), _mem(mem), _mmu(mmu), _vm(vm)
+    : _ctx(ctx), _mem(mem), _mmu(mmu), _vm(vm),
+      _hDeflections(ctx.stats().handle("kmem.deflections")),
+      _hBlockedStores(ctx.stats().handle("kmem.blocked_stores")),
+      _hTlbHits(ctx.stats().handle("mmu.tlb_hits"))
 {}
 
 bool
@@ -38,6 +42,44 @@ Kmem::resolve(hw::Vaddr va, hw::Access access, hw::Paddr &pa)
 }
 
 bool
+Kmem::resolveCached(hw::Vaddr va, hw::Access access, hw::Paddr &pa)
+{
+    if (!_ctx.config().kmemFastPath)
+        return resolve(va, access, pa);
+
+    if (va == 0)
+        return false;
+
+    if (va >= hw::kernelBase) {
+        pa = (va - hw::kernelBase) % _mem.sizeBytes();
+        return true;
+    }
+
+    // Cache hit requires the Mmu generation to be unchanged since the
+    // fill, which guarantees the TLB still holds this page with this
+    // PTE: translate() would have charged exactly one tlbHit.
+    if (_tc.valid && _tc.gen == _mmu.generation() &&
+        _tc.vpage == hw::pageOf(va) &&
+        hw::Mmu::allowed(_tc.pte, access, hw::Privilege::Kernel)) {
+        _ctx.clock().advance(_ctx.costs().tlbHit);
+        sim::StatSet::add(_hTlbHits);
+        pa = _tc.paBase + hw::pageOffset(va);
+        return true;
+    }
+
+    auto r = _mmu.translate(va, access, hw::Privilege::Kernel);
+    if (!r.ok)
+        return false;
+    _tc.valid = true;
+    _tc.gen = _mmu.generation(); // post-walk: counts our own eviction
+    _tc.vpage = hw::pageOf(va);
+    _tc.paBase = r.paddr - hw::pageOffset(va);
+    _tc.pte = r.pte;
+    pa = r.paddr;
+    return true;
+}
+
+bool
 Kmem::storePermitted(hw::Paddr pa)
 {
     hw::Frame frame = pa >> hw::pageShift;
@@ -58,7 +100,7 @@ bool
 Kmem::read(uint64_t va, unsigned bytes, uint64_t &out)
 {
     hw::Paddr pa = 0;
-    if (!resolve(va, hw::Access::Read, pa))
+    if (!resolveCached(va, hw::Access::Read, pa))
         return false;
     out = 0;
     switch (bytes) {
@@ -84,10 +126,10 @@ bool
 Kmem::write(uint64_t va, unsigned bytes, uint64_t val)
 {
     hw::Paddr pa = 0;
-    if (!resolve(va, hw::Access::Write, pa))
+    if (!resolveCached(va, hw::Access::Write, pa))
         return false;
     if (!storePermitted(pa)) {
-        _ctx.stats().add("kmem.blocked_stores");
+        sim::StatSet::add(_hBlockedStores);
         return false;
     }
     switch (bytes) {
@@ -110,7 +152,7 @@ Kmem::write(uint64_t va, unsigned bytes, uint64_t val)
 }
 
 bool
-Kmem::copy(uint64_t dst, uint64_t src, uint64_t len)
+Kmem::copyBytewise(uint64_t dst, uint64_t src, uint64_t len)
 {
     for (uint64_t off = 0; off < len; off++) {
         uint64_t byte = 0;
@@ -123,12 +165,76 @@ Kmem::copy(uint64_t dst, uint64_t src, uint64_t len)
 }
 
 bool
+Kmem::copy(uint64_t dst, uint64_t src, uint64_t len)
+{
+    if (!_ctx.config().kmemFastPath)
+        return copyBytewise(dst, src, len);
+
+    uint64_t off = 0;
+    while (off < len) {
+        hw::Vaddr s = src + off;
+        hw::Vaddr d = dst + off;
+        uint64_t chunk = std::min(
+            {len - off, hw::pageSize - hw::pageOffset(s),
+             hw::pageSize - hw::pageOffset(d)});
+
+        // The chunk's first byte goes through the real machinery so
+        // walks, faults, and the blocked-store bump land in reference
+        // order (src read before dst write).
+        hw::Paddr spa = 0, dpa = 0;
+        if (!resolveCached(s, hw::Access::Read, spa))
+            return false;
+        if (!resolveCached(d, hw::Access::Write, dpa))
+            return false;
+        if (!storePermitted(dpa)) {
+            sim::StatSet::add(_hBlockedStores);
+            return false;
+        }
+        _mem.write8(dpa, _mem.read8(spa));
+
+        uint64_t rest = chunk - 1;
+        if (rest > 0) {
+            bool sXlat = s < hw::kernelBase;
+            bool dXlat = d < hw::kernelBase;
+            // The remaining bytes are uniform TLB hits in the
+            // reference loop except in two cases, which take the byte
+            // loop (itself cost-identical via resolveCached):
+            //  - src and dst pages share a direct-mapped TLB set, so
+            //    the reference loop walk-thrashes every byte;
+            //  - the physical ranges overlap, so the reference
+            //    forward copy propagates freshly written bytes.
+            bool thrash = sXlat && dXlat &&
+                          hw::pageOf(s) != hw::pageOf(d) &&
+                          hw::Mmu::tlbIndex(s) == hw::Mmu::tlbIndex(d);
+            bool overlap =
+                spa < dpa + chunk && dpa < spa + chunk;
+            if (thrash || overlap) {
+                if (!copyBytewise(d + 1, s + 1, rest))
+                    return false;
+            } else {
+                uint64_t hits =
+                    (sXlat ? rest : 0) + (dXlat ? rest : 0);
+                if (hits > 0) {
+                    _ctx.clock().advance(hits * _ctx.costs().tlbHit);
+                    sim::StatSet::add(_hTlbHits, hits);
+                }
+                uint8_t buf[hw::pageSize];
+                _mem.readBytes(spa + 1, buf, rest);
+                _mem.writeBytes(dpa + 1, buf, rest);
+            }
+        }
+        off += chunk;
+    }
+    return true;
+}
+
+bool
 Kmem::kread(hw::Vaddr va, unsigned bytes, uint64_t &out)
 {
     hw::Vaddr masked = hw::sandboxAddress(va);
     if (masked != va) {
         _deflections++;
-        _ctx.stats().add("kmem.deflections");
+        sim::StatSet::add(_hDeflections);
     }
     _ctx.chargeKernelWork(2, 1, 0);
     return read(masked, bytes, out);
@@ -140,7 +246,7 @@ Kmem::kwrite(hw::Vaddr va, unsigned bytes, uint64_t val)
     hw::Vaddr masked = hw::sandboxAddress(va);
     if (masked != va) {
         _deflections++;
-        _ctx.stats().add("kmem.deflections");
+        sim::StatSet::add(_hDeflections);
     }
     _ctx.chargeKernelWork(2, 1, 0);
     return write(masked, bytes, val);
@@ -156,12 +262,12 @@ Kmem::copyIn(hw::Vaddr user_va, void *dst, uint64_t len)
         hw::Vaddr va = hw::sandboxAddress(user_va + off);
         if (va != user_va + off) {
             _deflections++;
-            _ctx.stats().add("kmem.deflections");
+            sim::StatSet::add(_hDeflections);
         }
         uint64_t chunk = std::min<uint64_t>(
             len - off, hw::pageSize - hw::pageOffset(va));
         hw::Paddr pa = 0;
-        if (!resolve(va, hw::Access::Read, pa))
+        if (!resolveCached(va, hw::Access::Read, pa))
             return false;
         _mem.readBytes(pa, out + off, chunk);
         off += chunk;
@@ -179,15 +285,15 @@ Kmem::copyOut(hw::Vaddr user_va, const void *src, uint64_t len)
         hw::Vaddr va = hw::sandboxAddress(user_va + off);
         if (va != user_va + off) {
             _deflections++;
-            _ctx.stats().add("kmem.deflections");
+            sim::StatSet::add(_hDeflections);
         }
         uint64_t chunk = std::min<uint64_t>(
             len - off, hw::pageSize - hw::pageOffset(va));
         hw::Paddr pa = 0;
-        if (!resolve(va, hw::Access::Write, pa))
+        if (!resolveCached(va, hw::Access::Write, pa))
             return false;
         if (!storePermitted(pa)) {
-            _ctx.stats().add("kmem.blocked_stores");
+            sim::StatSet::add(_hBlockedStores);
             return false;
         }
         _mem.writeBytes(pa, in + off, chunk);

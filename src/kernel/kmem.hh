@@ -77,14 +77,45 @@ class Kmem : public cc::MemPort
      *  walk the current page tables. */
     bool resolve(hw::Vaddr va, hw::Access access, hw::Paddr &pa);
 
+    /**
+     * resolve() fronted by the last-translation cache. Cost-identical:
+     * the cache only hits when the MMU's TLB entry for the page is
+     * provably still installed with the same PTE (checked via the Mmu
+     * generation counter), so the tlbHit charge and mmu.tlb_hits bump
+     * match what Mmu::translate would have done. Any doubt falls back
+     * to the real translate(). Gated on VgConfig::kmemFastPath.
+     */
+    bool resolveCached(hw::Vaddr va, hw::Access access, hw::Paddr &pa);
+
+    /** Reference byte-at-a-time copy (also the fast path's fallback
+     *  for TLB-set-thrashing and physically overlapping chunks). */
+    bool copyBytewise(uint64_t dst, uint64_t src, uint64_t len);
+
     /** True if the kernel may store to the frame containing @p pa. */
     bool storePermitted(hw::Paddr pa);
+
+    /** Last successful user/ghost-half translation. Valid only while
+     *  the Mmu generation is unchanged. */
+    struct TransCache
+    {
+        bool valid = false;
+        uint64_t gen = 0;
+        hw::Vaddr vpage = 0;
+        hw::Paddr paBase = 0;
+        hw::Pte pte = 0;
+    };
 
     sim::SimContext &_ctx;
     hw::PhysMem &_mem;
     hw::Mmu &_mmu;
     sva::SvaVm &_vm;
     uint64_t _deflections = 0;
+    TransCache _tc;
+    sim::StatHandle _hDeflections;
+    sim::StatHandle _hBlockedStores;
+    /** Same registry slot Mmu bumps; used for the synthetic per-byte
+     *  TLB-hit charges of chunked copies. */
+    sim::StatHandle _hTlbHits;
 };
 
 } // namespace vg::kern

@@ -80,7 +80,7 @@ Kernel::deliverPushedCalls(Process &proc, UserApi &api)
         // sigreturn(): restore the saved Interrupt Context.
         sva::SvaError err;
         _vm.icontextLoad(proc.tid, &err);
-        _ctx.stats().add("kernel.signals_delivered");
+        sim::StatSet::add(_hSignalsDelivered);
     }
 }
 
@@ -698,7 +698,7 @@ UserApi::fork(std::function<int(UserApi &)> child_main)
         cp->state = ProcState::Zombie;
         k._exitCodes[cp->pid] = code;
         cp->exitCode = code;
-        k._ctx.stats().add("kernel.process_exits");
+        sim::StatSet::add(k._hProcessExits);
         k.wakeup(reinterpret_cast<const void *>(uintptr_t(cp->pid)));
         std::unique_lock<std::mutex> lk(k._mtx);
         cp->batonHeld = false;
@@ -708,7 +708,7 @@ UserApi::fork(std::function<int(UserApi &)> child_main)
     });
 
     k._procs[child_pid] = std::move(child_owner);
-    k._ctx.stats().add("kernel.forks");
+    sim::StatSet::add(k._hForks);
     sysExit();
     return child_pid;
 }
@@ -749,7 +749,7 @@ UserApi::execve(const sva::AppBinary *binary,
     _proc.ghostCursor = hw::ghostBase;
     _proc.sigHandlers.clear();
     _proc.handlerFns.clear();
-    k._ctx.stats().add("kernel.execs");
+    sim::StatSet::add(k._hExecs);
     sysExit();
 
     // Run the new image; when it finishes, the process exits.
@@ -1017,7 +1017,7 @@ Kernel::socketSend(Process &proc, Socket &sock, const uint8_t *data,
         sent += chunk;
         wakeup(peer.get());
     }
-    _ctx.stats().add("net.bytes_sent", len);
+    sim::StatSet::add(_hNetBytesSent, len);
     return int64_t(sent);
 }
 

@@ -33,6 +33,14 @@ struct VgConfig
     /** Control-flow integrity labels and checks on kernel code. */
     bool cfi = true;
 
+    /**
+     * Use the Kmem fast path: a last-translation cache in front of the
+     * MMU plus page-chunked bulk copies. Semantics, simulated cost, and
+     * every stat are identical to the reference per-access path;
+     * disabling this exists for differential testing only.
+     */
+    bool kmemFastPath = true;
+
     /** Run-time checks on MMU configuration intrinsics (S 4.3.2). */
     bool mmuChecks = true;
 

@@ -136,7 +136,7 @@ SvaVm::allocGhostMemory(uint64_t pid, hw::Frame root, hw::Vaddr va,
         _ghostPages[pid].push_back({*frame, page_va});
         _ctx.clock().advance(_ctx.costs().ghostAllocPerPage);
     }
-    _ctx.stats().add("sva.ghost_pages_allocated", npages);
+    sim::StatSet::add(_hGhostAllocated, npages);
     return true;
 }
 
@@ -207,7 +207,7 @@ SvaVm::freeGhostMemory(uint64_t pid, hw::Frame root, hw::Vaddr va,
         }
         _ctx.clock().advance(_ctx.costs().ghostAllocPerPage);
     }
-    _ctx.stats().add("sva.ghost_pages_freed", npages);
+    sim::StatSet::add(_hGhostFreed, npages);
     return true;
 }
 
@@ -255,7 +255,7 @@ SvaVm::swapOutGhostPage(uint64_t pid, hw::Frame root, hw::Vaddr va,
             break;
         }
     }
-    _ctx.stats().add("sva.ghost_pages_swapped_out");
+    sim::StatSet::add(_hGhostSwappedOut);
     return blob;
 }
 
@@ -288,7 +288,7 @@ SvaVm::swapInGhostPage(uint64_t pid, hw::Frame root, hw::Vaddr va,
     if (!mapGhostPage(root, va, *frame, err))
         return false;
     _ghostPages[pid].push_back({*frame, va});
-    _ctx.stats().add("sva.ghost_pages_swapped_in");
+    sim::StatSet::add(_hGhostSwappedIn);
     return true;
 }
 

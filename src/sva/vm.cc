@@ -35,14 +35,25 @@ SvaVm::SvaVm(sim::SimContext &ctx, hw::PhysMem &mem, hw::Mmu &mmu,
              hw::Iommu &iommu, hw::Tpm &tpm)
     : _ctx(ctx), _mem(mem), _mmu(mmu), _iommu(iommu), _tpm(tpm),
       _frames(mem.numFrames()), _rng(tpm.entropy(32)),
-      _nextCodeBase(kModuleCodeBase)
+      _nextCodeBase(kModuleCodeBase),
+      _hViolations(ctx.stats().handle("sva.violations")),
+      _hIcSaves(ctx.stats().handle("sva.ic_saves")),
+      _hIcLoads(ctx.stats().handle("sva.ic_loads")),
+      _hIpush(ctx.stats().handle("sva.ipush")),
+      _hGetKey(ctx.stats().handle("sva.getkey")),
+      _hRandomBytes(ctx.stats().handle("sva.random_bytes")),
+      _hGhostAllocated(ctx.stats().handle("sva.ghost_pages_allocated")),
+      _hGhostFreed(ctx.stats().handle("sva.ghost_pages_freed")),
+      _hGhostSwappedOut(
+          ctx.stats().handle("sva.ghost_pages_swapped_out")),
+      _hGhostSwappedIn(ctx.stats().handle("sva.ghost_pages_swapped_in"))
 {}
 
 bool
 SvaVm::failOp(SvaError *err, const std::string &message)
 {
     _violations++;
-    _ctx.stats().add("sva.violations");
+    sim::StatSet::add(_hViolations);
     sim::debug("sva check failed: %s", message.c_str());
     if (err)
         err->message = message;
@@ -158,7 +169,7 @@ SvaVm::icontextSave(uint64_t tid, SvaError *err)
     // Copying the IC within VM-internal memory is real work, but it
     // is VM code, not instrumented kernel code.
     _ctx.clock().advance(1300);
-    _ctx.stats().add("sva.ic_saves");
+    sim::StatSet::add(_hIcSaves);
     return true;
 }
 
@@ -173,7 +184,7 @@ SvaVm::icontextLoad(uint64_t tid, SvaError *err)
     t->ic = t->icStack.back();
     t->icStack.pop_back();
     _ctx.clock().advance(1200);
-    _ctx.stats().add("sva.ic_loads");
+    sim::StatSet::add(_hIcLoads);
     return true;
 }
 
@@ -205,7 +216,7 @@ SvaVm::ipushFunction(uint64_t tid, uint64_t handler, uint64_t arg,
         }
     }
     t->pushedCalls.push_back({handler, arg});
-    _ctx.stats().add("sva.ipush");
+    sim::StatSet::add(_hIpush);
     _ctx.clock().advance(400);
     return true;
 }
@@ -353,7 +364,7 @@ SvaVm::getKey(uint64_t pid)
     auto it = _processKeys.find(pid);
     if (it == _processKeys.end())
         return std::nullopt;
-    _ctx.stats().add("sva.getkey");
+    sim::StatSet::add(_hGetKey);
     return it->second;
 }
 
@@ -374,7 +385,7 @@ SvaVm::secureRandom(void *out, size_t len)
 {
     _ctx.clock().advance(((len + 15) / 16) * _ctx.costs().rngPer16Bytes);
     _rng.generate(out, len);
-    _ctx.stats().add("sva.random_bytes", len);
+    sim::StatSet::add(_hRandomBytes, len);
 }
 
 // --------------------------------------------------------------------

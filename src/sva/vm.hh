@@ -324,6 +324,17 @@ class SvaVm
         _ghostPages; // pid -> (frame, va)
 
     uint64_t _violations = 0;
+
+    sim::StatHandle _hViolations;
+    sim::StatHandle _hIcSaves;
+    sim::StatHandle _hIcLoads;
+    sim::StatHandle _hIpush;
+    sim::StatHandle _hGetKey;
+    sim::StatHandle _hRandomBytes;
+    sim::StatHandle _hGhostAllocated;
+    sim::StatHandle _hGhostFreed;
+    sim::StatHandle _hGhostSwappedOut;
+    sim::StatHandle _hGhostSwappedIn;
 };
 
 } // namespace vg::sva
