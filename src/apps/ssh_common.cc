@@ -75,7 +75,8 @@ appSeal(kern::UserApi &api, const crypto::AesKey &key,
 {
     api.kernel().ctx().chargeAes(plain.size());
     api.kernel().ctx().chargeSha(plain.size());
-    return crypto::seal(key, rng, plain);
+    return crypto::seal(key, rng, plain, {},
+                        api.kernel().ctx().config().cryptoFastPath);
 }
 
 std::vector<uint8_t>
@@ -84,7 +85,8 @@ appUnseal(kern::UserApi &api, const crypto::AesKey &key,
 {
     api.kernel().ctx().chargeAes(blob.ciphertext.size());
     api.kernel().ctx().chargeSha(blob.ciphertext.size());
-    return crypto::unseal(key, blob, ok);
+    return crypto::unseal(key, blob, ok, {},
+                          api.kernel().ctx().config().cryptoFastPath);
 }
 
 std::vector<uint8_t>
@@ -93,7 +95,8 @@ appRsaSign(kern::UserApi &api, const crypto::RsaPrivateKey &key,
 {
     api.kernel().ctx().clock().advance(
         api.kernel().ctx().costs().rsaPrivOp);
-    return crypto::rsaSign(key, message);
+    return crypto::rsaSign(key, message,
+                           api.kernel().ctx().config().cryptoFastPath);
 }
 
 bool
@@ -103,7 +106,8 @@ appRsaVerify(kern::UserApi &api, const crypto::RsaPublicKey &key,
 {
     api.kernel().ctx().clock().advance(
         api.kernel().ctx().costs().rsaPubOp);
-    return crypto::rsaVerify(key, message, signature);
+    return crypto::rsaVerify(key, message, signature,
+                             api.kernel().ctx().config().cryptoFastPath);
 }
 
 std::vector<uint8_t>
@@ -112,7 +116,8 @@ appRsaEncrypt(kern::UserApi &api, const crypto::RsaPublicKey &key,
 {
     api.kernel().ctx().clock().advance(
         api.kernel().ctx().costs().rsaPubOp);
-    return crypto::rsaEncrypt(key, rng, message);
+    return crypto::rsaEncrypt(key, rng, message,
+                              api.kernel().ctx().config().cryptoFastPath);
 }
 
 std::vector<uint8_t>
@@ -121,7 +126,8 @@ appRsaDecrypt(kern::UserApi &api, const crypto::RsaPrivateKey &key,
 {
     api.kernel().ctx().clock().advance(
         api.kernel().ctx().costs().rsaPrivOp);
-    return crypto::rsaDecrypt(key, cipher, ok);
+    return crypto::rsaDecrypt(key, cipher, ok,
+                              api.kernel().ctx().config().cryptoFastPath);
 }
 
 } // namespace vg::apps

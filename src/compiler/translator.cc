@@ -9,13 +9,14 @@ namespace vg::cc
 
 Translator::Translator(const std::vector<uint8_t> &signing_key,
                        sim::SimContext &ctx)
-    : _signingKey(signing_key), _ctx(ctx)
+    : _signingKey(signing_key),
+      _signer(signing_key, ctx.config().cryptoFastPath), _ctx(ctx)
 {}
 
 crypto::Digest
 Translator::sign(const MachineImage &image) const
 {
-    return crypto::hmacSha256(_signingKey, image.serializeForSigning());
+    return _signer.mac(image.serializeForSigning());
 }
 
 bool
@@ -24,8 +25,7 @@ Translator::verifySignature(const MachineImage &image) const
     MachineImage unsigned_copy = image;
     unsigned_copy.signature = crypto::Digest{};
     crypto::Digest expect =
-        crypto::hmacSha256(_signingKey,
-                           unsigned_copy.serializeForSigning());
+        _signer.mac(unsigned_copy.serializeForSigning());
     return crypto::digestEqual(expect, image.signature);
 }
 

@@ -21,6 +21,7 @@
 #include "compiler/codegen.hh"
 #include "compiler/mcode.hh"
 #include "compiler/passes.hh"
+#include "crypto/hmac.hh"
 #include "sim/context.hh"
 #include "vir/module.hh"
 
@@ -70,6 +71,8 @@ class Translator
     crypto::Digest sign(const MachineImage &image) const;
 
     std::vector<uint8_t> _signingKey;
+    /** Precomputed HMAC pad states for _signingKey. */
+    crypto::HmacSha256 _signer;
     sim::SimContext &_ctx;
     std::map<std::string, std::shared_ptr<const MachineImage>> _cache;
     uint64_t _cacheHits = 0;

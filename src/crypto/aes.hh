@@ -6,6 +6,14 @@
  * page swapping (S 3.3), and the ssh session transport (S 6). The
  * paper's prototype hard-codes a 128-bit AES application key; we keep
  * the same key size.
+ *
+ * Two implementations live side by side and produce bit-identical
+ * output: the default fast path uses precomputed round T-tables
+ * (encrypt) and the equivalent inverse cipher (decrypt) with a
+ * block-at-a-time CTR mode; the reference path is the textbook
+ * byte-oriented SubBytes/ShiftRows/MixColumns round. The reference
+ * path exists for differential testing (VgConfig::cryptoFastPath) and
+ * as executable documentation.
  */
 
 #ifndef VG_CRYPTO_AES_HH
@@ -25,11 +33,29 @@ using AesKey = std::array<uint8_t, 16>;
 /** A 128-bit block / IV / counter. */
 using AesBlock = std::array<uint8_t, 16>;
 
+namespace detail
+{
+
+/**
+ * Build the AES S-box and its inverse from the xtime/exponentiation
+ * construction: 0x03 generates GF(2^8)*, so log/antilog tables give
+ * every multiplicative inverse in one pass (no O(256^2) search).
+ * Exposed so table generation is testable on its own.
+ */
+void buildAesSboxes(uint8_t sbox[256], uint8_t inv_sbox[256]);
+
+} // namespace detail
+
 /** AES-128 block cipher with expanded round keys. */
 class Aes128
 {
   public:
-    explicit Aes128(const AesKey &key);
+    /**
+     * @param fast select the T-table fast path (default) or the
+     *             byte-oriented reference rounds; outputs are
+     *             bit-identical either way.
+     */
+    explicit Aes128(const AesKey &key, bool fast = true);
 
     /** Encrypt one 16-byte block in place. */
     void encryptBlock(uint8_t block[16]) const;
@@ -59,7 +85,15 @@ class Aes128
     void ctrCrypt(uint8_t *data, size_t len, const AesBlock &nonce) const;
 
   private:
+    void encryptBlockFast(uint8_t block[16]) const;
+    void encryptBlockRef(uint8_t block[16]) const;
+    void decryptBlockFast(uint8_t block[16]) const;
+    void decryptBlockRef(uint8_t block[16]) const;
+
     std::array<uint32_t, 44> _roundKeys;
+    /** Equivalent-inverse-cipher round keys (fast decrypt only). */
+    std::array<uint32_t, 44> _decKeys;
+    bool _fast;
 };
 
 } // namespace vg::crypto

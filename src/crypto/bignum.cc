@@ -8,6 +8,27 @@
 namespace vg::crypto
 {
 
+namespace
+{
+
+/**
+ * Word-level multiply-accumulate row: acc[0..n-1] += a * b[0..n-1].
+ * @return the carry word out of acc[n-1].
+ */
+inline uint32_t
+mulAddRow(uint32_t *acc, const uint32_t *b, size_t n, uint32_t a)
+{
+    uint64_t carry = 0;
+    for (size_t j = 0; j < n; j++) {
+        uint64_t cur = uint64_t(acc[j]) + uint64_t(a) * b[j] + carry;
+        acc[j] = uint32_t(cur);
+        carry = cur >> 32;
+    }
+    return uint32_t(carry);
+}
+
+} // namespace
+
 BigNum::BigNum(uint64_t v)
 {
     if (v != 0) {
@@ -200,14 +221,9 @@ BigNum::operator*(const BigNum &o) const
     BigNum out;
     out._limbs.assign(_limbs.size() + o._limbs.size(), 0);
     for (size_t i = 0; i < _limbs.size(); i++) {
-        uint64_t carry = 0;
-        for (size_t j = 0; j < o._limbs.size(); j++) {
-            uint64_t cur = uint64_t(out._limbs[i + j]) +
-                           uint64_t(_limbs[i]) * o._limbs[j] + carry;
-            out._limbs[i + j] = uint32_t(cur);
-            carry = cur >> 32;
-        }
-        out._limbs[i + o._limbs.size()] += uint32_t(carry);
+        out._limbs[i + o._limbs.size()] +=
+            mulAddRow(out._limbs.data() + i, o._limbs.data(),
+                      o._limbs.size(), _limbs[i]);
     }
     out.trim();
     return out;
@@ -373,10 +389,14 @@ BigNum::operator%(const BigNum &o) const
 }
 
 BigNum
-BigNum::modExp(const BigNum &exp, const BigNum &mod) const
+BigNum::modExp(const BigNum &exp, const BigNum &mod, bool fast) const
 {
     if (mod.isZero())
         sim::panic("BigNum modExp with zero modulus");
+    // Montgomery reduction needs gcd(mod, 2^32) == 1, so even moduli
+    // (and the trivial mod == 1) take the reference ladder.
+    if (fast && mod.isOdd() && mod != BigNum(1))
+        return modExpMont(exp, mod);
     BigNum result(1);
     result = result % mod;
     BigNum base = *this % mod;
@@ -387,6 +407,121 @@ BigNum::modExp(const BigNum &exp, const BigNum &mod) const
         base = (base * base) % mod;
     }
     return result;
+}
+
+BigNum
+BigNum::modExpMont(const BigNum &exp, const BigNum &mod) const
+{
+    if (exp.isZero())
+        return BigNum(1); // mod > 1 here
+    const std::vector<uint32_t> &n = mod._limbs;
+    const size_t k = n.size();
+
+    // n0inv = -n[0]^-1 mod 2^32 by Newton iteration (n odd: each step
+    // doubles the number of correct low bits, starting from 3).
+    uint32_t inv = n[0];
+    for (int i = 0; i < 4; i++)
+        inv *= 2 - n[0] * inv;
+    const uint32_t n0inv = uint32_t(0) - inv;
+
+    // R = 2^(32k); R^2 mod n converts operands into the Montgomery
+    // domain via one montMul.
+    BigNum r2big = (BigNum(1) << (64 * k)) % mod;
+    std::vector<uint32_t> r2 = r2big._limbs;
+    r2.resize(k, 0);
+
+    // CIOS Montgomery multiply: out = a * b * R^-1 mod n. Operands are
+    // k limbs, < n; out may alias a or b.
+    std::vector<uint32_t> t(k + 2);
+    auto montMul = [&](const std::vector<uint32_t> &a,
+                       const std::vector<uint32_t> &b,
+                       std::vector<uint32_t> &out) {
+        std::fill(t.begin(), t.end(), 0);
+        for (size_t i = 0; i < k; i++) {
+            // t += a[i] * b
+            uint64_t cur = uint64_t(t[k]) +
+                           mulAddRow(t.data(), b.data(), k, a[i]);
+            t[k] = uint32_t(cur);
+            t[k + 1] = uint32_t(cur >> 32);
+
+            // t = (t + m*n) / 2^32 — m chosen so the low word cancels.
+            uint32_t m = t[0] * n0inv;
+            uint64_t carry =
+                (uint64_t(t[0]) + uint64_t(m) * n[0]) >> 32;
+            for (size_t j = 1; j < k; j++) {
+                uint64_t c = uint64_t(t[j]) + uint64_t(m) * n[j] + carry;
+                t[j - 1] = uint32_t(c);
+                carry = c >> 32;
+            }
+            uint64_t c = uint64_t(t[k]) + carry;
+            t[k - 1] = uint32_t(c);
+            t[k] = t[k + 1] + uint32_t(c >> 32);
+        }
+
+        // t < 2n, so at most one final subtraction of n.
+        bool ge = true;
+        if (t[k] == 0) {
+            for (size_t j = k; j-- > 0;) {
+                if (t[j] != n[j]) {
+                    ge = t[j] > n[j];
+                    break;
+                }
+            }
+        }
+        out.resize(k);
+        if (ge) {
+            int64_t borrow = 0;
+            for (size_t j = 0; j < k; j++) {
+                int64_t diff = int64_t(t[j]) - int64_t(n[j]) - borrow;
+                borrow = diff < 0;
+                if (diff < 0)
+                    diff += int64_t(1) << 32;
+                out[j] = uint32_t(diff);
+            }
+        } else {
+            std::copy(t.begin(), t.begin() + long(k), out.begin());
+        }
+    };
+
+    // 16-entry window table: tbl[i] = mont(base^i) for i >= 1.
+    BigNum base = *this % mod;
+    std::vector<uint32_t> bm = base._limbs;
+    bm.resize(k, 0);
+    std::vector<std::vector<uint32_t>> tbl(16);
+    montMul(bm, r2, tbl[1]);
+    for (int i = 2; i < 16; i++)
+        montMul(tbl[i - 1], tbl[1], tbl[i]);
+
+    // 4-bit fixed windows, most significant first. Windows are
+    // nibble-aligned so they never straddle a limb.
+    auto nibble = [&](size_t idx) -> uint32_t {
+        size_t bit_off = idx * 4;
+        size_t limb = bit_off / 32;
+        if (limb >= exp._limbs.size())
+            return 0;
+        return (exp._limbs[limb] >> (bit_off % 32)) & 0xf;
+    };
+    size_t windows = (exp.bitLength() + 3) / 4;
+
+    std::vector<uint32_t> acc = tbl[nibble(windows - 1)]; // top != 0
+    for (size_t idx = windows - 1; idx-- > 0;) {
+        for (int s = 0; s < 4; s++)
+            montMul(acc, acc, acc);
+        uint32_t nib = nibble(idx);
+        if (nib)
+            montMul(acc, tbl[nib], acc);
+    }
+
+    // Convert out of the Montgomery domain: multiply by 1.
+    std::vector<uint32_t> one(k, 0);
+    one[0] = 1;
+    std::vector<uint32_t> res;
+    montMul(acc, one, res);
+
+    BigNum out;
+    out._limbs = std::move(res);
+    out.trim();
+    return out;
 }
 
 BigNum

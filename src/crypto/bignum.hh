@@ -79,8 +79,16 @@ class BigNum
     BigNum operator/(const BigNum &o) const;
     BigNum operator%(const BigNum &o) const;
 
-    /** Modular exponentiation: this^exp mod mod. */
-    BigNum modExp(const BigNum &exp, const BigNum &mod) const;
+    /**
+     * Modular exponentiation: this^exp mod mod.
+     *
+     * The default fast path uses Montgomery multiplication with a
+     * 4-bit fixed-window ladder (odd moduli > 1; even moduli fall
+     * back to the reference path). Results are identical to the
+     * reference square-and-multiply either way.
+     */
+    BigNum modExp(const BigNum &exp, const BigNum &mod,
+                  bool fast = true) const;
 
     /**
      * Modular inverse of *this mod @p mod.
@@ -102,6 +110,9 @@ class BigNum
 
   private:
     void trim();
+
+    /** Montgomery-domain modExp; requires odd modulus > 1. */
+    BigNum modExpMont(const BigNum &exp, const BigNum &mod) const;
 
     /** Little-endian limbs; empty means zero. */
     std::vector<uint32_t> _limbs;

@@ -9,14 +9,16 @@ namespace vg::crypto
 {
 
 CtrDrbg::CtrDrbg(const AesKey &seed_key, const AesBlock &nonce)
-    : _key(seed_key), _counter(nonce)
+    : _key(seed_key), _counter(nonce), _aes(seed_key)
 {}
 
 CtrDrbg::CtrDrbg(const std::vector<uint8_t> &seed_material)
+    : _aes(AesKey{})
 {
     Digest d = Sha256::hash(seed_material.data(), seed_material.size());
     std::memcpy(_key.data(), d.data(), 16);
     std::memcpy(_counter.data(), d.data() + 16, 16);
+    _aes = Aes128(_key);
 }
 
 void
@@ -27,7 +29,7 @@ CtrDrbg::step(uint8_t out[16])
             break;
     }
     std::memcpy(out, _counter.data(), 16);
-    Aes128(_key).encryptBlock(out);
+    _aes.encryptBlock(out);
 }
 
 void
@@ -84,6 +86,7 @@ CtrDrbg::reseed(const std::vector<uint8_t> &material)
     Digest d = h.final();
     std::memcpy(_key.data(), d.data(), 16);
     std::memcpy(_counter.data(), d.data() + 16, 16);
+    _aes = Aes128(_key);
 }
 
 } // namespace vg::crypto

@@ -50,6 +50,8 @@ class CtrDrbg
 
     AesKey _key;
     AesBlock _counter;
+    /** Expanded schedule for _key; rebuilt on reseed. */
+    Aes128 _aes;
 };
 
 } // namespace vg::crypto

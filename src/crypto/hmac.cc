@@ -5,17 +5,62 @@
 namespace vg::crypto
 {
 
-Digest
-hmacSha256(const std::vector<uint8_t> &key, const void *data, size_t len)
+namespace
 {
-    uint8_t k[64];
-    std::memset(k, 0, sizeof(k));
+
+/** Normalize a key to one 64-byte block (hash if longer). */
+void
+keyBlock(const std::vector<uint8_t> &key, uint8_t k[64], bool fast)
+{
+    std::memset(k, 0, 64);
     if (key.size() > 64) {
-        Digest kd = Sha256::hash(key.data(), key.size());
+        Digest kd = Sha256::hash(key.data(), key.size(), fast);
         std::memcpy(k, kd.data(), kd.size());
-    } else {
+    } else if (!key.empty()) {
         std::memcpy(k, key.data(), key.size());
     }
+}
+
+} // namespace
+
+HmacSha256::HmacSha256(const std::vector<uint8_t> &key, bool fast)
+    : _inner(fast), _outer(fast)
+{
+    uint8_t k[64];
+    keyBlock(key, k, fast);
+
+    uint8_t pad[64];
+    for (int i = 0; i < 64; i++)
+        pad[i] = uint8_t(k[i] ^ 0x36);
+    _inner.update(pad, 64);
+    for (int i = 0; i < 64; i++)
+        pad[i] = uint8_t(k[i] ^ 0x5c);
+    _outer.update(pad, 64);
+}
+
+Digest
+HmacSha256::finish(Sha256 inner) const
+{
+    Digest inner_digest = inner.final();
+    Sha256 outer = _outer;
+    outer.update(inner_digest.data(), inner_digest.size());
+    return outer.final();
+}
+
+Digest
+HmacSha256::mac(const void *data, size_t len) const
+{
+    Sha256 inner = _inner;
+    inner.update(data, len);
+    return finish(inner);
+}
+
+Digest
+hmacSha256(const std::vector<uint8_t> &key, const void *data, size_t len,
+           bool fast)
+{
+    uint8_t k[64];
+    keyBlock(key, k, fast);
 
     uint8_t ipad[64], opad[64];
     for (int i = 0; i < 64; i++) {
@@ -23,21 +68,22 @@ hmacSha256(const std::vector<uint8_t> &key, const void *data, size_t len)
         opad[i] = uint8_t(k[i] ^ 0x5c);
     }
 
-    Sha256 inner;
+    Sha256 inner(fast);
     inner.update(ipad, 64);
     inner.update(data, len);
     Digest inner_digest = inner.final();
 
-    Sha256 outer;
+    Sha256 outer(fast);
     outer.update(opad, 64);
     outer.update(inner_digest.data(), inner_digest.size());
     return outer.final();
 }
 
 Digest
-hmacSha256(const std::vector<uint8_t> &key, const std::vector<uint8_t> &data)
+hmacSha256(const std::vector<uint8_t> &key, const std::vector<uint8_t> &data,
+           bool fast)
 {
-    return hmacSha256(key, data.data(), data.size());
+    return hmacSha256(key, data.data(), data.size(), fast);
 }
 
 bool

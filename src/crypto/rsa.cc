@@ -125,7 +125,7 @@ rsaGenerate(CtrDrbg &rng, size_t bits)
 
 std::vector<uint8_t>
 rsaEncrypt(const RsaPublicKey &key, CtrDrbg &rng,
-           const std::vector<uint8_t> &message)
+           const std::vector<uint8_t> &message, bool fast)
 {
     size_t k = key.modulusBytes();
     if (message.size() + 11 > k)
@@ -146,13 +146,13 @@ rsaEncrypt(const RsaPublicKey &key, CtrDrbg &rng,
     std::memcpy(eb.data() + 3 + pad_len, message.data(), message.size());
 
     BigNum m = BigNum::fromBytes(eb);
-    BigNum c = m.modExp(key.e, key.n);
+    BigNum c = m.modExp(key.e, key.n, fast);
     return c.toBytesPadded(k);
 }
 
 std::vector<uint8_t>
 rsaDecrypt(const RsaPrivateKey &key, const std::vector<uint8_t> &cipher,
-           bool &ok)
+           bool &ok, bool fast)
 {
     ok = false;
     size_t k = key.publicKey().modulusBytes();
@@ -162,7 +162,7 @@ rsaDecrypt(const RsaPrivateKey &key, const std::vector<uint8_t> &cipher,
     BigNum c = BigNum::fromBytes(cipher);
     if (c >= key.n)
         return {};
-    BigNum m = c.modExp(key.d, key.n);
+    BigNum m = c.modExp(key.d, key.n, fast);
     std::vector<uint8_t> eb = m.toBytesPadded(k);
 
     if (eb.size() < 11 || eb[0] != 0x00 || eb[1] != 0x02)
@@ -181,9 +181,9 @@ namespace
 
 /** EMSA-style deterministic padding of SHA-256(message). */
 std::vector<uint8_t>
-signaturePad(const std::vector<uint8_t> &message, size_t k)
+signaturePad(const std::vector<uint8_t> &message, size_t k, bool fast)
 {
-    Digest h = Sha256::hash(message.data(), message.size());
+    Digest h = Sha256::hash(message.data(), message.size(), fast);
     if (k < h.size() + 11)
         sim::fatal("rsaSign: %zu-byte modulus cannot hold a SHA-256 "
                    "signature (need >= 43 bytes, i.e. >= 344-bit "
@@ -200,17 +200,18 @@ signaturePad(const std::vector<uint8_t> &message, size_t k)
 } // namespace
 
 std::vector<uint8_t>
-rsaSign(const RsaPrivateKey &key, const std::vector<uint8_t> &message)
+rsaSign(const RsaPrivateKey &key, const std::vector<uint8_t> &message,
+        bool fast)
 {
     size_t k = key.publicKey().modulusBytes();
-    BigNum m = BigNum::fromBytes(signaturePad(message, k));
-    BigNum s = m.modExp(key.d, key.n);
+    BigNum m = BigNum::fromBytes(signaturePad(message, k, fast));
+    BigNum s = m.modExp(key.d, key.n, fast);
     return s.toBytesPadded(k);
 }
 
 bool
 rsaVerify(const RsaPublicKey &key, const std::vector<uint8_t> &message,
-          const std::vector<uint8_t> &signature)
+          const std::vector<uint8_t> &signature, bool fast)
 {
     size_t k = key.modulusBytes();
     if (signature.size() != k)
@@ -218,8 +219,8 @@ rsaVerify(const RsaPublicKey &key, const std::vector<uint8_t> &message,
     BigNum s = BigNum::fromBytes(signature);
     if (s >= key.n)
         return false;
-    BigNum m = s.modExp(key.e, key.n);
-    return m.toBytesPadded(k) == signaturePad(message, k);
+    BigNum m = s.modExp(key.e, key.n, fast);
+    return m.toBytesPadded(k) == signaturePad(message, k, fast);
 }
 
 } // namespace vg::crypto

@@ -1,6 +1,7 @@
 #include "crypto/sealed.hh"
 
 #include <cstring>
+#include <map>
 
 #include "crypto/drbg.hh"
 #include "crypto/hmac.hh"
@@ -14,21 +15,65 @@ namespace
 /** Derive independent cipher and MAC keys from the master key. */
 void
 deriveKeys(const AesKey &master, AesKey &enc_key,
-           std::vector<uint8_t> &mac_key)
+           std::vector<uint8_t> &mac_key, bool fast = true)
 {
-    Sha256 h1;
+    Sha256 h1(fast);
     h1.update("vg-seal-enc", 11);
     h1.update(master.data(), master.size());
     Digest d1 = h1.final();
     std::memcpy(enc_key.data(), d1.data(), enc_key.size());
 
-    Sha256 h2;
+    Sha256 h2(fast);
     h2.update("vg-seal-mac", 11);
     h2.update(master.data(), master.size());
     Digest d2 = h2.final();
     mac_key.assign(d2.begin(), d2.end());
 }
 
+/** Ready-to-use subkey schedules derived from one master key. */
+struct SealKeys
+{
+    Aes128 aes;
+    HmacSha256 mac;
+};
+
+/**
+ * Derived-key cache: the two KDF passes, the AES key schedule, and the
+ * HMAC pad states are a pure function of the master key, so amortize
+ * them across calls. Capped so pathological key churn cannot grow it
+ * without bound.
+ */
+const SealKeys &
+cachedKeys(const AesKey &master)
+{
+    static std::map<AesKey, SealKeys> cache;
+    auto it = cache.find(master);
+    if (it != cache.end())
+        return it->second;
+    if (cache.size() >= 64)
+        cache.clear();
+
+    AesKey enc_key;
+    std::vector<uint8_t> mac_key;
+    deriveKeys(master, enc_key, mac_key);
+    return cache
+        .emplace(master, SealKeys{Aes128(enc_key), HmacSha256(mac_key)})
+        .first->second;
+}
+
+/** Streaming MAC over aad || nonce || ciphertext (fast path). */
+Digest
+computeMacFast(const HmacSha256 &mac, const SealedBlob &blob,
+               const std::vector<uint8_t> &aad)
+{
+    Sha256 inner = mac.begin();
+    inner.update(aad.data(), aad.size());
+    inner.update(blob.nonce.data(), blob.nonce.size());
+    inner.update(blob.ciphertext.data(), blob.ciphertext.size());
+    return mac.finish(inner);
+}
+
+/** Reference MAC: concatenate, then one-shot HMAC. */
 Digest
 computeMac(const std::vector<uint8_t> &mac_key, const SealedBlob &blob,
            const std::vector<uint8_t> &aad)
@@ -38,7 +83,7 @@ computeMac(const std::vector<uint8_t> &mac_key, const SealedBlob &blob,
     buf.insert(buf.end(), aad.begin(), aad.end());
     buf.insert(buf.end(), blob.nonce.begin(), blob.nonce.end());
     buf.insert(buf.end(), blob.ciphertext.begin(), blob.ciphertext.end());
-    return hmacSha256(mac_key, buf);
+    return hmacSha256(mac_key, buf, false);
 }
 
 } // namespace
@@ -73,34 +118,51 @@ SealedBlob::deserialize(const std::vector<uint8_t> &bytes, bool &ok)
 
 SealedBlob
 seal(const AesKey &key, CtrDrbg &rng, const std::vector<uint8_t> &plain,
-     const std::vector<uint8_t> &aad)
+     const std::vector<uint8_t> &aad, bool fast)
 {
-    AesKey enc_key;
-    std::vector<uint8_t> mac_key;
-    deriveKeys(key, enc_key, mac_key);
-
     SealedBlob blob;
     rng.generate(blob.nonce.data(), blob.nonce.size());
-    blob.ciphertext = Aes128(enc_key).ctrCrypt(plain, blob.nonce);
+
+    if (fast) {
+        const SealKeys &keys = cachedKeys(key);
+        blob.ciphertext = keys.aes.ctrCrypt(plain, blob.nonce);
+        blob.mac = computeMacFast(keys.mac, blob, aad);
+        return blob;
+    }
+
+    AesKey enc_key;
+    std::vector<uint8_t> mac_key;
+    deriveKeys(key, enc_key, mac_key, false);
+    blob.ciphertext = Aes128(enc_key, false).ctrCrypt(plain, blob.nonce);
     blob.mac = computeMac(mac_key, blob, aad);
     return blob;
 }
 
 std::vector<uint8_t>
 unseal(const AesKey &key, const SealedBlob &blob, bool &ok,
-       const std::vector<uint8_t> &aad)
+       const std::vector<uint8_t> &aad, bool fast)
 {
+    if (fast) {
+        const SealKeys &keys = cachedKeys(key);
+        Digest expect = computeMacFast(keys.mac, blob, aad);
+        if (!digestEqual(expect, blob.mac)) {
+            ok = false;
+            return {};
+        }
+        ok = true;
+        return keys.aes.ctrCrypt(blob.ciphertext, blob.nonce);
+    }
+
     AesKey enc_key;
     std::vector<uint8_t> mac_key;
-    deriveKeys(key, enc_key, mac_key);
-
+    deriveKeys(key, enc_key, mac_key, false);
     Digest expect = computeMac(mac_key, blob, aad);
     if (!digestEqual(expect, blob.mac)) {
         ok = false;
         return {};
     }
     ok = true;
-    return Aes128(enc_key).ctrCrypt(blob.ciphertext, blob.nonce);
+    return Aes128(enc_key, false).ctrCrypt(blob.ciphertext, blob.nonce);
 }
 
 } // namespace vg::crypto

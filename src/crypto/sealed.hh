@@ -43,10 +43,13 @@ struct SealedBlob
  * @param aad optional associated data bound into the MAC (e.g. a page's
  *            virtual address for swap, so pages cannot be swapped back
  *            to the wrong location).
+ * @param fast use the cached derived-key fast path (default); the
+ *             reference path re-derives both subkeys per call. Blobs
+ *             are bit-identical either way.
  */
 SealedBlob seal(const AesKey &key, CtrDrbg &rng,
                 const std::vector<uint8_t> &plain,
-                const std::vector<uint8_t> &aad = {});
+                const std::vector<uint8_t> &aad = {}, bool fast = true);
 
 /**
  * Verify and decrypt a sealed blob.
@@ -54,7 +57,8 @@ SealedBlob seal(const AesKey &key, CtrDrbg &rng,
  */
 std::vector<uint8_t> unseal(const AesKey &key, const SealedBlob &blob,
                             bool &ok,
-                            const std::vector<uint8_t> &aad = {});
+                            const std::vector<uint8_t> &aad = {},
+                            bool fast = true);
 
 } // namespace vg::crypto
 

@@ -30,6 +30,20 @@ rotr(uint32_t x, unsigned n)
     return (x >> n) | (x << (32 - n));
 }
 
+/** One SHA-256 round with the a..h roles passed explicitly, so the
+ *  unrolled loop rotates register roles instead of shuffling values. */
+inline void
+round(uint32_t a, uint32_t b, uint32_t c, uint32_t &d, uint32_t e,
+      uint32_t f, uint32_t g, uint32_t &h, uint32_t k, uint32_t w)
+{
+    uint32_t t1 = h + (rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25)) +
+                  ((e & f) ^ (~e & g)) + k + w;
+    uint32_t t2 = (rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22)) +
+                  ((a & b) ^ (a & c) ^ (b & c));
+    d += t1;
+    h = t1 + t2;
+}
+
 } // namespace
 
 void
@@ -43,6 +57,15 @@ Sha256::reset()
 
 void
 Sha256::processBlock(const uint8_t *block)
+{
+    if (_fast)
+        compressFast(block);
+    else
+        compressRef(block);
+}
+
+void
+Sha256::compressRef(const uint8_t *block)
 {
     uint32_t w[64];
     for (int i = 0; i < 16; i++) {
@@ -90,8 +113,54 @@ Sha256::processBlock(const uint8_t *block)
 }
 
 void
+Sha256::compressFast(const uint8_t *block)
+{
+    uint32_t w[64];
+    for (int i = 0; i < 16; i++) {
+        w[i] = (uint32_t(block[i * 4]) << 24) |
+               (uint32_t(block[i * 4 + 1]) << 16) |
+               (uint32_t(block[i * 4 + 2]) << 8) |
+               uint32_t(block[i * 4 + 3]);
+    }
+    for (int i = 16; i < 64; i++) {
+        uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^
+                      (w[i - 15] >> 3);
+        uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^
+                      (w[i - 2] >> 10);
+        w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    uint32_t a = _state[0], b = _state[1], c = _state[2], d = _state[3];
+    uint32_t e = _state[4], f = _state[5], g = _state[6], h = _state[7];
+
+    // Eight rounds per iteration with rotated register roles — no
+    // value shuffling between rounds.
+    for (int i = 0; i < 64; i += 8) {
+        round(a, b, c, d, e, f, g, h, kRound[i + 0], w[i + 0]);
+        round(h, a, b, c, d, e, f, g, kRound[i + 1], w[i + 1]);
+        round(g, h, a, b, c, d, e, f, kRound[i + 2], w[i + 2]);
+        round(f, g, h, a, b, c, d, e, kRound[i + 3], w[i + 3]);
+        round(e, f, g, h, a, b, c, d, kRound[i + 4], w[i + 4]);
+        round(d, e, f, g, h, a, b, c, kRound[i + 5], w[i + 5]);
+        round(c, d, e, f, g, h, a, b, kRound[i + 6], w[i + 6]);
+        round(b, c, d, e, f, g, h, a, kRound[i + 7], w[i + 7]);
+    }
+
+    _state[0] += a;
+    _state[1] += b;
+    _state[2] += c;
+    _state[3] += d;
+    _state[4] += e;
+    _state[5] += f;
+    _state[6] += g;
+    _state[7] += h;
+}
+
+void
 Sha256::update(const void *data, size_t len)
 {
+    if (len == 0)
+        return;
     const uint8_t *p = static_cast<const uint8_t *>(data);
     _totalLen += len;
 
@@ -121,15 +190,31 @@ Digest
 Sha256::final()
 {
     uint64_t bit_len = _totalLen * 8;
-    uint8_t pad = 0x80;
-    update(&pad, 1);
-    uint8_t zero = 0;
-    while (_bufferLen != 56)
-        update(&zero, 1);
-    uint8_t len_be[8];
-    for (int i = 0; i < 8; i++)
-        len_be[i] = uint8_t(bit_len >> (56 - 8 * i));
-    update(len_be, 8);
+
+    if (_fast) {
+        // One-shot padding: the tail always fits in one or two blocks.
+        uint8_t pad[128];
+        std::memcpy(pad, _buffer.data(), _bufferLen);
+        size_t n = _bufferLen;
+        pad[n++] = 0x80;
+        size_t total = (n + 8 <= 64) ? 64 : 128;
+        std::memset(pad + n, 0, total - 8 - n);
+        for (int i = 0; i < 8; i++)
+            pad[total - 8 + i] = uint8_t(bit_len >> (56 - 8 * i));
+        processBlock(pad);
+        if (total == 128)
+            processBlock(pad + 64);
+    } else {
+        uint8_t pad = 0x80;
+        update(&pad, 1);
+        uint8_t zero = 0;
+        while (_bufferLen != 56)
+            update(&zero, 1);
+        uint8_t len_be[8];
+        for (int i = 0; i < 8; i++)
+            len_be[i] = uint8_t(bit_len >> (56 - 8 * i));
+        update(len_be, 8);
+    }
 
     Digest out;
     for (int i = 0; i < 8; i++) {
@@ -143,9 +228,9 @@ Sha256::final()
 }
 
 Digest
-Sha256::hash(const void *data, size_t len)
+Sha256::hash(const void *data, size_t len, bool fast)
 {
-    Sha256 h;
+    Sha256 h(fast);
     h.update(data, len);
     return h.final();
 }

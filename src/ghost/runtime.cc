@@ -88,7 +88,9 @@ GhostRuntime::writeSecureFile(const std::string &path,
         return false;
     _api.kernel().ctx().chargeAes(plain.size());
     _api.kernel().ctx().chargeSha(plain.size());
-    crypto::SealedBlob blob = crypto::seal(*_appKey, _rng, plain);
+    crypto::SealedBlob blob =
+        crypto::seal(*_appKey, _rng, plain, {},
+                     _api.kernel().ctx().config().cryptoFastPath);
     return writeFile(path, blob.serialize());
 }
 
@@ -107,7 +109,8 @@ GhostRuntime::readSecureFile(const std::string &path,
         return false;
     _api.kernel().ctx().chargeAes(blob.ciphertext.size());
     _api.kernel().ctx().chargeSha(blob.ciphertext.size());
-    plain = crypto::unseal(*_appKey, blob, ok);
+    plain = crypto::unseal(*_appKey, blob, ok, {},
+                           _api.kernel().ctx().config().cryptoFastPath);
     return ok;
 }
 
@@ -138,7 +141,8 @@ GhostRuntime::writeVersionedFile(const std::string &path,
     _api.kernel().ctx().chargeAes(plain.size());
     _api.kernel().ctx().chargeSha(plain.size());
     crypto::SealedBlob blob =
-        crypto::seal(*_appKey, _rng, plain, versionAad(version));
+        crypto::seal(*_appKey, _rng, plain, versionAad(version),
+                     _api.kernel().ctx().config().cryptoFastPath);
     return writeFile(path, blob.serialize());
 }
 
@@ -160,7 +164,8 @@ GhostRuntime::readVersionedFile(const std::string &path,
     uint64_t version = _api.kernel().vm().counterRead(_api.pid());
     _api.kernel().ctx().chargeAes(blob.ciphertext.size());
     _api.kernel().ctx().chargeSha(blob.ciphertext.size());
-    plain = crypto::unseal(*_appKey, blob, ok, versionAad(version));
+    plain = crypto::unseal(*_appKey, blob, ok, versionAad(version),
+                           _api.kernel().ctx().config().cryptoFastPath);
     return ok;
 }
 

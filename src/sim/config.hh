@@ -41,6 +41,14 @@ struct VgConfig
      */
     bool kmemFastPath = true;
 
+    /**
+     * Use the crypto fast paths: T-table AES, one-shot SHA-256
+     * finalize, Montgomery modExp, and cached seal-key derivation.
+     * Outputs are bit-identical to the reference implementations;
+     * disabling this exists for differential testing only.
+     */
+    bool cryptoFastPath = true;
+
     /** Run-time checks on MMU configuration intrinsics (S 4.3.2). */
     bool mmuChecks = true;
 

@@ -27,13 +27,19 @@ namespace vg::sva
 crypto::AesKey
 SvaVm::swapKey() const
 {
-    crypto::Sha256 h;
+    // The key is a pure function of the private key, so derive it once
+    // and cache; install()/boot() invalidate when the key changes.
+    if (_swapKeyValid)
+        return _swapKey;
+    crypto::Sha256 h(_ctx.config().cryptoFastPath);
     h.update("vg-swap-key", 11);
     std::vector<uint8_t> priv = _privateKey.d.toBytes();
     h.update(priv.data(), priv.size());
     crypto::Digest d = h.final();
     crypto::AesKey key{};
     std::memcpy(key.data(), d.data(), key.size());
+    _swapKey = key;
+    _swapKeyValid = true;
     return key;
 }
 
@@ -234,7 +240,8 @@ SvaVm::swapOutGhostPage(uint64_t pid, hw::Frame root, hw::Vaddr va,
     _ctx.chargeAes(plain.size());
     _ctx.chargeSha(plain.size());
     crypto::SealedBlob blob =
-        crypto::seal(swapKey(), _rng, plain, swapAad(pid, va));
+        crypto::seal(swapKey(), _rng, plain, swapAad(pid, va),
+                     _ctx.config().cryptoFastPath);
 
     // Unmap, scrub, and hand the frame back to the OS.
     _mem.write64(slot, 0);
@@ -267,7 +274,8 @@ SvaVm::swapInGhostPage(uint64_t pid, hw::Frame root, hw::Vaddr va,
     _ctx.chargeAes(blob.ciphertext.size());
     _ctx.chargeSha(blob.ciphertext.size());
     std::vector<uint8_t> plain =
-        crypto::unseal(swapKey(), blob, ok, swapAad(pid, va));
+        crypto::unseal(swapKey(), blob, ok, swapAad(pid, va),
+                       _ctx.config().cryptoFastPath);
     if (!ok || plain.size() != hw::pageSize)
         return failOp(err, "swapin: page fails verification (tampered "
                            "or replayed to the wrong slot)");

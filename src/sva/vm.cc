@@ -69,6 +69,7 @@ SvaVm::install(size_t rsa_bits)
 {
     crypto::CtrDrbg keygen_rng(_tpm.entropy(48));
     _privateKey = crypto::rsaGenerate(keygen_rng, rsa_bits);
+    _swapKeyValid = false; // swapKey() derives from the private key
     _publicKey = _privateKey.publicKey();
     _sealedPrivateKey = _tpm.seal(_privateKey.serialize());
     _translationKey = _rng.generate(32);
@@ -87,6 +88,7 @@ SvaVm::boot()
         sim::fatal("SvaVm::boot: sealed private key fails to verify "
                    "(tampered persistent state)");
     _privateKey = crypto::RsaPrivateKey::deserialize(priv, ok);
+    _swapKeyValid = false;
     if (!ok)
         sim::fatal("SvaVm::boot: corrupt private key");
     _publicKey = _privateKey.publicKey();

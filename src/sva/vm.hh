@@ -291,6 +291,9 @@ class SvaVm
     crypto::AesKey swapKey() const;
 
     sim::SimContext &_ctx;
+    /** Cached swap key; derived once per private key (see swapKey()). */
+    mutable crypto::AesKey _swapKey{};
+    mutable bool _swapKeyValid = false;
     hw::PhysMem &_mem;
     hw::Mmu &_mmu;
     hw::Iommu &_iommu;

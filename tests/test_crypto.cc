@@ -354,3 +354,156 @@ TEST(Sealed, SerializeRoundtrip)
     EXPECT_EQ(unseal(key, back, ok), plain);
     EXPECT_TRUE(ok);
 }
+
+// --------------------------------------------------------------------
+// S-box construction (the xtime/exponentiation build)
+// --------------------------------------------------------------------
+
+TEST(AesSbox, KnownEntries)
+{
+    uint8_t sbox[256], inv_sbox[256];
+    detail::buildAesSboxes(sbox, inv_sbox);
+    // FIPS 197 Figure 7 spot checks.
+    EXPECT_EQ(sbox[0x00], 0x63);
+    EXPECT_EQ(sbox[0x01], 0x7c);
+    EXPECT_EQ(sbox[0x53], 0xed);
+    EXPECT_EQ(sbox[0xff], 0x16);
+    EXPECT_EQ(inv_sbox[0x63], 0x00);
+    EXPECT_EQ(inv_sbox[0xed], 0x53);
+}
+
+TEST(AesSbox, InverseIsInverse)
+{
+    uint8_t sbox[256], inv_sbox[256];
+    detail::buildAesSboxes(sbox, inv_sbox);
+    for (int i = 0; i < 256; i++) {
+        EXPECT_EQ(inv_sbox[sbox[i]], i);
+        EXPECT_EQ(sbox[inv_sbox[i]], i);
+    }
+}
+
+TEST(AesSbox, IsAPermutation)
+{
+    uint8_t sbox[256], inv_sbox[256];
+    detail::buildAesSboxes(sbox, inv_sbox);
+    bool seen[256] = {false};
+    for (int i = 0; i < 256; i++)
+        seen[sbox[i]] = true;
+    for (int i = 0; i < 256; i++)
+        EXPECT_TRUE(seen[i]) << "missing sbox output " << i;
+}
+
+// --------------------------------------------------------------------
+// Known-answer vectors against BOTH the fast and reference paths.
+// The param is the `fast` flag handed to each primitive.
+// --------------------------------------------------------------------
+
+class BothPaths : public ::testing::TestWithParam<bool>
+{
+};
+
+TEST_P(BothPaths, AesFips197)
+{
+    bool fast = GetParam();
+    Aes128 aes(keyFromHex("000102030405060708090a0b0c0d0e0f"), fast);
+    auto block = fromHexStr("00112233445566778899aabbccddeeff");
+    aes.encryptBlock(block.data());
+    EXPECT_EQ(block, fromHexStr("69c4e0d86a7b0430d8cdb78070b4c55a"));
+    aes.decryptBlock(block.data());
+    EXPECT_EQ(block, fromHexStr("00112233445566778899aabbccddeeff"));
+}
+
+TEST_P(BothPaths, AesNistEcb)
+{
+    bool fast = GetParam();
+    Aes128 aes(keyFromHex("2b7e151628aed2a6abf7158809cf4f3c"), fast);
+    const char *vec[][2] = {
+        {"6bc1bee22e409f96e93d7e117393172a",
+         "3ad77bb40d7a3660a89ecaf32466ef97"},
+        {"ae2d8a571e03ac9c9eb76fac45af8e51",
+         "f5d3d58503b9699de785895a96fdbaaf"},
+        {"30c81c46a35ce411e5fbc1191a0a52ef",
+         "43b1cd7f598ece23881b00e3ed030688"},
+        {"f69f2445df4f9b17ad2b417be66c3710",
+         "7b0c785e27e8ad3f8223207104725dd4"},
+    };
+    for (auto &v : vec) {
+        auto block = fromHexStr(v[0]);
+        aes.encryptBlock(block.data());
+        EXPECT_EQ(block, fromHexStr(v[1]));
+        aes.decryptBlock(block.data());
+        EXPECT_EQ(block, fromHexStr(v[0]));
+    }
+}
+
+TEST_P(BothPaths, Sha256Nist)
+{
+    bool fast = GetParam();
+    EXPECT_EQ(toHex(Sha256::hash("", 0, fast)),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+    EXPECT_EQ(toHex(Sha256::hash("abc", 3, fast)),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+    const char *two = "abcdbcdecdefdefgefghfghighijhijkijkljklm"
+                      "klmnlmnomnopnopq";
+    EXPECT_EQ(toHex(Sha256::hash(two, std::strlen(two), fast)),
+              "248d6a61d20638b8e5c026930c3e6039"
+              "a33ce45964ff2167f6ecedd419db06c1");
+    // 56 bytes: the padding tail spills into a second block.
+    std::string fiftysix(56, 'a');
+    EXPECT_EQ(Sha256::hash(fiftysix.data(), fiftysix.size(), fast),
+              Sha256::hash(fiftysix.data(), fiftysix.size(), !fast));
+}
+
+TEST_P(BothPaths, HmacRfc4231)
+{
+    bool fast = GetParam();
+    {
+        std::vector<uint8_t> key(20, 0x0b);
+        EXPECT_EQ(toHex(hmacSha256(key, "Hi There", 8, fast)),
+                  "b0344c61d8db38535ca8afceaf0bf12b"
+                  "881dc200c9833da726e9376c2e32cff7");
+    }
+    {
+        std::vector<uint8_t> key = {'J', 'e', 'f', 'e'};
+        const char *data = "what do ya want for nothing?";
+        EXPECT_EQ(toHex(hmacSha256(key, data, std::strlen(data), fast)),
+                  "5bdcc146bf60754e6a042426089575c7"
+                  "5a003f089d2739839dec58b964ec3843");
+    }
+    {
+        std::vector<uint8_t> key(131, 0xaa);
+        const char *data = "Test Using Larger Than Block-Size Key - "
+                           "Hash Key First";
+        EXPECT_EQ(toHex(hmacSha256(key, data, std::strlen(data), fast)),
+                  "60e431591ee0b67f0d8a26aacbf5b77f"
+                  "8e0bc6213728c5140546040f0ee37f54");
+    }
+}
+
+TEST_P(BothPaths, HmacClassMatchesFreeFunction)
+{
+    bool fast = GetParam();
+    for (size_t key_len : {0u, 4u, 20u, 64u, 131u}) {
+        std::vector<uint8_t> key(key_len, 0x0b);
+        HmacSha256 ctx(key, fast);
+        std::vector<uint8_t> data(200);
+        for (size_t i = 0; i < data.size(); i++)
+            data[i] = uint8_t(i);
+        EXPECT_EQ(ctx.mac(data),
+                  hmacSha256(key, data.data(), data.size(), fast));
+        // Streaming via begin()/finish() over two chunks.
+        Sha256 inner = ctx.begin();
+        inner.update(data.data(), 100);
+        inner.update(data.data() + 100, data.size() - 100);
+        EXPECT_EQ(ctx.finish(inner),
+                  hmacSha256(key, data.data(), data.size(), fast));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ReferenceAndFast, BothPaths,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool> &info) {
+                             return info.param ? "fast" : "reference";
+                         });

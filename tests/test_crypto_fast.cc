@@ -1,0 +1,420 @@
+/**
+ * @file
+ * The crypto fast paths (T-table AES, one-shot SHA-256, precomputed
+ * HMAC states, Montgomery modExp, cached seal keys) must be *bit
+ * identical* to the reference implementations: same ciphertexts, same
+ * digests, same MACs, same sealed blobs, same swapped-page bytes.
+ * VgConfig::cryptoFastPath=false (or `fast=false` on the primitive)
+ * selects the reference path; these tests run both side by side on
+ * random inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "crypto/aes.hh"
+#include "crypto/bignum.hh"
+#include "crypto/drbg.hh"
+#include "crypto/hmac.hh"
+#include "crypto/rsa.hh"
+#include "crypto/sealed.hh"
+#include "crypto/sha256.hh"
+#include "hw/iommu.hh"
+#include "hw/mmu.hh"
+#include "hw/phys_mem.hh"
+#include "hw/tpm.hh"
+#include "sva/vm.hh"
+
+using namespace vg;
+using namespace vg::crypto;
+
+namespace
+{
+
+sim::VgConfig
+cfgFor(bool fast)
+{
+    sim::VgConfig cfg = sim::VgConfig::full();
+    cfg.cryptoFastPath = fast;
+    return cfg;
+}
+
+AesKey
+randomKey(CtrDrbg &rng)
+{
+    AesKey k{};
+    rng.generate(k.data(), k.size());
+    return k;
+}
+
+} // namespace
+
+class CryptoFastSweep : public ::testing::TestWithParam<int>
+{
+  protected:
+    CtrDrbg
+    rng() const
+    {
+        return CtrDrbg({uint8_t(GetParam()), 'c', 'f'});
+    }
+};
+
+// --------------------------------------------------------------------
+// AES: block, CBC, and CTR over random keys and lengths.
+// --------------------------------------------------------------------
+
+TEST_P(CryptoFastSweep, AesPrimitives)
+{
+    CtrDrbg r = rng();
+    for (int round = 0; round < 20; round++) {
+        AesKey key = randomKey(r);
+        Aes128 fast(key, true);
+        Aes128 ref(key, false);
+
+        uint8_t blkF[16], blkR[16];
+        r.generate(blkF, 16);
+        std::memcpy(blkR, blkF, 16);
+        fast.encryptBlock(blkF);
+        ref.encryptBlock(blkR);
+        ASSERT_EQ(std::memcmp(blkF, blkR, 16), 0) << "round " << round;
+        fast.decryptBlock(blkF);
+        ref.decryptBlock(blkR);
+        ASSERT_EQ(std::memcmp(blkF, blkR, 16), 0) << "round " << round;
+
+        AesBlock iv{};
+        r.generate(iv.data(), iv.size());
+        size_t len = size_t(r.nextBounded(600));
+        std::vector<uint8_t> plain = r.generate(len);
+
+        auto ctrF = fast.ctrCrypt(plain, iv);
+        auto ctrR = ref.ctrCrypt(plain, iv);
+        ASSERT_EQ(ctrF, ctrR) << "ctr len " << len;
+        ASSERT_EQ(fast.ctrCrypt(ctrF, iv), plain);
+
+        auto cbcF = fast.cbcEncrypt(plain, iv);
+        auto cbcR = ref.cbcEncrypt(plain, iv);
+        ASSERT_EQ(cbcF, cbcR) << "cbc len " << len;
+        bool okF = false, okR = false;
+        auto backF = fast.cbcDecrypt(cbcF, iv, okF);
+        auto backR = ref.cbcDecrypt(cbcR, iv, okR);
+        ASSERT_TRUE(okF && okR);
+        ASSERT_EQ(backF, plain);
+        ASSERT_EQ(backR, plain);
+    }
+
+    // A nonce near the 64-bit counter boundary exercises the carry
+    // chain identically on both CTR paths.
+    AesKey key = randomKey(r);
+    Aes128 fast(key, true), ref(key, false);
+    AesBlock nonce{};
+    for (int i = 8; i < 16; i++)
+        nonce[size_t(i)] = 0xff;
+    std::vector<uint8_t> data = r.generate(128);
+    ASSERT_EQ(fast.ctrCrypt(data, nonce), ref.ctrCrypt(data, nonce));
+}
+
+// --------------------------------------------------------------------
+// SHA-256 + HMAC: random lengths, random chunking, random key sizes.
+// --------------------------------------------------------------------
+
+TEST_P(CryptoFastSweep, ShaAndHmac)
+{
+    CtrDrbg r = rng();
+    for (size_t len = 0; len < 200; len++) {
+        std::vector<uint8_t> msg = r.generate(len);
+        ASSERT_EQ(Sha256::hash(msg, true), Sha256::hash(msg, false))
+            << "len " << len;
+    }
+    for (int round = 0; round < 10; round++) {
+        std::vector<uint8_t> msg =
+            r.generate(size_t(r.nextBounded(8192)));
+        Digest ref = Sha256::hash(msg, false);
+        ASSERT_EQ(Sha256::hash(msg, true), ref);
+
+        // Random chunking must not change the digest on either path.
+        for (bool fast : {true, false}) {
+            Sha256 h(fast);
+            size_t off = 0;
+            while (off < msg.size()) {
+                size_t n = std::min<size_t>(r.nextBounded(200) + 1,
+                                            msg.size() - off);
+                h.update(msg.data() + off, n);
+                off += n;
+            }
+            ASSERT_EQ(h.final(), ref) << "fast=" << fast;
+        }
+    }
+    for (size_t key_len = 0; key_len < 150; key_len += 7) {
+        std::vector<uint8_t> key = r.generate(key_len);
+        std::vector<uint8_t> msg =
+            r.generate(size_t(r.nextBounded(500)));
+        Digest ref = hmacSha256(key, msg.data(), msg.size(), false);
+        ASSERT_EQ(hmacSha256(key, msg.data(), msg.size(), true), ref)
+            << "key len " << key_len;
+        ASSERT_EQ(HmacSha256(key, true).mac(msg), ref);
+        ASSERT_EQ(HmacSha256(key, false).mac(msg), ref);
+    }
+}
+
+// --------------------------------------------------------------------
+// Montgomery modExp vs the reference square-and-multiply.
+// --------------------------------------------------------------------
+
+TEST_P(CryptoFastSweep, ModExp)
+{
+    CtrDrbg r = rng();
+    for (int round = 0; round < 60; round++) {
+        BigNum mod =
+            BigNum::fromBytes(r.generate(size_t(r.nextBounded(48)) + 1));
+        if (mod.isZero())
+            mod = BigNum(1);
+        BigNum base =
+            BigNum::fromBytes(r.generate(size_t(r.nextBounded(64)) + 1));
+        BigNum exp =
+            BigNum::fromBytes(r.generate(size_t(r.nextBounded(8)) + 1));
+        ASSERT_EQ(base.modExp(exp, mod, true),
+                  base.modExp(exp, mod, false))
+            << "round " << round << " mod " << mod.toHex();
+    }
+
+    // Directed edges: trivial modulus, even modulus (reference
+    // fallback), zero exponent, zero base, base == mod.
+    BigNum m = BigNum::fromHex("f123456789abcdef123457");
+    BigNum even = BigNum::fromHex("f123456789abcdef123456");
+    BigNum b = BigNum::fromHex("123456789");
+    EXPECT_EQ(b.modExp(BigNum(5), BigNum(1), true), BigNum());
+    EXPECT_EQ(b.modExp(BigNum(77), even, true),
+              b.modExp(BigNum(77), even, false));
+    EXPECT_EQ(b.modExp(BigNum(), m, true), BigNum(1));
+    EXPECT_EQ(BigNum().modExp(BigNum(9), m, true),
+              BigNum().modExp(BigNum(9), m, false));
+    EXPECT_EQ(m.modExp(BigNum(3), m, true), BigNum());
+
+    // A 2048-bit odd modulus with 64-bit exponents (the reference
+    // ladder is too slow for full-width exponents here).
+    BigNum wide = BigNum::fromBytes(r.generate(256));
+    wide.setBit(2047);
+    wide.setBit(0);
+    for (int round = 0; round < 3; round++) {
+        BigNum base = BigNum::fromBytes(r.generate(256));
+        BigNum exp(r.next64());
+        ASSERT_EQ(base.modExp(exp, wide, true),
+                  base.modExp(exp, wide, false))
+            << "wide round " << round;
+    }
+}
+
+// --------------------------------------------------------------------
+// RSA: identical signatures and ciphertexts (cloned DRBG streams).
+// --------------------------------------------------------------------
+
+TEST_P(CryptoFastSweep, RsaOps)
+{
+    CtrDrbg keygen = rng();
+    RsaPrivateKey key = rsaGenerate(keygen, 384);
+
+    CtrDrbg r = rng();
+    for (int round = 0; round < 4; round++) {
+        std::vector<uint8_t> msg =
+            r.generate(size_t(r.nextBounded(200)) + 1);
+
+        auto sigF = rsaSign(key, msg, true);
+        auto sigR = rsaSign(key, msg, false);
+        ASSERT_EQ(sigF, sigR) << "round " << round;
+        EXPECT_TRUE(rsaVerify(key.publicKey(), msg, sigF, true));
+        EXPECT_TRUE(rsaVerify(key.publicKey(), msg, sigF, false));
+
+        std::vector<uint8_t> shortMsg = r.generate(16);
+        CtrDrbg padF({uint8_t(round), 'p'});
+        CtrDrbg padR({uint8_t(round), 'p'});
+        auto cF = rsaEncrypt(key.publicKey(), padF, shortMsg, true);
+        auto cR = rsaEncrypt(key.publicKey(), padR, shortMsg, false);
+        ASSERT_EQ(cF, cR) << "round " << round;
+        bool okF = false, okR = false;
+        ASSERT_EQ(rsaDecrypt(key, cF, okF, true), shortMsg);
+        ASSERT_EQ(rsaDecrypt(key, cF, okR, false), shortMsg);
+        EXPECT_TRUE(okF && okR);
+    }
+}
+
+// --------------------------------------------------------------------
+// Sealed blobs: byte-identical output, tamper detection on both paths.
+// --------------------------------------------------------------------
+
+TEST_P(CryptoFastSweep, SealedBlobs)
+{
+    CtrDrbg r = rng();
+    // Few distinct keys so the derived-key cache gets hits too.
+    std::vector<AesKey> keys;
+    for (int i = 0; i < 3; i++)
+        keys.push_back(randomKey(r));
+
+    for (int round = 0; round < 20; round++) {
+        const AesKey &key = keys[round % keys.size()];
+        std::vector<uint8_t> plain =
+            r.generate(size_t(r.nextBounded(5000)));
+        std::vector<uint8_t> aad =
+            r.generate(size_t(r.nextBounded(32)));
+
+        CtrDrbg rngF({uint8_t(round), 's'});
+        CtrDrbg rngR({uint8_t(round), 's'});
+        SealedBlob blobF = seal(key, rngF, plain, aad, true);
+        SealedBlob blobR = seal(key, rngR, plain, aad, false);
+        ASSERT_EQ(blobF.serialize(), blobR.serialize())
+            << "round " << round;
+
+        bool okF = false, okR = false;
+        ASSERT_EQ(unseal(key, blobF, okF, aad, true), plain);
+        ASSERT_EQ(unseal(key, blobF, okR, aad, false), plain);
+        EXPECT_TRUE(okF && okR);
+
+        if (!blobF.ciphertext.empty()) {
+            SealedBlob bad = blobF;
+            bad.ciphertext[size_t(r.nextBounded(
+                bad.ciphertext.size()))] ^= 0x01;
+            okF = okR = true;
+            unseal(key, bad, okF, aad, true);
+            unseal(key, bad, okR, aad, false);
+            EXPECT_FALSE(okF);
+            EXPECT_FALSE(okR);
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Ghost-page swap: two booted machines, cryptoFastPath on vs off,
+// random swap-out/swap-in traffic in lockstep. Blobs, RAM, simulated
+// time, and stats must all agree.
+// --------------------------------------------------------------------
+
+namespace
+{
+
+struct SwapRig
+{
+    sim::SimContext ctx;
+    hw::PhysMem mem;
+    hw::Mmu mmu;
+    hw::Iommu iommu;
+    hw::Tpm tpm;
+    sva::SvaVm vm;
+    std::deque<hw::Frame> freeFrames;
+
+    static constexpr int kPages = 4;
+
+    explicit SwapRig(bool fast)
+        : ctx(cfgFor(fast)), mem(512), mmu(mem, ctx), iommu(mem, ctx),
+          tpm({'c', 's'}), vm(ctx, mem, mmu, iommu, tpm)
+    {
+        vm.install(384);
+        vm.boot();
+        for (hw::Frame f = 64; f < 256; f++)
+            freeFrames.push_back(f);
+        vm.setFrameProvider([this]() -> std::optional<hw::Frame> {
+            if (freeFrames.empty())
+                return std::nullopt;
+            hw::Frame f = freeFrames.front();
+            freeFrames.pop_front();
+            return f;
+        });
+        vm.setFrameReceiver(
+            [this](hw::Frame f) { freeFrames.push_back(f); });
+
+        sva::SvaError err;
+        EXPECT_TRUE(vm.declarePtPage(0, 4, &err)) << err.message;
+        EXPECT_TRUE(vm.allocGhostMemory(1, 0, hw::ghostBase, kPages,
+                                        &err))
+            << err.message;
+    }
+
+    /** Fill every ghost-typed frame with bytes from @p fill. */
+    void
+    fillGhostFrames(const std::vector<uint8_t> &fill)
+    {
+        size_t off = 0;
+        for (hw::Frame f = 0; f < 512; f++) {
+            if (vm.frames()[f].type != sva::FrameType::Ghost)
+                continue;
+            mem.writeBytes(f * hw::pageSize, fill.data() + off,
+                           hw::pageSize);
+            off += hw::pageSize;
+        }
+    }
+};
+
+} // namespace
+
+TEST_P(CryptoFastSweep, GhostPageSwap)
+{
+    CtrDrbg r = rng();
+    SwapRig fast(true);
+    SwapRig ref(false);
+
+    std::vector<uint8_t> fill =
+        r.generate(SwapRig::kPages * hw::pageSize);
+    fast.fillGhostFrames(fill);
+    ref.fillGhostFrames(fill);
+
+    std::map<hw::Vaddr, SealedBlob> swapped;
+    sva::SvaError errF, errR;
+
+    for (int op = 0; op < 200; op++) {
+        hw::Vaddr va =
+            hw::ghostBase + r.nextBounded(SwapRig::kPages) * hw::pageSize;
+        auto it = swapped.find(va);
+        if (it == swapped.end()) {
+            auto blobF = fast.vm.swapOutGhostPage(1, 0, va, &errF);
+            auto blobR = ref.vm.swapOutGhostPage(1, 0, va, &errR);
+            ASSERT_TRUE(blobF.has_value()) << "op " << op;
+            ASSERT_TRUE(blobR.has_value()) << "op " << op;
+            // The tentpole claim: byte-identical sealed blobs.
+            ASSERT_EQ(blobF->serialize(), blobR->serialize())
+                << "op " << op;
+            swapped.emplace(va, *blobF);
+        } else {
+            if (r.nextBounded(4) == 0) {
+                // Tampered page: both paths must reject it.
+                SealedBlob bad = it->second;
+                bad.ciphertext[size_t(r.nextBounded(
+                    bad.ciphertext.size()))] ^= 0x40;
+                EXPECT_FALSE(fast.vm.swapInGhostPage(1, 0, va, bad,
+                                                     &errF));
+                EXPECT_FALSE(ref.vm.swapInGhostPage(1, 0, va, bad,
+                                                    &errR));
+            }
+            ASSERT_TRUE(fast.vm.swapInGhostPage(1, 0, va, it->second,
+                                                &errF))
+                << "op " << op << ": " << errF.message;
+            ASSERT_TRUE(ref.vm.swapInGhostPage(1, 0, va, it->second,
+                                               &errR))
+                << "op " << op;
+            swapped.erase(it);
+        }
+        // Lockstep: simulated time agrees after every op.
+        ASSERT_EQ(fast.ctx.clock().now(), ref.ctx.clock().now())
+            << "op " << op;
+    }
+
+    // Swap everything back in, then compare full machine state.
+    for (auto &[va, blob] : swapped) {
+        ASSERT_TRUE(fast.vm.swapInGhostPage(1, 0, va, blob, &errF));
+        ASSERT_TRUE(ref.vm.swapInGhostPage(1, 0, va, blob, &errR));
+    }
+    EXPECT_EQ(fast.ctx.stats().all(), ref.ctx.stats().all());
+    EXPECT_EQ(fast.ctx.clock().now(), ref.ctx.clock().now());
+    std::vector<uint8_t> a(hw::pageSize), b(hw::pageSize);
+    for (uint64_t pa = 0; pa < fast.mem.sizeBytes();
+         pa += hw::pageSize) {
+        fast.mem.readBytes(pa, a.data(), a.size());
+        ref.mem.readBytes(pa, b.data(), b.size());
+        ASSERT_EQ(std::memcmp(a.data(), b.data(), a.size()), 0)
+            << "frame " << (pa >> hw::pageShift);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CryptoFastSweep,
+                         ::testing::Values(1, 2, 3, 4));
