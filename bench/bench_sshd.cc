@@ -16,7 +16,9 @@ using namespace vg::apps;
 namespace
 {
 
-/** Transfer /payload once; returns client-observed KB/s. */
+/** Transfer /payload over one sshd session per vCPU (ports 22,
+ *  23, ...); returns aggregate KB/s across all sessions. With
+ *  vcpus == 1 this is the paper's single-session transfer. */
 double
 transferBandwidth(sim::VgConfig vg, uint64_t file_size, bool ghosting)
 {
@@ -37,7 +39,9 @@ transferBandwidth(sim::VgConfig vg, uint64_t file_size, bool ghosting)
             ino, off, chunk.data(),
             std::min<uint64_t>(chunk.size(), file_size - off));
 
-    double kbps = 0;
+    unsigned sessions = vg.vcpus;
+    uint64_t total_bytes = 0;
+    sim::Cycles elapsed = 0;
     sys.runProcess("init", [&](kern::UserApi &api) {
         uint64_t kg = api.fork([&](kern::UserApi &capi) {
             return capi.execve(&bin, [](kern::UserApi &napi) {
@@ -49,56 +53,70 @@ transferBandwidth(sim::VgConfig vg, uint64_t file_size, bool ghosting)
         if (status != 0)
             return 1;
 
-        uint64_t srv = api.fork([](kern::UserApi &capi) {
-            SshdConfig cfg;
-            cfg.maxConnections = 1;
-            return sshd(capi, cfg);
-        });
+        std::vector<uint64_t> servers;
+        for (unsigned s = 0; s < sessions; s++)
+            servers.push_back(api.fork([s](kern::UserApi &capi) {
+                SshdConfig cfg;
+                cfg.maxConnections = 1;
+                cfg.port = uint16_t(sshdPort + s);
+                return sshd(capi, cfg);
+            }));
         for (int i = 0; i < 4; i++)
             api.yield();
 
-        uint64_t cli = api.fork([&](kern::UserApi &capi) {
-            return capi.execve(&bin, [&](kern::UserApi &napi) {
-                sim::Stopwatch sw(napi.kernel().ctx().clock());
-                SshResult r = sshFetch(napi, "/payload", ghosting);
-                double secs = sim::Clock::toSec(sw.elapsed());
-                if (r.ok && secs > 0)
-                    kbps = double(r.bytes) / 1024.0 / secs;
-                return r.ok ? 0 : 1;
-            });
-        });
-        api.waitpid(cli, status);
-        api.waitpid(srv, status);
+        sim::Cycles t0 = machineNow(sys);
+        std::vector<uint64_t> clients;
+        for (unsigned s = 0; s < sessions; s++)
+            clients.push_back(api.fork([&, s](kern::UserApi &capi) {
+                return capi.execve(&bin, [&, s](kern::UserApi &napi) {
+                    SshResult r =
+                        sshFetch(napi, "/payload", ghosting, false,
+                                 uint16_t(sshdPort + s));
+                    if (r.ok)
+                        total_bytes += r.bytes;
+                    return r.ok ? 0 : 1;
+                });
+            }));
+        for (uint64_t cli : clients)
+            api.waitpid(cli, status);
+        elapsed = machineNow(sys) - t0;
+        for (uint64_t srv : servers)
+            api.waitpid(srv, status);
         return 0;
     });
-    return kbps;
+    double secs = sim::Clock::toSec(elapsed);
+    return secs > 0 ? double(total_bytes) / 1024.0 / secs : 0.0;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bool paper = paperScale();
+    unsigned vcpus = parseVcpus(argc, argv);
     uint64_t max_size =
         paper ? (64ull << 20) : smokeScale() ? (1ull << 20) : (4ull << 20);
 
-    BenchReport report("sshd");
+    BenchReport report(vcpus > 1 ? "sshd_smp" : "sshd", vcpus);
     report.top().count("max_file_bytes", max_size);
 
     banner("Figure 3. SSH server average transfer rate (KB/s)\n"
            "(non-ghosting client; paper: 23% mean reduction, 45% "
            "worst on small files,\nnegligible for large files)");
+    std::printf("vCPUs: %u (%u concurrent session%s)\n", vcpus, vcpus,
+                vcpus > 1 ? "s" : "");
     std::printf("%-10s %12s %12s %12s\n", "File Size", "Native",
                 "VGhost", "Reduction");
 
     double reductions = 0;
     int n = 0;
     for (uint64_t size = 1024; size <= max_size; size *= 4) {
-        double nat = transferBandwidth(sim::VgConfig::native(), size,
-                                       false);
-        double vgb = transferBandwidth(sim::VgConfig::full(), size,
-                                       false);
+        sim::VgConfig nat_vg = sim::VgConfig::native();
+        sim::VgConfig full_vg = sim::VgConfig::full();
+        nat_vg.vcpus = full_vg.vcpus = vcpus;
+        double nat = transferBandwidth(nat_vg, size, false);
+        double vgb = transferBandwidth(full_vg, size, false);
         double red = nat > 0 ? 100.0 * (1.0 - vgb / nat) : 0.0;
         reductions += red;
         n++;

@@ -30,37 +30,61 @@ bandwidthFor(sim::VgConfig vg, uint64_t file_size, uint64_t requests)
 
     // ApacheBench-style concurrency: several client processes issue
     // requests at once, so wire time and server compute overlap (the
-    // paper used 100 simultaneous connections).
-    constexpr int concurrency = 4;
+    // paper used 100 simultaneous connections). On SMP machines one
+    // server instance runs per vCPU (ports 80, 81, ...) and the
+    // clients round-robin across them; with vcpus == 1 this is
+    // exactly the single-server workload.
+    unsigned instances = vg.vcpus;
+    int concurrency = std::max(4u, instances);
     uint64_t total_bytes = 0;
     sim::Cycles elapsed = 0;
     sys.runProcess("init", [&](kern::UserApi &api) {
-        uint64_t srv = api.fork([&](kern::UserApi &capi) {
-            ThttpdConfig cfg;
-            cfg.maxRequests = requests;
-            return thttpd(capi, cfg);
-        });
+        // Per-instance request shares (clients of instance i serve
+        // share i together).
+        std::vector<uint64_t> srv_share(instances, 0);
+        for (unsigned i = 0; i < instances; i++)
+            srv_share[i] = requests / instances +
+                           (i < requests % instances ? 1 : 0);
+
+        std::vector<uint64_t> servers;
+        for (unsigned i = 0; i < instances; i++) {
+            if (srv_share[i] == 0)
+                continue;
+            servers.push_back(api.fork([&, i](kern::UserApi &capi) {
+                ThttpdConfig cfg;
+                cfg.port = uint16_t(80 + i);
+                cfg.maxRequests = srv_share[i];
+                return thttpd(capi, cfg);
+            }));
+        }
         for (int i = 0; i < 4; i++)
             api.yield();
 
-        sim::Stopwatch sw(sys.ctx().clock());
+        sim::Cycles t0 = machineNow(sys);
         std::vector<uint64_t> clients;
-        for (int c = 0; c < concurrency; c++) {
-            uint64_t share = requests / concurrency +
-                             (c < int(requests % concurrency) ? 1 : 0);
-            if (share == 0)
-                continue;
-            clients.push_back(api.fork([&, share](kern::UserApi &capi) {
-                AbResult ab = apacheBench(capi, "/file.bin", share);
-                total_bytes += ab.bytes;
-                return 0;
-            }));
+        unsigned per = unsigned(concurrency) / instances;
+        for (unsigned inst = 0; inst < instances; inst++) {
+            for (unsigned j = 0; j < per; j++) {
+                uint64_t share = srv_share[inst] / per +
+                                 (j < srv_share[inst] % per ? 1 : 0);
+                if (share == 0)
+                    continue;
+                clients.push_back(
+                    api.fork([&, share, inst](kern::UserApi &capi) {
+                        AbResult ab = apacheBench(capi, "/file.bin",
+                                                  share,
+                                                  uint16_t(80 + inst));
+                        total_bytes += ab.bytes;
+                        return 0;
+                    }));
+            }
         }
         int status;
         for (uint64_t cli : clients)
             api.waitpid(cli, status);
-        elapsed = sw.elapsed();
-        api.waitpid(srv, status);
+        elapsed = machineNow(sys) - t0;
+        for (uint64_t srv : servers)
+            api.waitpid(srv, status);
         return 0;
     });
     double secs = sim::Clock::toSec(elapsed);
@@ -70,24 +94,30 @@ bandwidthFor(sim::VgConfig vg, uint64_t file_size, uint64_t requests)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bool paper = paperScale();
+    unsigned vcpus = parseVcpus(argc, argv);
     uint64_t requests = paper ? 10000 : smokeScale() ? 12 : 50;
+    // Keep per-server load meaningful when fanning out across vCPUs.
+    requests *= vcpus;
 
-    BenchReport report("thttpd");
+    BenchReport report(vcpus > 1 ? "thttpd_smp" : "thttpd", vcpus);
     report.top().count("requests", requests);
 
     banner("Figure 2. thttpd average bandwidth (KB/s) vs file size\n"
            "(ApacheBench workload; paper: VG impact negligible)");
+    std::printf("vCPUs: %u (%u server instance%s)\n", vcpus, vcpus,
+                vcpus > 1 ? "s" : "");
     std::printf("%-10s %12s %12s %10s\n", "File Size", "Native",
                 "VGhost", "VG/Native");
 
     for (uint64_t size = 1024; size <= (1 << 20); size *= 4) {
-        double nat = bandwidthFor(sim::VgConfig::native(), size,
-                                  requests);
-        double vgb = bandwidthFor(sim::VgConfig::full(), size,
-                                  requests);
+        sim::VgConfig nat_vg = sim::VgConfig::native();
+        sim::VgConfig full_vg = sim::VgConfig::full();
+        nat_vg.vcpus = full_vg.vcpus = vcpus;
+        double nat = bandwidthFor(nat_vg, size, requests);
+        double vgb = bandwidthFor(full_vg, size, requests);
         std::printf("%-10s %12.0f %12.0f %9.1f%%\n",
                     sizeLabel(size).c_str(), nat, vgb,
                     100.0 * vgb / nat);

@@ -12,6 +12,7 @@
 #ifndef VG_BENCH_COMMON_HH
 #define VG_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -47,6 +48,30 @@ inline const char *
 scaleName()
 {
     return paperScale() ? "paper" : smokeScale() ? "smoke" : "default";
+}
+
+/** Parse "--vcpus N" from argv (default 1). */
+inline unsigned
+parseVcpus(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; i++)
+        if (std::strcmp(argv[i], "--vcpus") == 0) {
+            long n = std::strtol(argv[i + 1], nullptr, 10);
+            if (n >= 1 && n <= 64)
+                return unsigned(n);
+        }
+    return 1;
+}
+
+/** Machine-wide simulated time: the furthest-ahead vCPU clock.
+ *  Identical to ctx.clock().now() on single-CPU machines. */
+inline sim::Cycles
+machineNow(kern::System &sys)
+{
+    uint64_t t = 0;
+    for (unsigned c = 0; c < sys.ctx().vcpuCount(); c++)
+        t = std::max<uint64_t>(t, sys.ctx().clockOf(c).now());
+    return sim::Cycles(t);
 }
 
 /**
@@ -129,11 +154,12 @@ class BenchReport
         std::vector<std::pair<std::string, std::string>> _fields;
     };
 
-    explicit BenchReport(const std::string &bench)
+    explicit BenchReport(const std::string &bench, unsigned vcpus = 1)
         : _bench(bench), _start(std::chrono::steady_clock::now())
     {
         _top.str("bench", bench);
         _top.str("scale", scaleName());
+        _top.count("vcpus", vcpus);
     }
 
     /** Top-level scalars ("speedup", "work_iters", ...). */

@@ -5,12 +5,20 @@
 namespace vg::hw
 {
 
-Mmu::Mmu(PhysMem &mem, sim::SimContext &ctx)
-    : _mem(mem), _ctx(ctx),
+Mmu::Mmu(PhysMem &mem, sim::SimContext &ctx, unsigned cpu_id)
+    : _mem(mem), _ctx(ctx), _cpuId(cpu_id),
       _hTlbHits(ctx.stats().handle("mmu.tlb_hits")),
       _hTlbMisses(ctx.stats().handle("mmu.tlb_misses")),
       _hPermRewalks(ctx.stats().handle("mmu.tlb_perm_rewalks"))
-{}
+{
+    if (ctx.vcpuCount() > 1) {
+        std::string p = "cpu" + std::to_string(cpu_id) + ".";
+        _hCpuTlbHits = ctx.stats().handle(p + "mmu.tlb_hits");
+        _hCpuTlbMisses = ctx.stats().handle(p + "mmu.tlb_misses");
+        _hCpuPermRewalks =
+            ctx.stats().handle(p + "mmu.tlb_perm_rewalks");
+    }
+}
 
 void
 Mmu::setRoot(Paddr root)
@@ -122,6 +130,8 @@ Mmu::translate(Vaddr va, Access access, Privilege priv)
         if (allowed(t.pte, access, priv)) {
             _ctx.clock().advance(_ctx.costs().tlbHit);
             sim::StatSet::add(_hTlbHits);
+            if (_hCpuTlbHits)
+                sim::StatSet::add(_hCpuTlbHits);
             TranslateResult res;
             res.ok = true;
             res.paddr = pte::frameAddr(t.pte) + pageOffset(va);
@@ -132,9 +142,13 @@ Mmu::translate(Vaddr va, Access access, Privilege priv)
         // Permission upgrade needed: re-walk (the PTE may have been
         // changed to allow it). Not a TLB miss — the entry is present.
         sim::StatSet::add(_hPermRewalks);
+        if (_hCpuPermRewalks)
+            sim::StatSet::add(_hCpuPermRewalks);
         return walk(va, access, priv, true);
     }
     sim::StatSet::add(_hTlbMisses);
+    if (_hCpuTlbMisses)
+        sim::StatSet::add(_hCpuTlbMisses);
     return walk(va, access, priv, true);
 }
 

@@ -42,7 +42,12 @@ struct TranslateResult
 class Mmu
 {
   public:
-    Mmu(PhysMem &mem, sim::SimContext &ctx);
+    /** @p cpu_id is the owning vCPU; stats gain a per-CPU namespace
+     *  (cpuN.mmu.*) on multi-CPU machines. */
+    Mmu(PhysMem &mem, sim::SimContext &ctx, unsigned cpu_id = 0);
+
+    /** Index of the vCPU that owns this MMU/TLB. */
+    unsigned cpuId() const { return _cpuId; }
 
     /** Load a new root table ("mov cr3"); flushes the TLB. */
     void setRoot(Paddr root);
@@ -76,6 +81,43 @@ class Mmu
      */
     uint64_t generation() const { return _generation; }
 
+    /**
+     * Whether this TLB currently holds a live entry for @p va's page.
+     * Used by the shootdown protocol to decide which remote CPUs need
+     * an invalidation IPI.
+     */
+    bool
+    tlbHolds(Vaddr va) const
+    {
+        const TlbEntry &e = _tlb[tlbIndex(va)];
+        return e.valid && e.vpage == pageOf(va);
+    }
+
+    /**
+     * Whether any live TLB entry translates into physical frame
+     * @p frame. This is the retype-safety oracle: a frame must not be
+     * released or retyped while some TLB can still reach it.
+     */
+    bool
+    tlbReferencesFrame(uint64_t frame) const
+    {
+        for (const auto &e : _tlb)
+            if (e.valid && pte::frameAddr(e.pte) == frame * pageSize)
+                return true;
+        return false;
+    }
+
+    /** Whether any TLB entry at all is live (empty TLBs need no
+     *  shootdown on a full flush). */
+    bool
+    anyValidTlbEntry() const
+    {
+        for (const auto &e : _tlb)
+            if (e.valid)
+                return true;
+        return false;
+    }
+
     /** Whether PTE @p e permits @p access at @p priv. */
     static bool allowed(Pte e, Access access, Privilege priv);
 
@@ -98,12 +140,17 @@ class Mmu
 
     PhysMem &_mem;
     sim::SimContext &_ctx;
+    unsigned _cpuId = 0;
     Paddr _root = 0;
     std::array<TlbEntry, tlbEntries> _tlb;
     uint64_t _generation = 0;
     sim::StatHandle _hTlbHits;
     sim::StatHandle _hTlbMisses;
     sim::StatHandle _hPermRewalks;
+    // Per-CPU namespaced mirrors; null on single-CPU machines.
+    sim::StatHandle _hCpuTlbHits = nullptr;
+    sim::StatHandle _hCpuTlbMisses = nullptr;
+    sim::StatHandle _hCpuPermRewalks = nullptr;
 };
 
 } // namespace vg::hw

@@ -6,7 +6,7 @@ namespace vg::hw
 {
 
 Nic::Nic(Iommu &iommu, sim::SimContext &ctx)
-    : _iommu(iommu), _ctx(ctx),
+    : _iommu(iommu), _ctx(ctx), _linkFreeAt(ctx.vcpuCount(), 0),
       _hTxPackets(ctx.stats().handle("nic.tx_packets")),
       _hTxBytes(ctx.stats().handle("nic.tx_bytes")),
       _hRxPackets(ctx.stats().handle("nic.rx_packets"))
@@ -24,18 +24,22 @@ Nic::send(const std::vector<uint8_t> &packet)
     // CPU cost: descriptor setup / doorbell only.
     _ctx.clock().advance(_ctx.costs().nicPerPacket);
 
-    // Wire time is serialized on the link, overlapping CPU work.
+    // Wire time is serialized per TX queue, overlapping CPU work.
+    // Each vCPU owns its own queue (multi-queue NIC), so senders on
+    // different CPUs do not serialize against each other.
+    uint64_t &link_free =
+        _linkFreeAt[_ctx.activeCpu() % _linkFreeAt.size()];
     uint64_t wire =
         (packet.size() * _ctx.costs().nicCyclesPer64Bytes) / 64 + 1;
     uint64_t start = std::max<uint64_t>(_ctx.clock().now(),
-                                        _linkFreeAt);
-    _linkFreeAt = start + wire;
+                                        link_free);
+    link_free = start + wire;
 
     sim::StatSet::add(_hTxPackets);
     sim::StatSet::add(_hTxBytes, packet.size());
     _sent++;
     _peer->deliver(packet);
-    return _linkFreeAt;
+    return link_free;
 }
 
 void

@@ -38,8 +38,12 @@ class Nic
      *  transmission pipelines with computation. */
     uint64_t send(const std::vector<uint8_t> &packet);
 
-    /** Arrival time of the most recently sent packet. */
-    uint64_t lastReadyAt() const { return _linkFreeAt; }
+    /** Arrival time of the most recently sent packet (on the active
+     *  CPU's TX queue). */
+    uint64_t lastReadyAt() const
+    {
+        return _linkFreeAt[_ctx.activeCpu() % _linkFreeAt.size()];
+    }
 
     /** True if a received packet is waiting. */
     bool hasPacket() const { return !_rx.empty(); }
@@ -66,8 +70,11 @@ class Nic
     std::deque<std::vector<uint8_t>> _rx;
     uint64_t _sent = 0;
     uint64_t _received = 0;
-    /** When the outbound link becomes idle (cycles). */
-    uint64_t _linkFreeAt = 0;
+    /** Per-TX-queue link-idle times (cycles). A multi-queue NIC: each
+     *  vCPU owns a TX ring, so concurrent senders on different CPUs do
+     *  not serialize on one wire schedule. Single-entry (identical to
+     *  the historical single-queue model) when vcpus == 1. */
+    std::vector<uint64_t> _linkFreeAt;
     sim::StatHandle _hTxPackets;
     sim::StatHandle _hTxBytes;
     sim::StatHandle _hRxPackets;

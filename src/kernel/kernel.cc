@@ -1,18 +1,19 @@
 #include "kernel/kernel.hh"
 
+#include <algorithm>
 #include <cstring>
 
+#include "sim/interleave.hh"
 #include "sim/log.hh"
 
 namespace vg::kern
 {
 
-Kernel::Kernel(sim::SimContext &ctx, hw::PhysMem &mem, hw::Mmu &mmu,
+Kernel::Kernel(sim::SimContext &ctx, hw::PhysMem &mem, hw::CpuSet &cpus,
                hw::Iommu &iommu, hw::Tpm &tpm, hw::Disk &disk,
                hw::Nic &nic_a, hw::Nic &nic_b, sva::SvaVm &vm)
-    : _ctx(ctx), _mem(mem), _mmu(mmu), _iommu(iommu), _tpm(tpm),
+    : _ctx(ctx), _mem(mem), _cpus(cpus), _iommu(iommu), _tpm(tpm),
       _disk(disk), _nicA(nic_a), _nicB(nic_b), _vm(vm),
-      _timer(ctx.clock()),
       _hPageFaults(ctx.stats().handle("kernel.page_faults")),
       _hPagesMaterialized(
           ctx.stats().handle("kernel.pages_materialized")),
@@ -44,7 +45,8 @@ Kernel::boot()
     // kernel allocator.
     _frames = std::make_unique<FrameAllocator>(1, _mem.numFrames() - 1,
                                                _ctx);
-    _kmem = std::make_unique<Kmem>(_ctx, _mem, _mmu, _vm);
+    _kmem = std::make_unique<Kmem>(_ctx, _mem, _cpus[0].mmu(), _vm);
+    _kmem->attachCpus(_cpus);
     _bcache = std::make_unique<BufferCache>(_disk, _ctx);
     _fs = std::make_unique<Fs>(*_bcache, _ctx, _disk.numBlocks());
     _fs->mkfs();
@@ -56,8 +58,11 @@ Kernel::boot()
     // The generic kernel-thread entry point handed to sva.newstate.
     _vm.registerKernelEntry(0xffffff8000100000ull);
 
-    // Preemption quantum: 10 ms.
-    _timer.setInterval(sim::Cycles(10000 * sim::Clock::cyclesPerUsec));
+    // Preemption quantum: 10 ms, armed on every vCPU's local timer.
+    for (unsigned c = 0; c < _cpus.count(); c++) {
+        _cpus[c].timer().setInterval(
+            sim::Cycles(10000 * sim::Clock::cyclesPerUsec));
+    }
 
     setupModuleExterns();
     _ctx.stats().add("kernel.boots");
@@ -206,7 +211,7 @@ Kernel::handleUserAccess(Process &proc, hw::Vaddr va, hw::Access access,
                          hw::Paddr &pa)
 {
     for (int attempt = 0; attempt < 3; attempt++) {
-        auto r = _mmu.translate(va, access, hw::Privilege::User);
+        auto r = curMmu().translate(va, access, hw::Privilege::User);
         if (r.ok) {
             pa = r.paddr;
             return true;
@@ -298,6 +303,7 @@ Kernel::spawn(const std::string &name,
     p.name = name;
     p.mainFn = std::move(main_fn);
     p.state = ProcState::Runnable;
+    p.cpu = _nextCpuAssign++ % _ctx.vcpuCount();
 
     sva::SvaError err;
     sva::SvaThread *t =
@@ -350,10 +356,18 @@ Kernel::switchTo(Process &proc)
     proc.batonHeld = true;
     _current = &proc;
     _schedulerTurn = false;
+    // Execute on the process's home vCPU. Causality: this CPU cannot
+    // resume the process before the waker (possibly on another CPU)
+    // produced the wakeup, so its clock catches up to the wake stamp.
+    _ctx.setActiveCpu(proc.cpu);
+    if (proc.readyStamp)
+        _ctx.clockOf(proc.cpu).advanceTo(sim::Cycles(proc.readyStamp));
+    proc.readyStamp = 0;
     _ctx.chargeContextSwitch();
     sva::SvaError err;
     if (proc.rootFrame)
         _vm.loadRoot(proc.rootFrame, &err);
+    _vm.noteDispatch(proc.tid);
     proc.cv.notify_all();
     _schedCv.wait(lk, [&]() { return _schedulerTurn; });
 }
@@ -406,6 +420,10 @@ Kernel::wakeup(const void *channel)
             proc->waitChannel = nullptr;
             proc->multiWait.clear();
             proc->wakeTime = 0;
+            // Stamp the waker's clock: the sleeper's CPU must not
+            // observe the wakeup earlier than it was produced.
+            proc->readyStamp =
+                std::max(proc->readyStamp, uint64_t(_ctx.clock().now()));
         }
     }
 }
@@ -419,6 +437,19 @@ Kernel::yieldCurrent(Process &proc)
 
 void
 Kernel::run()
+{
+    if (_ctx.config().smpScheduler) {
+        runSmp();
+    } else {
+        if (_ctx.vcpuCount() != 1)
+            sim::panic("run: the legacy scheduler supports exactly one "
+                       "vCPU (vcpus=%u)", _ctx.vcpuCount());
+        runLegacy();
+    }
+}
+
+void
+Kernel::runLegacy()
 {
     uint64_t rr_cursor = 0;
     while (true) {
@@ -463,6 +494,105 @@ Kernel::run()
 
         Process *next = runnable[rr_cursor % runnable.size()];
         rr_cursor++;
+        switchTo(*next);
+
+        // Join processes that have fully exited.
+        for (auto &[pid, proc] : _procs) {
+            if (proc->state == ProcState::Zombie &&
+                proc->hostThread.joinable()) {
+                proc->hostThread.join();
+                proc->state = ProcState::Zombie; // reaped via waitpid
+            }
+        }
+    }
+
+    for (auto &[pid, proc] : _procs) {
+        if (proc->hostThread.joinable())
+            proc->hostThread.join();
+    }
+}
+
+void
+Kernel::runSmp()
+{
+    unsigned ncpus = _ctx.vcpuCount();
+    sim::RoundRobinInterleaver ilv(ncpus);
+    std::vector<uint64_t> cursors(ncpus, 0);
+    while (true) {
+        // Build per-CPU run queues in pid order.
+        std::vector<std::vector<Process *>> queues(ncpus);
+        bool any_alive = false;
+        for (auto &[pid, proc] : _procs) {
+            if (proc->alive())
+                any_alive = true;
+            if (proc->state == ProcState::Runnable)
+                queues[proc->cpu % ncpus].push_back(proc.get());
+        }
+
+        if (!any_alive)
+            break;
+
+        // Idle balancing: an idle CPU pulls the youngest process off
+        // the longest queue holding at least two. Deterministic (idle
+        // CPUs scanned in index order, ties to the lowest donor), so
+        // runs stay bit-reproducible.
+        for (unsigned c = 0; c < ncpus; c++) {
+            if (!queues[c].empty())
+                continue;
+            unsigned busiest = c;
+            size_t best = 1;
+            for (unsigned o = 0; o < ncpus; o++) {
+                if (queues[o].size() > best) {
+                    busiest = o;
+                    best = queues[o].size();
+                }
+            }
+            if (busiest == c)
+                continue;
+            Process *mig = queues[busiest].back();
+            queues[busiest].pop_back();
+            mig->cpu = c;
+            queues[c].push_back(mig);
+            _ctx.stats().add("kernel.migrations");
+        }
+
+        std::vector<uint8_t> has_work(ncpus, 0);
+        for (unsigned c = 0; c < ncpus; c++)
+            has_work[c] = queues[c].empty() ? 0 : 1;
+        int cpu = ilv.next(has_work);
+
+        if (cpu < 0) {
+            // Everyone blocked: advance every vCPU's clock to the
+            // earliest timed wake (never backwards), then release the
+            // sleepers that are due on their home CPU.
+            uint64_t min_wake = 0;
+            for (auto &[pid, proc] : _procs) {
+                if (proc->state == ProcState::Blocked &&
+                    proc->wakeTime != 0 &&
+                    (min_wake == 0 || proc->wakeTime < min_wake))
+                    min_wake = proc->wakeTime;
+            }
+            if (min_wake == 0)
+                sim::panic("scheduler: all processes blocked "
+                           "(deadlock)");
+            for (unsigned c = 0; c < ncpus; c++)
+                _ctx.clockOf(c).advanceTo(sim::Cycles(min_wake));
+            for (auto &[pid, proc] : _procs) {
+                if (proc->state == ProcState::Blocked &&
+                    proc->wakeTime != 0 &&
+                    proc->wakeTime <=
+                        _ctx.clockOf(proc->cpu % ncpus).now()) {
+                    proc->state = ProcState::Runnable;
+                    proc->waitChannel = nullptr;
+                    proc->wakeTime = 0;
+                }
+            }
+            continue;
+        }
+
+        std::vector<Process *> &q = queues[cpu];
+        Process *next = q[cursors[cpu] % q.size()];
+        cursors[cpu]++;
         switchTo(*next);
 
         // Join processes that have fully exited.

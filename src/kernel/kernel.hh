@@ -20,6 +20,7 @@
 #include <optional>
 #include <string>
 
+#include "hw/cpu.hh"
 #include "hw/nic.hh"
 #include "hw/timer.hh"
 #include "kernel/bcache.hh"
@@ -208,7 +209,7 @@ class Kernel
     friend class UserApi;
 
   public:
-    Kernel(sim::SimContext &ctx, hw::PhysMem &mem, hw::Mmu &mmu,
+    Kernel(sim::SimContext &ctx, hw::PhysMem &mem, hw::CpuSet &cpus,
            hw::Iommu &iommu, hw::Tpm &tpm, hw::Disk &disk,
            hw::Nic &nic_a, hw::Nic &nic_b, sva::SvaVm &vm);
     ~Kernel();
@@ -294,6 +295,13 @@ class Kernel
   private:
     // --- scheduling ---------------------------------------------------
     void schedulerLoop();
+    /** SMP scheduler: per-CPU run queues, deterministic round-robin
+     *  interleaving across vCPUs, idle balancing (VgConfig::smpScheduler,
+     *  the default; identical to runLegacy() at vcpus == 1). */
+    void runSmp();
+    /** The original single-CPU loop, kept verbatim for differential
+     *  testing (VgConfig::smpScheduler = false; requires vcpus == 1). */
+    void runLegacy();
     void switchTo(Process &proc);
     void backToScheduler(Process &proc);
     void blockCurrent(Process &proc, const void *channel);
@@ -329,9 +337,15 @@ class Kernel
     bool moduleDispatch(Sys sys, const std::vector<uint64_t> &args,
                         int64_t &result);
 
+    /** MMU of the vCPU the current process is executing on. */
+    hw::Mmu &curMmu() { return _cpus.active().mmu(); }
+
+    /** Preemption timer of the active vCPU. */
+    hw::Timer &curTimer() { return _cpus.active().timer(); }
+
     sim::SimContext &_ctx;
     hw::PhysMem &_mem;
-    hw::Mmu &_mmu;
+    hw::CpuSet &_cpus;
     hw::Iommu &_iommu;
     hw::Tpm &_tpm;
     hw::Disk &_disk;
@@ -339,7 +353,6 @@ class Kernel
     hw::Nic &_nicB;
     sva::SvaVm &_vm;
     hw::Console _console;
-    hw::Timer _timer;
 
     std::unique_ptr<FrameAllocator> _frames;
     std::unique_ptr<Kmem> _kmem;
@@ -349,6 +362,8 @@ class Kernel
     std::map<uint64_t, std::unique_ptr<Process>> _procs;
     std::map<uint64_t, int> _exitCodes;
     uint64_t _nextPid = 1;
+    /** Round-robin home-CPU assignment for new processes. */
+    unsigned _nextCpuAssign = 0;
 
     std::map<uint16_t, std::shared_ptr<Socket>> _listeners;
 

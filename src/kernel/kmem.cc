@@ -15,7 +15,15 @@ Kmem::Kmem(sim::SimContext &ctx, hw::PhysMem &mem, hw::Mmu &mmu,
       _hDeflections(ctx.stats().handle("kmem.deflections")),
       _hBlockedStores(ctx.stats().handle("kmem.blocked_stores")),
       _hTlbHits(ctx.stats().handle("mmu.tlb_hits"))
-{}
+{
+    if (ctx.vcpuCount() > 1) {
+        _hCpuTlbHits.resize(ctx.vcpuCount());
+        for (unsigned c = 0; c < ctx.vcpuCount(); c++) {
+            _hCpuTlbHits[c] = ctx.stats().handle(
+                "cpu" + std::to_string(c) + ".mmu.tlb_hits");
+        }
+    }
+}
 
 bool
 Kmem::resolve(hw::Vaddr va, hw::Access access, hw::Paddr &pa)
@@ -34,7 +42,7 @@ Kmem::resolve(hw::Vaddr va, hw::Access access, hw::Paddr &pa)
 
     // User (or ghost, when unmasked module-port access) address: walk
     // the current tree with kernel privilege.
-    auto r = _mmu.translate(va, access, hw::Privilege::Kernel);
+    auto r = curMmu().translate(va, access, hw::Privilege::Kernel);
     if (!r.ok)
         return false;
     pa = r.paddr;
@@ -55,23 +63,31 @@ Kmem::resolveCached(hw::Vaddr va, hw::Access access, hw::Paddr &pa)
         return true;
     }
 
-    // Cache hit requires the Mmu generation to be unchanged since the
-    // fill, which guarantees the TLB still holds this page with this
-    // PTE: translate() would have charged exactly one tlbHit.
-    if (_tc.valid && _tc.gen == _mmu.generation() &&
+    // Cache hit requires the access to come from the vCPU that filled
+    // the cache AND that vCPU's Mmu generation to be unchanged since
+    // the fill, which guarantees its TLB still holds this page with
+    // this PTE: translate() would have charged exactly one tlbHit.
+    // Remote shootdowns bump the owning vCPU's generation, so a stale
+    // ghost translation can never be served after a cross-CPU
+    // invalidation.
+    hw::Mmu &mmu = curMmu();
+    unsigned cpu = _ctx.activeCpu();
+    if (_tc.valid && _tc.cpu == cpu && _tc.gen == mmu.generation() &&
         _tc.vpage == hw::pageOf(va) &&
         hw::Mmu::allowed(_tc.pte, access, hw::Privilege::Kernel)) {
         _ctx.clock().advance(_ctx.costs().tlbHit);
         sim::StatSet::add(_hTlbHits);
+        bumpCpuTlbHits(1);
         pa = _tc.paBase + hw::pageOffset(va);
         return true;
     }
 
-    auto r = _mmu.translate(va, access, hw::Privilege::Kernel);
+    auto r = mmu.translate(va, access, hw::Privilege::Kernel);
     if (!r.ok)
         return false;
     _tc.valid = true;
-    _tc.gen = _mmu.generation(); // post-walk: counts our own eviction
+    _tc.cpu = cpu;
+    _tc.gen = mmu.generation(); // post-walk: counts our own eviction
     _tc.vpage = hw::pageOf(va);
     _tc.paBase = r.paddr - hw::pageOffset(va);
     _tc.pte = r.pte;
@@ -217,6 +233,7 @@ Kmem::copy(uint64_t dst, uint64_t src, uint64_t len)
                 if (hits > 0) {
                     _ctx.clock().advance(hits * _ctx.costs().tlbHit);
                     sim::StatSet::add(_hTlbHits, hits);
+                    bumpCpuTlbHits(hits);
                 }
                 uint8_t buf[hw::pageSize];
                 _mem.readBytes(spa + 1, buf, rest);

@@ -24,6 +24,7 @@
 #define VG_KERNEL_KMEM_HH
 
 #include "compiler/exec.hh"
+#include "hw/cpu.hh"
 #include "hw/mmu.hh"
 #include "hw/phys_mem.hh"
 #include "sim/context.hh"
@@ -38,6 +39,12 @@ class Kmem : public cc::MemPort
   public:
     Kmem(sim::SimContext &ctx, hw::PhysMem &mem, hw::Mmu &mmu,
          sva::SvaVm &vm);
+
+    /** Attach the machine's vCPU set: translations go through the
+     *  *active* CPU's MMU and the last-translation cache is keyed on
+     *  the owning vCPU (+ that vCPU's generation counter), so remote
+     *  shootdowns invalidate it exactly like local ones. */
+    void attachCpus(hw::CpuSet &cpus) { _cpus = &cpus; }
 
     // ----------------------------------------------------------------
     // cc::MemPort — used by kernel-module code on the simulated CPU.
@@ -94,11 +101,24 @@ class Kmem : public cc::MemPort
     /** True if the kernel may store to the frame containing @p pa. */
     bool storePermitted(hw::Paddr pa);
 
+    /** MMU of the currently executing vCPU (construction MMU when no
+     *  CPU set is attached). */
+    hw::Mmu &
+    curMmu()
+    {
+        return _cpus ? _cpus->active().mmu() : _mmu;
+    }
+
     /** Last successful user/ghost-half translation. Valid only while
-     *  the Mmu generation is unchanged. */
+     *  the owning vCPU's Mmu generation is unchanged — a shootdown
+     *  from *any* CPU bumps the target's generation, so remote
+     *  invalidations kill the cache exactly like local ones. */
     struct TransCache
     {
         bool valid = false;
+        /** vCPU whose TLB backed the fill (cache hits require the
+         *  access to come from the same vCPU). */
+        unsigned cpu = 0;
         uint64_t gen = 0;
         hw::Vaddr vpage = 0;
         hw::Paddr paBase = 0;
@@ -109,6 +129,7 @@ class Kmem : public cc::MemPort
     hw::PhysMem &_mem;
     hw::Mmu &_mmu;
     sva::SvaVm &_vm;
+    hw::CpuSet *_cpus = nullptr;
     uint64_t _deflections = 0;
     TransCache _tc;
     sim::StatHandle _hDeflections;
@@ -116,6 +137,18 @@ class Kmem : public cc::MemPort
     /** Same registry slot Mmu bumps; used for the synthetic per-byte
      *  TLB-hit charges of chunked copies. */
     sim::StatHandle _hTlbHits;
+    /** Per-CPU mirrors of mmu.tlb_hits (cpuN.mmu.tlb_hits), bumped
+     *  with the rollup so per-CPU sums stay exact; empty on
+     *  single-CPU machines. */
+    std::vector<sim::StatHandle> _hCpuTlbHits;
+
+    /** Bump the active CPU's tlb-hit mirror alongside the rollup. */
+    void
+    bumpCpuTlbHits(uint64_t n)
+    {
+        if (!_hCpuTlbHits.empty())
+            sim::StatSet::add(_hCpuTlbHits[_ctx.activeCpu()], n);
+    }
 };
 
 } // namespace vg::kern

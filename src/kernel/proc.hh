@@ -130,6 +130,15 @@ class Process
     int exitCode = 0;
     bool killRequested = false;
 
+    /** Home vCPU: the CPU this process is dispatched on (idle
+     *  balancing may migrate it). Always 0 on single-CPU machines. */
+    unsigned cpu = 0;
+
+    /** Causal wake stamp: the waker's clock when this process became
+     *  Runnable. The home CPU's clock advances to at least this value
+     *  before the process resumes (no-op when vcpus == 1). */
+    uint64_t readyStamp = 0;
+
     /** Address-space root (L4) frame and owned table links. */
     hw::Frame rootFrame = 0;
     std::vector<TableLink> ptLinks;

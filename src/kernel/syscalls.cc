@@ -47,8 +47,8 @@ UserApi::sysExit()
     if (_proc.killRequested)
         exit(137);
 
-    if (_kernel._timer.due()) {
-        _kernel._timer.acknowledge();
+    if (_kernel.curTimer().due()) {
+        _kernel.curTimer().acknowledge();
         _kernel._ctx.chargeTrap();
         _kernel.yieldCurrent(_proc);
     }
@@ -557,15 +557,15 @@ UserApi::ghostWrite(hw::Vaddr va, const void *src, uint64_t len)
     const uint8_t *in = static_cast<const uint8_t *>(src);
     uint64_t off = 0;
     while (off < len) {
-        auto r = _kernel._mmu.translate(va + off, hw::Access::Write,
-                                        hw::Privilege::User);
+        auto r = _kernel.curMmu().translate(va + off, hw::Access::Write,
+                                            hw::Privilege::User);
         if (!r.ok) {
             _kernel._ctx.chargeTrap();
             if (!_kernel.swapInGhost(_proc.pid,
                                      hw::pageOf(va + off)))
                 return false;
-            r = _kernel._mmu.translate(va + off, hw::Access::Write,
-                                       hw::Privilege::User);
+            r = _kernel.curMmu().translate(va + off, hw::Access::Write,
+                                           hw::Privilege::User);
         }
         if (!r.ok)
             return false;
@@ -584,15 +584,15 @@ UserApi::ghostRead(hw::Vaddr va, void *dst, uint64_t len)
     uint8_t *out = static_cast<uint8_t *>(dst);
     uint64_t off = 0;
     while (off < len) {
-        auto r = _kernel._mmu.translate(va + off, hw::Access::Read,
-                                        hw::Privilege::User);
+        auto r = _kernel.curMmu().translate(va + off, hw::Access::Read,
+                                            hw::Privilege::User);
         if (!r.ok) {
             _kernel._ctx.chargeTrap();
             if (!_kernel.swapInGhost(_proc.pid,
                                      hw::pageOf(va + off)))
                 return false;
-            r = _kernel._mmu.translate(va + off, hw::Access::Read,
-                                       hw::Privilege::User);
+            r = _kernel.curMmu().translate(va + off, hw::Access::Read,
+                                           hw::Privilege::User);
         }
         if (!r.ok)
             return false;
@@ -661,6 +661,7 @@ UserApi::fork(std::function<int(UserApi &)> child_main)
     child.name = _proc.name + "+";
     child.mainFn = std::move(child_main);
     child.state = ProcState::Runnable;
+    child.cpu = k._nextCpuAssign++ % k._ctx.vcpuCount();
     child.sigHandlers = _proc.sigHandlers;
     child.handlerFns = _proc.handlerFns;
     child.nextHandlerToken = _proc.nextHandlerToken;
@@ -802,6 +803,10 @@ Kernel::postSignal(Process &target, int signum)
     auto handler = target.sigHandlers.find(signum);
     if (handler != target.sigHandlers.end()) {
         sva::SvaError err;
+        // If the victim's register state lives in another vCPU's
+        // register file, park it (IPI) before touching its IC —
+        // icontextSave refuses to manipulate state it does not hold.
+        _vm.parkRemoteThread(target.tid);
         _vm.icontextSave(target.tid, &err);
         if (!_vm.ipushFunction(target.tid, handler->second,
                                uint64_t(signum), &err)) {
@@ -1188,8 +1193,8 @@ void
 UserApi::compute(uint64_t insts)
 {
     _kernel._ctx.chargeUserWork(insts);
-    if (_kernel._timer.due()) {
-        _kernel._timer.acknowledge();
+    if (_kernel.curTimer().due()) {
+        _kernel.curTimer().acknowledge();
         _kernel._ctx.chargeTrap();
         _kernel.yieldCurrent(_proc);
     }

@@ -5,12 +5,13 @@ namespace vg::kern
 
 System::System(const SystemConfig &config)
     : _config(config), _ctx(config.vg), _mem(config.memFrames),
-      _mmu(_mem, _ctx), _iommu(_mem, _ctx), _tpm(config.tpmSeed),
+      _cpus(_mem, _ctx), _iommu(_mem, _ctx), _tpm(config.tpmSeed),
       _disk(config.diskBlocks, _iommu, _ctx), _nicA(_iommu, _ctx),
       _nicB(_iommu, _ctx),
-      _vm(_ctx, _mem, _mmu, _iommu, _tpm),
-      _kernel(_ctx, _mem, _mmu, _iommu, _tpm, _disk, _nicA, _nicB, _vm)
+      _vm(_ctx, _mem, _cpus[0].mmu(), _iommu, _tpm),
+      _kernel(_ctx, _mem, _cpus, _iommu, _tpm, _disk, _nicA, _nicB, _vm)
 {
+    _vm.attachCpus(_cpus);
     _nicA.connectTo(&_nicB);
     _nicB.connectTo(&_nicA);
 }

@@ -39,7 +39,9 @@ class System
 
     sim::SimContext &ctx() { return _ctx; }
     hw::PhysMem &mem() { return _mem; }
-    hw::Mmu &mmu() { return _mmu; }
+    hw::CpuSet &cpus() { return _cpus; }
+    /** Boot CPU's MMU (the only MMU when vcpus == 1). */
+    hw::Mmu &mmu() { return _cpus[0].mmu(); }
     hw::Iommu &iommu() { return _iommu; }
     hw::Tpm &tpm() { return _tpm; }
     hw::Disk &disk() { return _disk; }
@@ -61,7 +63,7 @@ class System
     SystemConfig _config;
     sim::SimContext _ctx;
     hw::PhysMem _mem;
-    hw::Mmu _mmu;
+    hw::CpuSet _cpus;
     hw::Iommu _iommu;
     hw::Tpm _tpm;
     hw::Disk _disk;

@@ -37,6 +37,19 @@ class Clock
     /** Advance simulated time by @p n cycles. */
     void advance(Cycles n) { _now += n; }
 
+    /**
+     * Advance simulated time to absolute cycle @p t if it is in the
+     * future; a no-op otherwise. Used for causal synchronisation
+     * between per-CPU clocks (a waking CPU may not observe an event
+     * before the CPU that produced it reached that point in time).
+     */
+    void
+    advanceTo(Cycles t)
+    {
+        if (t > _now)
+            _now = t;
+    }
+
     /** Current simulated time in cycles. */
     Cycles now() const { return _now; }
 

@@ -65,6 +65,22 @@ struct VgConfig
     /** Serve randomness from the trusted VM generator (S 4.7). */
     bool secureRng = true;
 
+    /**
+     * Number of simulated vCPUs. Each vCPU owns a TLB, a timer, and a
+     * cycle clock; a deterministic interleaver in the scheduler decides
+     * which vCPU runs next. With vcpus == 1 the machine is stat- and
+     * time-identical to the historical single-CPU model.
+     */
+    unsigned vcpus = 1;
+
+    /**
+     * Use the SMP scheduler (per-CPU run queues, idle balancing,
+     * cross-CPU preemption). At vcpus == 1 its behaviour is identical
+     * to the legacy single-queue loop; disabling this exists for
+     * differential testing only and requires vcpus == 1.
+     */
+    bool smpScheduler = true;
+
     /** True when any instrumentation that affects codegen is active. */
     bool
     anyInstrumentation() const

@@ -2,16 +2,24 @@
  * @file
  * Aggregated simulation context.
  *
- * A SimContext bundles the clock, statistics, protection configuration
- * and cost model that every layer of the stack shares. It also provides
- * the charging helpers that translate functional events into simulated
- * cycles, so cost policy lives in exactly one place.
+ * A SimContext bundles the per-CPU clocks, statistics, protection
+ * configuration and cost model that every layer of the stack shares. It
+ * also provides the charging helpers that translate functional events
+ * into simulated cycles, so cost policy lives in exactly one place.
+ *
+ * SMP model: the machine owns one Clock per vCPU and the scheduler
+ * marks which vCPU is currently executing via setActiveCpu(); all
+ * charging helpers bill the active CPU's clock. With vcpus == 1 this
+ * degenerates to the historical single-clock model bit-for-bit.
  */
 
 #ifndef VG_SIM_CONTEXT_HH
 #define VG_SIM_CONTEXT_HH
 
+#include <array>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "sim/clock.hh"
 #include "sim/config.hh"
@@ -26,17 +34,60 @@ class SimContext
 {
   public:
     explicit SimContext(VgConfig config = VgConfig::full())
-        : _config(config)
-    {}
+        : _clocks(config.vcpus ? config.vcpus : 1), _config(config)
+    {
+        // Per-CPU counter namespaces (cpu0.kernel.insts, ...) exist
+        // only on multi-CPU machines so single-CPU stat maps stay
+        // literally identical to the historical model.
+        if (_clocks.size() > 1) {
+            _cpuHandles.resize(_clocks.size());
+            for (unsigned c = 0; c < _clocks.size(); c++) {
+                std::string p = "cpu" + std::to_string(c) + ".";
+                auto &h = _cpuHandles[c];
+                h[CiKernInsts] = _stats.handle(p + "kernel.insts");
+                h[CiKernMemops] = _stats.handle(p + "kernel.memops");
+                h[CiKernTransfers] =
+                    _stats.handle(p + "kernel.transfers");
+                h[CiKernBulkBytes] =
+                    _stats.handle(p + "kernel.bulk_bytes");
+                h[CiSvaSyscalls] = _stats.handle(p + "sva.syscalls");
+                h[CiSvaTraps] = _stats.handle(p + "sva.traps");
+                h[CiSvaContextSwitches] =
+                    _stats.handle(p + "sva.context_switches");
+                h[CiSvaMmuUpdates] =
+                    _stats.handle(p + "sva.mmu_updates");
+                h[CiUserInsts] = _stats.handle(p + "user.insts");
+                h[CiAesBytes] = _stats.handle(p + "crypto.aes_bytes");
+                h[CiShaBytes] = _stats.handle(p + "crypto.sha_bytes");
+            }
+        }
+    }
 
-    Clock &clock() { return _clock; }
-    const Clock &clock() const { return _clock; }
+    /** The active (currently executing) vCPU's clock. */
+    Clock &clock() { return _clocks[_active]; }
+    const Clock &clock() const { return _clocks[_active]; }
+
+    /** Clock of a specific vCPU. */
+    Clock &clockOf(unsigned cpu) { return _clocks[cpu]; }
+    const Clock &clockOf(unsigned cpu) const { return _clocks[cpu]; }
+
+    /** Number of vCPUs in the machine. */
+    unsigned vcpuCount() const { return _clocks.size(); }
+
+    /** Index of the currently executing vCPU. */
+    unsigned activeCpu() const { return _active; }
+
+    /** Mark vCPU @p cpu as the currently executing one. */
+    void setActiveCpu(unsigned cpu) { _active = cpu; }
+
     StatSet &stats() { return _stats; }
     const VgConfig &config() const { return _config; }
     const CostModel &costs() const { return _costs; }
     CostModel &mutableCosts() { return _costs; }
 
-    /** Replace the protection configuration (tests/ablation only). */
+    /** Replace the protection configuration (tests/ablation only).
+     *  Note: vcpus is fixed at construction; changing it here has no
+     *  effect on the clock count. */
     void setConfig(const VgConfig &config) { _config = config; }
 
     // --- Charging helpers ---------------------------------------------
@@ -57,10 +108,13 @@ class SimContext
             c += memops * _costs.sandboxPerMemop;
         if (_config.cfi)
             c += xfers * _costs.cfiPerTransfer;
-        _clock.advance(c);
+        clock().advance(c);
         StatSet::add(_hKernInsts, insts);
         StatSet::add(_hKernMemops, memops);
         StatSet::add(_hKernTransfers, xfers);
+        bumpCpu(CiKernInsts, insts);
+        bumpCpu(CiKernMemops, memops);
+        bumpCpu(CiKernTransfers, xfers);
     }
 
     /** Charge a bulk kernel copy (memcpy/copyin/copyout) of @p bytes. */
@@ -70,8 +124,9 @@ class SimContext
         Cycles c = bytes / _costs.bulkBytesPerCycle + 4;
         if (_config.sandboxMemory)
             c += _costs.sandboxPerBulk;
-        _clock.advance(c);
+        clock().advance(c);
         StatSet::add(_hKernBulkBytes, bytes);
+        bumpCpu(CiKernBulkBytes, bytes);
     }
 
     /** Charge syscall entry + exit gate cost. */
@@ -81,8 +136,9 @@ class SimContext
         Cycles c = _costs.syscallGate;
         if (_config.protectInterruptContext)
             c += _costs.syscallGateVgExtra;
-        _clock.advance(c);
+        clock().advance(c);
         StatSet::add(_hSvaSyscalls);
+        bumpCpu(CiSvaSyscalls, 1);
     }
 
     /** Charge trap/interrupt delivery. */
@@ -92,8 +148,9 @@ class SimContext
         Cycles c = _costs.trapEntry;
         if (_config.protectInterruptContext)
             c += _costs.trapVgExtra;
-        _clock.advance(c);
+        clock().advance(c);
         StatSet::add(_hSvaTraps);
+        bumpCpu(CiSvaTraps, 1);
     }
 
     /** Charge a context switch. */
@@ -103,8 +160,9 @@ class SimContext
         Cycles c = _costs.contextSwitch;
         if (_config.protectInterruptContext)
             c += _costs.contextSwitchVgExtra;
-        _clock.advance(c);
+        clock().advance(c);
         StatSet::add(_hSvaContextSwitches);
+        bumpCpu(CiSvaContextSwitches, 1);
     }
 
     /** Charge one page-table-entry update. */
@@ -114,36 +172,64 @@ class SimContext
         Cycles c = _costs.mmuUpdate;
         if (_config.mmuChecks)
             c += _costs.mmuUpdateVgExtra;
-        _clock.advance(c);
+        clock().advance(c);
         StatSet::add(_hSvaMmuUpdates);
+        bumpCpu(CiSvaMmuUpdates, 1);
     }
 
     /** Charge application-side computation (uninstrumented). */
     void
     chargeUserWork(uint64_t insts)
     {
-        _clock.advance(insts * _costs.kernInst);
+        clock().advance(insts * _costs.kernInst);
         StatSet::add(_hUserInsts, insts);
+        bumpCpu(CiUserInsts, insts);
     }
 
     /** Charge application-side AES over @p bytes. */
     void
     chargeAes(uint64_t bytes)
     {
-        _clock.advance(bytes * _costs.aesPerByte);
+        clock().advance(bytes * _costs.aesPerByte);
         StatSet::add(_hAesBytes, bytes);
+        bumpCpu(CiAesBytes, bytes);
     }
 
     /** Charge application-side SHA-256 over @p bytes. */
     void
     chargeSha(uint64_t bytes)
     {
-        _clock.advance(bytes * _costs.shaPerByte);
+        clock().advance(bytes * _costs.shaPerByte);
         StatSet::add(_hShaBytes, bytes);
+        bumpCpu(CiShaBytes, bytes);
     }
 
   private:
-    Clock _clock;
+    // Index of each interned rollup counter within a per-CPU namespace.
+    enum CounterIdx {
+        CiKernInsts,
+        CiKernMemops,
+        CiKernTransfers,
+        CiKernBulkBytes,
+        CiSvaSyscalls,
+        CiSvaTraps,
+        CiSvaContextSwitches,
+        CiSvaMmuUpdates,
+        CiUserInsts,
+        CiAesBytes,
+        CiShaBytes,
+        CiCount,
+    };
+
+    void
+    bumpCpu(CounterIdx idx, uint64_t delta)
+    {
+        if (!_cpuHandles.empty())
+            StatSet::add(_cpuHandles[_active][idx], delta);
+    }
+
+    std::vector<Clock> _clocks;
+    unsigned _active = 0;
     StatSet _stats;
     VgConfig _config;
     CostModel _costs;
@@ -163,6 +249,9 @@ class SimContext
     StatHandle _hUserInsts = _stats.handle("user.insts");
     StatHandle _hAesBytes = _stats.handle("crypto.aes_bytes");
     StatHandle _hShaBytes = _stats.handle("crypto.sha_bytes");
+
+    // Per-CPU counter handles, [cpu][CounterIdx]; empty when vcpus==1.
+    std::vector<std::array<StatHandle, CiCount>> _cpuHandles;
 };
 
 } // namespace vg::sim

@@ -80,6 +80,14 @@ struct CostModel
     /** TLB hit cost. */
     Cycles tlbHit = 1;
 
+    /** Cost on the initiating CPU of sending a shootdown IPI and
+     *  waiting for the acknowledgement (write ICR + spin). */
+    Cycles ipiSend = 2000;
+
+    /** Cost on the target CPU of taking the shootdown IPI (interrupt
+     *  delivery, invlpg, EOI). */
+    Cycles ipiReceive = 2600;
+
     // --- Devices -------------------------------------------------------
     /** SSD access latency per request (queue + flash). */
     Cycles ssdRequest = 85000; // ~25 us

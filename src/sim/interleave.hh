@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic vCPU interleaver.
+ *
+ * The simulated machine has N vCPUs but the simulation itself is
+ * single-threaded: exactly one vCPU executes at a time and the
+ * interleaver decides which one goes next. Round-robin rotation makes
+ * every run bit-reproducible regardless of host scheduling — the same
+ * workload always produces the same interleaving, the same stats and
+ * the same per-CPU clocks.
+ */
+
+#ifndef VG_SIM_INTERLEAVE_HH
+#define VG_SIM_INTERLEAVE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace vg::sim
+{
+
+/**
+ * Rotating round-robin picker over N vCPUs.
+ *
+ * next() returns the first CPU at or after the rotation cursor that
+ * has work, then advances the cursor past it so every CPU with work
+ * gets a turn before any CPU gets two. With n == 1 it always returns
+ * CPU 0, matching the single-CPU model trivially.
+ */
+class RoundRobinInterleaver
+{
+  public:
+    explicit RoundRobinInterleaver(unsigned n) : _n(n ? n : 1) {}
+
+    /**
+     * Pick the next vCPU to run.
+     *
+     * @param has_work  per-CPU flag, nonzero if that CPU has a
+     *                  runnable task (size must be >= n)
+     * @return chosen CPU index, or -1 if no CPU has work
+     */
+    int
+    next(const std::vector<uint8_t> &has_work)
+    {
+        for (unsigned i = 0; i < _n; i++) {
+            unsigned cpu = (_cursor + i) % _n;
+            if (has_work[cpu]) {
+                _cursor = (cpu + 1) % _n;
+                return static_cast<int>(cpu);
+            }
+        }
+        return -1;
+    }
+
+    /** Reset the rotation cursor (test isolation). */
+    void reset() { _cursor = 0; }
+
+  private:
+    unsigned _n;
+    unsigned _cursor = 0;
+};
+
+} // namespace vg::sim
+
+#endif // VG_SIM_INTERLEAVE_HH

@@ -99,7 +99,7 @@ SvaVm::mapGhostPage(hw::Frame root, hw::Vaddr va, hw::Frame frame,
         return failOp(err, "ghost map: va already mapped");
     _mem.write64(slot, hw::pte::make(frame, true, true, true));
     _frames[frame].mapCount++;
-    _mmu.invalidatePage(va);
+    invalidateEverywhere(va);
     return true;
 }
 
@@ -133,6 +133,8 @@ SvaVm::allocGhostMemory(uint64_t pid, hw::Frame root, hw::Vaddr va,
                                    frameTypeName(meta.type),
                                    meta.mapCount));
         }
+        if (!frameRetypeSafe(*frame, "allocgm", err))
+            return false;
         _mem.zeroFrame(*frame);
         meta.type = FrameType::Ghost;
         meta.owner = pid;
@@ -194,7 +196,9 @@ SvaVm::freeGhostMemory(uint64_t pid, hw::Frame root, hw::Vaddr va,
                                "ghost memory");
 
         _mem.write64(slot, 0);
-        _mmu.invalidatePage(page_va);
+        invalidateEverywhere(page_va);
+        if (!frameRetypeSafe(frame, "freegm", err))
+            return false;
         _mem.zeroFrame(frame); // no data leaks back to the OS
         meta.type = FrameType::Free;
         meta.owner = 0;
@@ -245,7 +249,10 @@ SvaVm::swapOutGhostPage(uint64_t pid, hw::Frame root, hw::Vaddr va,
 
     // Unmap, scrub, and hand the frame back to the OS.
     _mem.write64(slot, 0);
-    _mmu.invalidatePage(va);
+    invalidateEverywhere(va);
+    if (!frameRetypeSafe(frame, "swapout", err)) {
+        return std::nullopt;
+    }
     _mem.zeroFrame(frame);
     meta.type = FrameType::Free;
     meta.owner = 0;
@@ -288,6 +295,8 @@ SvaVm::swapInGhostPage(uint64_t pid, hw::Frame root, hw::Vaddr va,
     FrameMeta &meta = _frames[*frame];
     if (meta.type != FrameType::Free || meta.mapCount != 0)
         return failOp(err, "swapin: donated frame still in use");
+    if (!frameRetypeSafe(*frame, "swapin", err))
+        return false;
 
     meta.type = FrameType::Ghost;
     meta.owner = pid;
@@ -361,7 +370,7 @@ SvaVm::releaseGhostMemory(uint64_t pid, hw::Frame root)
         }
         _mem.write64(slot, 0);
     }
-    _mmu.flushTlb();
+    flushEverywhere();
 }
 
 uint64_t

@@ -64,10 +64,23 @@ struct SvaThread
     /** Pending checked handler invocations. */
     std::vector<PushedCall> pushedCalls;
 
+    /** Which CPU's saved-IC pool backs each icStack entry (parallel
+     *  to icStack); lets the VM return buffers to the right per-CPU
+     *  pool even when a thread migrates between save and load. */
+    std::vector<unsigned> icStackPoolCpu;
+
     /** Kernel continuation entry (validated at sva.newstate). */
     uint64_t kernelEntry = 0;
 
-    bool liveOnCpu = false;
+    /**
+     * Which vCPU's register file currently holds this thread's live
+     * user state, or -1 when the state lives only in the saved IC
+     * (i.e. the thread is inside the kernel or descheduled). A bool
+     * cannot express "live on *which* CPU": the SMP double-load guard
+     * needs to refuse icontext.save/load issued from a *different*
+     * CPU while the thread is live elsewhere.
+     */
+    int liveCpu = -1;
 };
 
 } // namespace vg::sva

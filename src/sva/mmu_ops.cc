@@ -41,6 +41,8 @@ SvaVm::declarePtPage(hw::Frame frame, int level, SvaError *err)
                                (unsigned long)frame,
                                frameTypeName(meta.type), meta.mapCount));
     }
+    if (!frameRetypeSafe(frame, "declarePtPage", err))
+        return false;
     _mem.zeroFrame(frame);
     meta.type = FrameType::PageTable;
     meta.level = uint8_t(level);
@@ -66,6 +68,8 @@ SvaVm::undeclarePtPage(hw::Frame frame, SvaError *err)
                           "entries");
         }
     }
+    if (!frameRetypeSafe(frame, "undeclarePtPage", err))
+        return false;
     _mem.zeroFrame(frame);
     meta.type = FrameType::Free;
     meta.level = 0;
@@ -131,6 +135,8 @@ SvaVm::uninstallTable(hw::Frame parent, int parent_level, hw::Vaddr va,
             return failOp(err, "uninstallTable: child table still has "
                                "live entries");
     }
+    if (!frameRetypeSafe(child, "uninstallTable", err))
+        return false;
     _mem.write64(slot, 0);
     _mem.zeroFrame(child);
     cm.type = FrameType::Free;
@@ -218,7 +224,7 @@ SvaVm::mapPage(hw::Frame root, hw::Vaddr va, hw::Frame target,
     _frames[target].mapCount++;
     if (_frames[target].type == FrameType::Free)
         _frames[target].type = FrameType::Data;
-    _mmu.invalidatePage(va);
+    invalidateEverywhere(va);
     return true;
 }
 
@@ -236,13 +242,18 @@ SvaVm::unmapPage(hw::Frame root, hw::Vaddr va, SvaError *err)
     if (!(old & hw::pte::present))
         return failOp(err, "unmapPage: not mapped");
     hw::Frame old_frame = frameNum(old);
+    // Shoot the translation down everywhere *before* the frame may be
+    // released: no CPU may keep reading through a dead mapping.
+    _mem.write64(slot, 0);
+    invalidateEverywhere(va);
     if (_frames[old_frame].mapCount > 0)
         _frames[old_frame].mapCount--;
     if (_frames[old_frame].type == FrameType::Data &&
-        _frames[old_frame].mapCount == 0)
+        _frames[old_frame].mapCount == 0) {
+        if (!frameRetypeSafe(old_frame, "unmapPage", err))
+            return false;
         _frames[old_frame].type = FrameType::Free;
-    _mem.write64(slot, 0);
-    _mmu.invalidatePage(va);
+    }
     return true;
 }
 
@@ -269,7 +280,7 @@ SvaVm::protectPage(hw::Frame root, hw::Vaddr va, bool writable,
     _mem.write64(slot, hw::pte::make(frame, writable,
                                      (old & hw::pte::user) != 0,
                                      no_exec));
-    _mmu.invalidatePage(va);
+    invalidateEverywhere(va);
     return true;
 }
 
@@ -282,7 +293,7 @@ SvaVm::loadRoot(hw::Frame root, SvaError *err)
     if (_frames[root].type != FrameType::PageTable ||
         _frames[root].level != 4)
         return failOp(err, "loadRoot: not a declared L4 root");
-    _mmu.setRoot(root * hw::pageSize);
+    curMmu().setRoot(root * hw::pageSize);
     return true;
 }
 

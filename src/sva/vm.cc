@@ -37,6 +37,8 @@ SvaVm::SvaVm(sim::SimContext &ctx, hw::PhysMem &mem, hw::Mmu &mmu,
       _frames(mem.numFrames()), _rng(tpm.entropy(32)),
       _nextCodeBase(kModuleCodeBase),
       _hViolations(ctx.stats().handle("sva.violations")),
+      _hRemoteInvlpgs(ctx.stats().handle("sva.remote_invlpgs")),
+      _hRemoteParks(ctx.stats().handle("sva.remote_parks")),
       _hIcSaves(ctx.stats().handle("sva.ic_saves")),
       _hIcLoads(ctx.stats().handle("sva.ic_loads")),
       _hIpush(ctx.stats().handle("sva.ipush")),
@@ -48,6 +50,90 @@ SvaVm::SvaVm(sim::SimContext &ctx, hw::PhysMem &mem, hw::Mmu &mmu,
           ctx.stats().handle("sva.ghost_pages_swapped_out")),
       _hGhostSwappedIn(ctx.stats().handle("sva.ghost_pages_swapped_in"))
 {}
+
+void
+SvaVm::attachCpus(hw::CpuSet &cpus)
+{
+    _cpus = &cpus;
+    _cpuState.assign(cpus.count(), VmState{});
+    if (cpus.count() > 1) {
+        _hCpuShootdowns.resize(cpus.count());
+        for (unsigned c = 0; c < cpus.count(); c++) {
+            _hCpuShootdowns[c] = _ctx.stats().handle(
+                "cpu" + std::to_string(c) + ".sva.shootdowns_rx");
+        }
+    }
+}
+
+void
+SvaVm::invalidateEverywhere(hw::Vaddr va)
+{
+    curMmu().invalidatePage(va);
+    if (!_cpus)
+        return;
+    unsigned self = _ctx.activeCpu();
+    for (unsigned c = 0; c < _cpus->count(); c++) {
+        if (c == self)
+            continue;
+        hw::Mmu &m = (*_cpus)[c].mmu();
+        if (!m.tlbHolds(va))
+            continue;
+        m.invalidatePage(va);
+        _ctx.clock().advance(_ctx.costs().ipiSend);
+        _ctx.clockOf(c).advance(_ctx.costs().ipiReceive);
+        sim::StatSet::add(_hRemoteInvlpgs);
+        if (c < _hCpuShootdowns.size() && _hCpuShootdowns[c])
+            sim::StatSet::add(_hCpuShootdowns[c]);
+    }
+}
+
+void
+SvaVm::flushEverywhere()
+{
+    curMmu().flushTlb();
+    if (!_cpus)
+        return;
+    unsigned self = _ctx.activeCpu();
+    for (unsigned c = 0; c < _cpus->count(); c++) {
+        if (c == self)
+            continue;
+        hw::Mmu &m = (*_cpus)[c].mmu();
+        if (!m.anyValidTlbEntry())
+            continue;
+        m.flushTlb();
+        _ctx.clock().advance(_ctx.costs().ipiSend);
+        _ctx.clockOf(c).advance(_ctx.costs().ipiReceive);
+        sim::StatSet::add(_hRemoteInvlpgs);
+        if (c < _hCpuShootdowns.size() && _hCpuShootdowns[c])
+            sim::StatSet::add(_hCpuShootdowns[c]);
+    }
+}
+
+bool
+SvaVm::anyTlbHoldsFrame(hw::Frame frame)
+{
+    if (_cpus) {
+        for (unsigned c = 0; c < _cpus->count(); c++)
+            if ((*_cpus)[c].mmu().tlbReferencesFrame(frame))
+                return true;
+        return false;
+    }
+    return _mmu.tlbReferencesFrame(frame);
+}
+
+bool
+SvaVm::frameRetypeSafe(hw::Frame frame, const char *op, SvaError *err)
+{
+    if (!_ctx.config().mmuChecks)
+        return true;
+    if (!anyTlbHoldsFrame(frame))
+        return true;
+    return failOp(err, sim::strprintf(
+                           "%s: frame %lu may still be reachable "
+                           "through a stale TLB translation on some "
+                           "CPU; shoot it down first",
+                           op, (unsigned long)frame));
+}
 
 bool
 SvaVm::failOp(SvaError *err, const std::string &message)
@@ -156,8 +242,21 @@ SvaVm::thread(uint64_t tid)
 }
 
 void
+SvaVm::releaseIcPoolSlots(SvaThread &t)
+{
+    for (unsigned cpu : t.icStackPoolCpu) {
+        if (cpu < _cpuState.size() && _cpuState[cpu].savedIcInUse > 0)
+            _cpuState[cpu].savedIcInUse--;
+    }
+    t.icStackPoolCpu.clear();
+}
+
+void
 SvaVm::destroyThread(uint64_t tid)
 {
+    SvaThread *t = thread(tid);
+    if (t)
+        releaseIcPoolSlots(*t);
     _threads.erase(tid);
 }
 
@@ -167,6 +266,26 @@ SvaVm::icontextSave(uint64_t tid, SvaError *err)
     SvaThread *t = thread(tid);
     if (!t)
         return failOp(err, "icontext.save: no such thread");
+    // Double-save/load race guard (S 4.6): while the thread's state is
+    // live in another CPU's register file, its IC is not the authority
+    // and manipulating it from here would fork the register state.
+    // The kernel must park the thread first (parkRemoteThread).
+    unsigned self = _ctx.activeCpu();
+    if (t->liveCpu >= 0 && unsigned(t->liveCpu) != self) {
+        return failOp(err, sim::strprintf(
+                               "icontext.save: thread %lu is live on "
+                               "cpu%d, not cpu%u",
+                               (unsigned long)tid, t->liveCpu, self));
+    }
+    // Saved-IC buffers come from a bounded per-CPU pool inside SVA
+    // memory; refusing past the cap stops the kernel driving the VM
+    // into unbounded allocation via signal storms.
+    VmState &vs = _cpuState[self < _cpuState.size() ? self : 0];
+    if (vs.savedIcInUse >= VmState::savedIcPoolSize)
+        return failOp(err, "icontext.save: per-CPU saved-IC pool "
+                           "exhausted");
+    vs.savedIcInUse++;
+    t->icStackPoolCpu.push_back(self < _cpuState.size() ? self : 0);
     t->icStack.push_back(t->ic);
     // Copying the IC within VM-internal memory is real work, but it
     // is VM code, not instrumented kernel code.
@@ -183,8 +302,22 @@ SvaVm::icontextLoad(uint64_t tid, SvaError *err)
         return failOp(err, "icontext.load: no such thread");
     if (t->icStack.empty())
         return failOp(err, "icontext.load: empty IC stack");
+    unsigned self = _ctx.activeCpu();
+    if (t->liveCpu >= 0 && unsigned(t->liveCpu) != self) {
+        return failOp(err, sim::strprintf(
+                               "icontext.load: thread %lu is live on "
+                               "cpu%d, not cpu%u",
+                               (unsigned long)tid, t->liveCpu, self));
+    }
     t->ic = t->icStack.back();
     t->icStack.pop_back();
+    if (!t->icStackPoolCpu.empty()) {
+        unsigned pool = t->icStackPoolCpu.back();
+        t->icStackPoolCpu.pop_back();
+        if (pool < _cpuState.size() &&
+            _cpuState[pool].savedIcInUse > 0)
+            _cpuState[pool].savedIcInUse--;
+    }
     _ctx.clock().advance(1200);
     sim::StatSet::add(_hIcLoads);
     return true;
@@ -237,6 +370,7 @@ SvaVm::reinitIcontext(uint64_t tid, uint64_t pc, uint64_t sp,
     t->ic.sp = sp;
     t->ic.userMode = true;
     t->ic.valid = true;
+    releaseIcPoolSlots(*t);
     t->icStack.clear();
     t->pushedCalls.clear();
     // Handler registrations belong to the old program text.
@@ -253,17 +387,74 @@ SvaVm::syscallEnter(uint64_t tid)
     SvaThread *t = thread(tid);
     if (t) {
         t->ic.valid = true;
-        t->liveOnCpu = false;
+        t->liveCpu = -1; // state now lives in the saved IC
     }
+    unsigned self = _ctx.activeCpu();
+    if (self < _cpuState.size())
+        _cpuState[self].currentTid = tid;
+    // The kernel must never observe application register state: the
+    // gate scrubs the CPU's visible register file (S 4.6).
+    if (_cpus && _ctx.config().protectInterruptContext)
+        _cpus->active().zeroRegs();
 }
 
 void
 SvaVm::syscallExit(uint64_t tid)
 {
     SvaThread *t = thread(tid);
-    if (t)
-        t->liveOnCpu = true;
+    unsigned self = _ctx.activeCpu();
+    if (t) {
+        t->liveCpu = static_cast<int>(self);
+        // Returning to user mode reloads the register file from the
+        // thread's IC on this CPU.
+        if (_cpus) {
+            hw::Cpu &cpu = _cpus->active();
+            cpu.regs = t->ic.regs;
+            cpu.pc = t->ic.pc;
+            cpu.sp = t->ic.sp;
+        }
+    }
     // Exit-path cost is folded into chargeSyscallGate().
+}
+
+void
+SvaVm::noteDispatch(uint64_t tid)
+{
+    unsigned self = _ctx.activeCpu();
+    if (self < _cpuState.size())
+        _cpuState[self].currentTid = tid;
+    SvaThread *t = thread(tid);
+    if (!t)
+        return;
+    // A thread resumed on a different CPU than it last ran on: its
+    // live-state claim migrates (its registers travel via the IC, so
+    // there is nothing left on the old CPU). Never fires on
+    // single-CPU machines.
+    if (t->liveCpu >= 0 && unsigned(t->liveCpu) != self)
+        t->liveCpu = static_cast<int>(self);
+}
+
+void
+SvaVm::parkRemoteThread(uint64_t tid)
+{
+    SvaThread *t = thread(tid);
+    if (!t)
+        return;
+    unsigned self = _ctx.activeCpu();
+    if (t->liveCpu < 0 || unsigned(t->liveCpu) == self)
+        return;
+    unsigned target = unsigned(t->liveCpu);
+    // IPI the owning CPU; its gate saves the live register state into
+    // the thread's IC (modelled: the IC already mirrors it) and the
+    // thread stops being register-live anywhere.
+    _ctx.clock().advance(_ctx.costs().ipiSend);
+    if (target < _ctx.vcpuCount())
+        _ctx.clockOf(target).advance(_ctx.costs().ipiReceive);
+    t->liveCpu = -1;
+    if (target < _cpuState.size() &&
+        _cpuState[target].currentTid == tid)
+        _cpuState[target].currentTid = 0;
+    sim::StatSet::add(_hRemoteParks);
 }
 
 // --------------------------------------------------------------------

@@ -35,6 +35,7 @@
 #include "crypto/drbg.hh"
 #include "crypto/rsa.hh"
 #include "crypto/sealed.hh"
+#include "hw/cpu.hh"
 #include "hw/iommu.hh"
 #include "hw/mmu.hh"
 #include "hw/phys_mem.hh"
@@ -65,12 +66,64 @@ struct SvaError
     std::string message;
 };
 
+/**
+ * Per-CPU SVA VM state (S 4.6 keeps one interrupt-context area per
+ * processor): which thread's state the CPU currently carries, and a
+ * bounded pool of saved-IC buffers inside SVA memory that
+ * sva.icontext.save draws from.
+ */
+struct VmState
+{
+    /** Thread currently executing on this CPU (0 = idle). */
+    uint64_t currentTid = 0;
+
+    /** Saved-IC buffers from this CPU's pool currently in use. */
+    uint64_t savedIcInUse = 0;
+
+    /** Pool capacity per CPU (fixed allocation in SVA memory). */
+    static constexpr uint64_t savedIcPoolSize = 64;
+};
+
 /** The Virtual Ghost virtual machine. */
 class SvaVm
 {
   public:
     SvaVm(sim::SimContext &ctx, hw::PhysMem &mem, hw::Mmu &mmu,
           hw::Iommu &iommu, hw::Tpm &tpm);
+
+    /**
+     * Attach the machine's vCPU set. Afterwards every MMU-facing
+     * intrinsic drives the *active* CPU's MMU and cross-CPU TLB
+     * shootdowns become real. Without attachment (single-MMU rigs,
+     * historical tests) the VM drives the MMU passed at construction
+     * and behaves exactly as the single-CPU model always has.
+     */
+    void attachCpus(hw::CpuSet &cpus);
+
+    /** MMU of the currently executing vCPU (construction MMU when no
+     *  CPU set is attached). */
+    hw::Mmu &
+    curMmu()
+    {
+        return _cpus ? _cpus->active().mmu() : _mmu;
+    }
+
+    /** MMU of a specific vCPU. */
+    hw::Mmu &
+    mmuOf(unsigned cpu)
+    {
+        return _cpus ? (*_cpus)[cpu].mmu() : _mmu;
+    }
+
+    /** Number of vCPUs the VM manages state for (1 when unattached). */
+    unsigned vcpuCount() const { return _cpus ? _cpus->count() : 1; }
+
+    /** True if any vCPU's TLB may still hold a translation into
+     *  @p frame — the retype-safety oracle. */
+    bool anyTlbHoldsFrame(hw::Frame frame);
+
+    /** Per-CPU VM state (valid indices: [0, vcpuCount())). */
+    const VmState &vmState(unsigned cpu) const { return _cpuState[cpu]; }
 
     // ----------------------------------------------------------------
     // Install / boot (S 4.4)
@@ -224,6 +277,21 @@ class SvaVm
     void syscallEnter(uint64_t tid);
     void syscallExit(uint64_t tid);
 
+    /** Scheduler notification: thread @p tid was dispatched on the
+     *  active vCPU. Updates per-CPU current-thread tracking and
+     *  migrates the thread's live-CPU claim if it was resumed on a
+     *  different processor than it last ran on. */
+    void noteDispatch(uint64_t tid);
+
+    /**
+     * Park a thread that is live on a *remote* CPU so its IC can be
+     * manipulated from this one (signal delivery to a running
+     * thread). Models the IPI: charges the initiator and the target
+     * CPU, and moves the thread's state fully into its saved IC.
+     * No-op if the thread is not live elsewhere.
+     */
+    void parkRemoteThread(uint64_t tid);
+
     // ----------------------------------------------------------------
     // Keys (S 4.4)
     // ----------------------------------------------------------------
@@ -275,7 +343,7 @@ class SvaVm
     bool verifyImage(const cc::MachineImage &image) const;
 
     sim::SimContext &ctx() { return _ctx; }
-    hw::Mmu &mmu() { return _mmu; }
+    hw::Mmu &mmu() { return curMmu(); }
     hw::PhysMem &mem() { return _mem; }
     hw::Iommu &iommu() { return _iommu; }
 
@@ -290,6 +358,30 @@ class SvaVm
                       SvaError *err);
     crypto::AesKey swapKey() const;
 
+    /**
+     * TLB shootdown (sva.invlpg.remote): invalidate @p va on the
+     * active CPU and on every remote CPU whose TLB holds the page.
+     * Remote invalidations charge an IPI send on the initiator's
+     * clock and an IPI receive on each target's clock. Degenerates to
+     * a local invlpg on single-CPU machines.
+     */
+    void invalidateEverywhere(hw::Vaddr va);
+
+    /** Full-TLB analogue of invalidateEverywhere() (used when a whole
+     *  address-space region is being retired). Remote CPUs with an
+     *  empty TLB need no IPI. */
+    void flushEverywhere();
+
+    /** Refuse a frame release/retype while some vCPU's TLB may still
+     *  reach the frame (returns false and records a violation via
+     *  failOp). Correct intrinsic sequences always invalidate first,
+     *  so this is a backstop against stale-TLB retype attacks. */
+    bool frameRetypeSafe(hw::Frame frame, const char *op,
+                         SvaError *err);
+
+    /** Return every pool slot held by @p t's saved-IC stack. */
+    void releaseIcPoolSlots(SvaThread &t);
+
     sim::SimContext &_ctx;
     /** Cached swap key; derived once per private key (see swapKey()). */
     mutable crypto::AesKey _swapKey{};
@@ -298,6 +390,11 @@ class SvaVm
     hw::Mmu &_mmu;
     hw::Iommu &_iommu;
     hw::Tpm &_tpm;
+
+    /** Machine vCPU set; null on single-MMU rigs (see attachCpus). */
+    hw::CpuSet *_cpus = nullptr;
+    /** Per-CPU VM state, sized at attach (one entry unattached). */
+    std::vector<VmState> _cpuState{VmState{}};
 
     FrameTable _frames;
     crypto::CtrDrbg _rng;
@@ -329,6 +426,10 @@ class SvaVm
     uint64_t _violations = 0;
 
     sim::StatHandle _hViolations;
+    sim::StatHandle _hRemoteInvlpgs;
+    sim::StatHandle _hRemoteParks;
+    /** Per-CPU shootdowns *received*; empty on single-CPU machines. */
+    std::vector<sim::StatHandle> _hCpuShootdowns;
     sim::StatHandle _hIcSaves;
     sim::StatHandle _hIcLoads;
     sim::StatHandle _hIpush;
