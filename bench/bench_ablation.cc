@@ -97,5 +97,6 @@ main()
                 "protection dominates the syscall gate (null "
                 "syscall);\nMMU checks matter for mapping-heavy "
                 "operations (mmap, fork).\n");
+    emitVerifierStats(report);
     return report.write() ? 0 : 1;
 }

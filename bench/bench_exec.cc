@@ -73,6 +73,11 @@ struct Result {
     uint64_t instsPerCall = 0;
     double usPerCall = 0;
     double hostInstsPerSec = 0;
+    // Load-time machine-code verifier work for this config's
+    // translation (zero when the gate is off).
+    uint64_t mverifyInsts = 0;
+    uint64_t mverifyFindings = 0;
+    double mverifyWallUs = 0;
 };
 
 /** Translate kModuleSrc under @p vg, then call work(N) repeatedly for
@@ -120,6 +125,10 @@ measure(const std::string &name, const sim::VgConfig &vg,
     out.instsPerCall = insts / calls;
     out.usPerCall = elapsed * 1e6 / double(calls);
     out.hostInstsPerSec = double(insts) / elapsed;
+    out.mverifyInsts = ctx.stats().get("mverify.insts");
+    out.mverifyFindings = ctx.stats().get("mverify.findings");
+    out.mverifyWallUs =
+        double(ctx.stats().get("mverify.wall_ns")) / 1e3;
     return out;
 }
 
@@ -177,11 +186,17 @@ main(int argc, char **argv)
         std::fprintf(f,
                      "    {\"name\": \"%s\", \"insts_per_call\": %llu,"
                      " \"us_per_call\": %.3f,"
-                     " \"host_insts_per_sec\": %.1f}%s\n",
+                     " \"host_insts_per_sec\": %.1f,"
+                     " \"mverify_insts\": %llu,"
+                     " \"mverify_findings\": %llu,"
+                     " \"mverify_wall_us\": %.3f}%s\n",
                      r.name.c_str(),
                      (unsigned long long)r.instsPerCall, r.usPerCall,
-                     r.hostInstsPerSec, i + 1 < results.size() ? ","
-                                                               : "");
+                     r.hostInstsPerSec,
+                     (unsigned long long)r.mverifyInsts,
+                     (unsigned long long)r.mverifyFindings,
+                     r.mverifyWallUs, i + 1 < results.size() ? ","
+                                                             : "");
     }
     std::fprintf(f, "  ],\n");
     std::fprintf(f, "  \"fused_vs_unfused_speedup\": %.3f\n}\n",

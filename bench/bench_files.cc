@@ -96,5 +96,6 @@ main()
             .num("vg_per_sec", vgr)
             .num("overhead", nat / vgr);
     }
+    emitVerifierStats(report);
     return report.write() ? 0 : 1;
 }

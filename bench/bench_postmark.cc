@@ -25,6 +25,7 @@ postmarkSeconds(sim::VgConfig vg, const PostmarkConfig &cfg)
         result = postmark(api, cfg);
         return 0;
     });
+    collectVerifierStats(sys);
     return result.seconds();
 }
 
@@ -77,5 +78,6 @@ main()
         .num("paper_native_s", 14.30)
         .num("paper_vg_s", 67.50)
         .num("paper_overhead", 4.72);
+    emitVerifierStats(report);
     return report.write() ? 0 : 1;
 }

@@ -84,6 +84,7 @@ transferBandwidth(sim::VgConfig vg, uint64_t file_size, bool ghosting)
             api.waitpid(srv, status);
         return 0;
     });
+    collectVerifierStats(sys);
     double secs = sim::Clock::toSec(elapsed);
     return secs > 0 ? double(total_bytes) / 1024.0 / secs : 0.0;
 }
@@ -132,5 +133,6 @@ main(int argc, char **argv)
                 "(paper: 23%% mean, 45%% worst case)\n",
                 reductions / n);
     report.top().num("mean_reduction_pct", reductions / n);
+    emitVerifierStats(report);
     return report.write() ? 0 : 1;
 }

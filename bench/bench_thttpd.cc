@@ -87,6 +87,7 @@ bandwidthFor(sim::VgConfig vg, uint64_t file_size, uint64_t requests)
             api.waitpid(srv, status);
         return 0;
     });
+    collectVerifierStats(sys);
     double secs = sim::Clock::toSec(elapsed);
     return secs > 0 ? double(total_bytes) / 1024.0 / secs : 0.0;
 }
@@ -132,5 +133,6 @@ main(int argc, char **argv)
                 "1 KB to 1 MB (y-axis 512\nto 131072 KB/s): the "
                 "transfer path is wire/copy bound, so kernel\n"
                 "instrumentation is hidden.\n");
+    emitVerifierStats(report);
     return report.write() ? 0 : 1;
 }

@@ -216,6 +216,43 @@ class BenchReport
     std::vector<Obj> _rows;
 };
 
+/**
+ * Process-wide accumulator for machine-code verifier work (PAPER.md
+ * S 4: the load-time verifier is on the module-load path, so its cost
+ * belongs in the perf trajectory). Benchmarks boot many short-lived
+ * Systems; each one's mverify.* counters are folded in here via
+ * collectVerifierStats() before the System dies, and the totals land
+ * in the bench JSON via emitVerifierStats().
+ */
+inline sim::StatSet &
+verifierStatAccum()
+{
+    static sim::StatSet accum;
+    return accum;
+}
+
+/** Fold @p sys's mverify.* counters into the process accumulator. */
+inline void
+collectVerifierStats(kern::System &sys)
+{
+    static const char *keys[] = {"mverify.functions", "mverify.insts",
+                                 "mverify.findings", "mverify.wall_ns"};
+    for (const char *k : keys)
+        verifierStatAccum().add(k, sys.ctx().stats().get(k));
+}
+
+/** Emit accumulated verifier totals as top-level report fields. */
+inline void
+emitVerifierStats(BenchReport &report)
+{
+    sim::StatSet &s = verifierStatAccum();
+    report.top()
+        .count("mverify_functions", s.get("mverify.functions"))
+        .count("mverify_insts", s.get("mverify.insts"))
+        .count("mverify_findings", s.get("mverify.findings"))
+        .num("mverify_wall_ms", double(s.get("mverify.wall_ns")) / 1e6);
+}
+
 /** Standard machine sizing for benchmarks. */
 inline kern::SystemConfig
 benchConfig(sim::VgConfig vg)
@@ -241,6 +278,7 @@ measureOn(sim::VgConfig vg,
         out = fn(api);
         return 0;
     });
+    collectVerifierStats(sys);
     return out;
 }
 

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Miscompile injection implementation.
+ *
+ * Every kind is expressed as an in-place rewrite of existing
+ * instructions (never an insertion) so code addresses, function extents
+ * and jump targets stay put — the injected image is exactly what a
+ * buggy pass would have laid out, and the verifier gets no structural
+ * side-channel hinting that something was edited.
+ */
+
+#include "compiler/minject.hh"
+
+#include <algorithm>
+
+#include "compiler/passes.hh"
+
+namespace vg::cc
+{
+
+namespace
+{
+
+struct Range
+{
+    const FuncInfo *info;
+    size_t begin;
+    size_t end;
+};
+
+std::vector<Range>
+funcRanges(const MachineImage &image)
+{
+    std::vector<Range> out;
+    for (const auto &[name, fi] : image.functions) {
+        (void)name;
+        if (!image.contains(fi.entryAddr))
+            continue;
+        out.push_back(
+            {&fi, (size_t)((fi.entryAddr - image.codeBase) / mInstBytes),
+             image.code.size()});
+    }
+    std::sort(out.begin(), out.end(), [](const Range &a, const Range &b) {
+        return a.begin < b.begin;
+    });
+    for (size_t i = 0; i + 1 < out.size(); i++)
+        out[i].end = out[i + 1].begin;
+    return out;
+}
+
+const Range *
+rangeOf(const std::vector<Range> &ranges, size_t idx)
+{
+    for (const Range &r : ranges)
+        if (idx >= r.begin && idx < r.end)
+            return &r;
+    return nullptr;
+}
+
+bool
+isCallOp(MOp op)
+{
+    return op == MOp::CallDirect || op == MOp::CallExt ||
+           op == MOp::CallInd || op == MOp::CallIndChecked;
+}
+
+/** The register a mask-producing instruction at @p idx defines, or -1
+ *  when code[idx] is neither a SandboxAddr nor the final Mul of an
+ *  unfused masking sequence. */
+int
+maskDefReg(const MachineImage &image, size_t idx)
+{
+    const MInst &m = image.code[idx];
+    if (m.op == MOp::SandboxAddr)
+        return m.dst;
+    if (m.op == MOp::Mul && idx + 1 >= sandboxMaskSeqLen) {
+        int dst = -1;
+        if (matchSandboxMaskSeq(image.code,
+                                idx - (sandboxMaskSeqLen - 1), dst) >= 0)
+            return dst;
+    }
+    return -1;
+}
+
+/** Indices of all mask-producing instructions. */
+std::vector<size_t>
+maskDefSites(const MachineImage &image)
+{
+    std::vector<size_t> out;
+    for (size_t i = 0; i < image.code.size(); i++)
+        if (maskDefReg(image, i) >= 0)
+            out.push_back(i);
+    return out;
+}
+
+/** First instruction after @p d that uses register @p r as a memory
+ *  address, or SIZE_MAX. */
+size_t
+findAddrConsumer(const MachineImage &image, size_t d, size_t end, int r)
+{
+    for (size_t j = d + 1; j < end; j++) {
+        const MInst &m = image.code[j];
+        if ((m.op == MOp::Load || m.op == MOp::Store) && m.a == r)
+            return j;
+        if (m.op == MOp::Memcpy && (m.a == r || m.b == r))
+            return j;
+    }
+    return SIZE_MAX;
+}
+
+/** Rewrite code[idx] into a semantic no-op: a jump to the next
+ *  instruction. Uses no registers, so it perturbs only the property
+ *  under test. */
+void
+overwriteWithNop(MachineImage &image, size_t idx)
+{
+    MInst nop;
+    nop.op = MOp::Jump;
+    nop.imm = idx + 1 < image.code.size()
+                  ? image.codeBase + (idx + 1) * mInstBytes
+                  : image.codeBase + idx * mInstBytes;
+    image.code[idx] = std::move(nop);
+}
+
+} // namespace
+
+const std::vector<Miscompile> &
+allMiscompiles()
+{
+    static const std::vector<Miscompile> kinds = {
+        Miscompile::DropMask,         Miscompile::ClobberMask,
+        Miscompile::StripEntryLabel,  Miscompile::StripReturnLabel,
+        Miscompile::RawRet,           Miscompile::RawIndirectCall,
+        Miscompile::BadJumpTarget,    Miscompile::ForgeLabel,
+    };
+    return kinds;
+}
+
+const char *
+miscompileName(Miscompile kind)
+{
+    switch (kind) {
+    case Miscompile::DropMask: return "drop-mask";
+    case Miscompile::ClobberMask: return "clobber-mask";
+    case Miscompile::StripEntryLabel: return "strip-entry-label";
+    case Miscompile::StripReturnLabel: return "strip-return-label";
+    case Miscompile::RawRet: return "raw-ret";
+    case Miscompile::RawIndirectCall: return "raw-callind";
+    case Miscompile::BadJumpTarget: return "bad-jump-target";
+    case Miscompile::ForgeLabel: return "forge-label";
+    }
+    return "?";
+}
+
+bool
+parseMiscompile(const std::string &name, Miscompile &kind)
+{
+    for (Miscompile k : allMiscompiles()) {
+        if (name == miscompileName(k)) {
+            kind = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<size_t>
+miscompileSites(const MachineImage &image, Miscompile kind)
+{
+    std::vector<size_t> out;
+    const std::vector<Range> ranges = funcRanges(image);
+
+    switch (kind) {
+    case Miscompile::DropMask: return maskDefSites(image);
+
+    case Miscompile::ClobberMask:
+        for (size_t d : maskDefSites(image)) {
+            const Range *r = rangeOf(ranges, d);
+            if (!r)
+                continue;
+            int reg = maskDefReg(image, d);
+            size_t j = findAddrConsumer(image, d, r->end, reg);
+            if (j == SIZE_MAX)
+                continue;
+            // Either there is room between mask and use for clobbering
+            // arithmetic, or we can redirect the mask's destination —
+            // which needs a second register to exist.
+            if (j > d + 1 || r->info->numRegs >= 2)
+                out.push_back(d);
+        }
+        return out;
+
+    case Miscompile::StripEntryLabel:
+        for (const Range &r : ranges)
+            if (r.begin < r.end &&
+                image.code[r.begin].op == MOp::CfiLabel)
+                out.push_back(r.begin);
+        return out;
+
+    case Miscompile::StripReturnLabel:
+        for (size_t i = 1; i < image.code.size(); i++)
+            if (image.code[i].op == MOp::CfiLabel &&
+                isCallOp(image.code[i - 1].op))
+                out.push_back(i);
+        return out;
+
+    case Miscompile::RawRet:
+        for (size_t i = 0; i < image.code.size(); i++)
+            if (image.code[i].op == MOp::CheckRet)
+                out.push_back(i);
+        return out;
+
+    case Miscompile::RawIndirectCall:
+        for (size_t i = 0; i < image.code.size(); i++)
+            if (image.code[i].op == MOp::CallIndChecked)
+                out.push_back(i);
+        return out;
+
+    case Miscompile::BadJumpTarget:
+        for (size_t i = 0; i < image.code.size(); i++)
+            if (image.code[i].op == MOp::Jump ||
+                image.code[i].op == MOp::JumpIfZero)
+                out.push_back(i);
+        return out;
+
+    case Miscompile::ForgeLabel:
+        for (size_t i = 0; i < image.code.size(); i++)
+            if (image.code[i].op == MOp::ConstI &&
+                image.code[i].imm != cfiLabelValue)
+                out.push_back(i);
+        return out;
+    }
+    return out;
+}
+
+bool
+injectMiscompile(MachineImage &image, Miscompile kind, size_t siteIdx)
+{
+    const std::vector<size_t> sites = miscompileSites(image, kind);
+    if (siteIdx >= sites.size())
+        return false;
+    const size_t i = sites[siteIdx];
+    MInst &m = image.code[i];
+
+    switch (kind) {
+    case Miscompile::DropMask: {
+        // The mask degenerates into a plain move of the unmasked (or
+        // partially masked) source — addresses flow through unchecked.
+        MInst mov;
+        mov.op = MOp::Mov;
+        mov.dst = m.dst;
+        mov.a = m.a;
+        image.code[i] = std::move(mov);
+        return true;
+    }
+
+    case Miscompile::ClobberMask: {
+        const std::vector<Range> ranges = funcRanges(image);
+        const Range *r = rangeOf(ranges, i);
+        int reg = maskDefReg(image, i);
+        size_t j = findAddrConsumer(image, i, r->end, reg);
+        if (j > i + 1) {
+            MInst add;
+            add.op = MOp::Add;
+            add.dst = reg;
+            add.a = reg;
+            add.b = reg;
+            image.code[i + 1] = std::move(add);
+        } else {
+            // No gap: make the mask write somewhere else entirely, so
+            // the consumer reads a never-masked register.
+            m.dst = reg > 0 ? reg - 1 : reg + 1;
+        }
+        return true;
+    }
+
+    case Miscompile::StripEntryLabel:
+    case Miscompile::StripReturnLabel:
+        overwriteWithNop(image, i);
+        return true;
+
+    case Miscompile::RawRet:
+        m.op = MOp::Ret;
+        return true;
+
+    case Miscompile::RawIndirectCall:
+        m.op = MOp::CallInd;
+        return true;
+
+    case Miscompile::BadJumpTarget:
+        m.imm += 2;
+        return true;
+
+    case Miscompile::ForgeLabel:
+        m.imm = cfiLabelValue;
+        return true;
+    }
+    return false;
+}
+
+} // namespace vg::cc

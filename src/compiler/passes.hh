@@ -65,6 +65,16 @@ PassStats cfiPass(std::vector<MInst> &code);
  */
 PassStats fuseSandboxPass(std::vector<MInst> &code);
 
+/**
+ * If the sandboxMaskSeqLen-instruction unfused masking sequence emitted
+ * by sandboxPass starts at code[i], return the source address register
+ * and set @p dst to the final (masked) register; return -1 otherwise.
+ * Shared between the fusing peephole and the load-time machine-code
+ * verifier (mverify.cc), which must recognize exactly the same shape.
+ */
+int matchSandboxMaskSeq(const std::vector<MInst> &code, size_t i,
+                        int &dst);
+
 } // namespace vg::cc
 
 #endif // VG_COMPILER_PASSES_HH

@@ -36,13 +36,8 @@
 namespace vg::cc
 {
 
-namespace
-{
-
-/** If the masking sequence starts at code[i], return the source
- *  address register and set @p dst to the final register; -1 if not. */
 int
-matchMaskSeq(const std::vector<MInst> &code, size_t i, int &dst)
+matchSandboxMaskSeq(const std::vector<MInst> &code, size_t i, int &dst)
 {
     if (i + sandboxMaskSeqLen > code.size())
         return -1;
@@ -97,8 +92,6 @@ matchMaskSeq(const std::vector<MInst> &code, size_t i, int &dst)
     return addr;
 }
 
-} // namespace
-
 PassStats
 fuseSandboxPass(std::vector<MInst> &code)
 {
@@ -109,7 +102,7 @@ fuseSandboxPass(std::vector<MInst> &code)
 
     for (size_t i = 0; i < code.size();) {
         int dst = -1;
-        int addr = matchMaskSeq(code, i, dst);
+        int addr = matchSandboxMaskSeq(code, i, dst);
         if (addr >= 0) {
             for (size_t k = 0; k < sandboxMaskSeqLen; k++)
                 remap[i + k] = out.size();

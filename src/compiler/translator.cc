@@ -1,5 +1,7 @@
 #include "compiler/translator.hh"
 
+#include <chrono>
+
 #include "crypto/hmac.hh"
 #include "vir/text.hh"
 #include "vir/verifier.hh"
@@ -104,6 +106,36 @@ Translator::translateModule(vir::Module mod, uint64_t code_base)
     auto image = std::make_shared<MachineImage>(
         layoutImage(mod.name, std::move(lowered), code_base));
     image->instrumented = instrumented;
+
+    if (_postLayoutHook)
+        _postLayoutHook(*image);
+
+    // The load-time gate: nothing gets signed (and therefore nothing
+    // gets installed) unless the verifier can prove the instrumentation
+    // invariants on the final bytes. This is what makes the passes
+    // above untrusted.
+    if (_ctx.config().verifyMcode) {
+        auto t0 = std::chrono::steady_clock::now();
+        McodeVerifier verifier(McodePolicy::fromConfig(_ctx.config()));
+        result.mverify = verifier.verify(*image);
+        auto wall = std::chrono::steady_clock::now() - t0;
+        sim::StatSet &stats = _ctx.stats();
+        stats.add("mverify.functions", result.mverify.functionsChecked);
+        stats.add("mverify.insts", result.mverify.instsChecked);
+        stats.add("mverify.findings", result.mverify.findings.size());
+        stats.add("mverify.wall_ns",
+                  (uint64_t)std::chrono::duration_cast<
+                      std::chrono::nanoseconds>(wall)
+                      .count());
+        if (!result.mverify.ok()) {
+            result.error = "mcode verifier rejected module '" +
+                           image->moduleName + "':\n" +
+                           result.mverify.message();
+            stats.add("translator.mverify_rejected");
+            return result;
+        }
+    }
+
     image->signature = sign(*image);
 
     _ctx.stats().add("translator.modules");

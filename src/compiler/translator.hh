@@ -4,15 +4,19 @@
  *
  * Pipeline (S 4.2, S 5): parse VIR text -> verify -> sandbox pass (IR)
  * -> lower to machine code -> sandbox-mask fusion peephole (machine)
- * -> CFI pass (machine) -> layout -> sign the translation with the
- * VM's HMAC key -> cache. Translations are looked
+ * -> CFI pass (machine) -> layout -> machine-code safety verifier
+ * (McodeVerifier: refuse images whose sandbox/CFI instrumentation
+ * cannot be statically proven; VgConfig::verifyMcode) -> sign the
+ * translation with the VM's HMAC key -> cache. Translations are looked
  * up by the SHA-256 of their source, so recompilation of unchanged
  * modules is free and tampered caches are detected via the signature.
+ * Rejected translations are never signed and never cached.
  */
 
 #ifndef VG_COMPILER_TRANSLATOR_HH
 #define VG_COMPILER_TRANSLATOR_HH
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -20,6 +24,7 @@
 
 #include "compiler/codegen.hh"
 #include "compiler/mcode.hh"
+#include "compiler/mverify.hh"
 #include "compiler/passes.hh"
 #include "crypto/hmac.hh"
 #include "sim/context.hh"
@@ -38,6 +43,10 @@ struct TranslateResult
     PassStats cfiStats;
     PassStats fuseStats;
     bool fromCache = false;
+
+    /** Machine-code verifier report (populated when verifyMcode is on
+     *  and the translation was not served from cache). */
+    McodeVerifyResult mverify;
 };
 
 /** Ahead-of-time translator with a signed translation cache. */
@@ -67,6 +76,19 @@ class Translator
     /** Number of cache hits (stats / tests). */
     uint64_t cacheHits() const { return _cacheHits; }
 
+    /**
+     * Test-only: a hook run on each freshly laid-out image before the
+     * machine-code verifier and signing. The fault-injection sweeps use
+     * it to model a miscompiling pass pipeline and prove the verifier
+     * (not the passes) is what keeps bad code out. Pass nullptr to
+     * clear.
+     */
+    void
+    setPostLayoutHook(std::function<void(MachineImage &)> hook)
+    {
+        _postLayoutHook = std::move(hook);
+    }
+
   private:
     crypto::Digest sign(const MachineImage &image) const;
 
@@ -76,6 +98,7 @@ class Translator
     sim::SimContext &_ctx;
     std::map<std::string, std::shared_ptr<const MachineImage>> _cache;
     uint64_t _cacheHits = 0;
+    std::function<void(MachineImage &)> _postLayoutHook;
 };
 
 } // namespace vg::cc

@@ -32,7 +32,9 @@ gmul(uint8_t a, uint8_t b)
 inline uint32_t
 rotr32(uint32_t x, unsigned n)
 {
-    return (x >> n) | (x << (32 - n));
+    // (-n & 31) keeps the left shift in [0, 31]; a plain 32 - n is
+    // undefined for n == 0.
+    return (x >> (n & 31)) | (x << (-n & 31));
 }
 
 } // namespace

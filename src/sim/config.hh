@@ -34,6 +34,17 @@ struct VgConfig
     bool cfi = true;
 
     /**
+     * Load-time machine-code verifier: statically prove, on every
+     * translated image, that the sandboxing and CFI passes actually
+     * instrumented the code (every load/store/memcpy address masked,
+     * no raw returns or indirect calls, labels at all entries and
+     * return sites) and refuse to install images that fail. Makes the
+     * instrumentation passes untrusted: a miscompile is caught at load
+     * time instead of silently voiding the protection story.
+     */
+    bool verifyMcode = true;
+
+    /**
      * Use the Kmem fast path: a last-translation cache in front of the
      * MMU plus page-chunked bulk copies. Semantics, simulated cost, and
      * every stat are identical to the reference per-access path;

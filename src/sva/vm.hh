@@ -342,6 +342,11 @@ class SvaVm
     /** Refuse-unsigned check used before any execution. */
     bool verifyImage(const cc::MachineImage &image) const;
 
+    /** The trusted translator. Exposed so tests can install
+     *  fault-injection hooks (Translator::setPostLayoutHook) and prove
+     *  the mcode verifier gates module loading. */
+    cc::Translator &translator() { return *_translator; }
+
     sim::SimContext &ctx() { return _ctx; }
     hw::Mmu &mmu() { return curMmu(); }
     hw::PhysMem &mem() { return _mem; }

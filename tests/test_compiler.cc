@@ -629,3 +629,155 @@ entry:
     EXPECT_FALSE(hw::isGhostAddr(r.value));
     EXPECT_EQ(r.value, (hw::ghostBase + 0x1000) | hw::sandboxOrMask);
 }
+
+// --------------------------------------------------------------------
+// Peephole fusion around CFI boundaries: fusing must never move or
+// absorb a CfiLabel/CheckRet, and a label spliced into a mask sequence
+// must block fusion of that sequence rather than vanish into it.
+// --------------------------------------------------------------------
+
+namespace
+{
+
+size_t
+countOp(const std::vector<MInst> &code, MOp op)
+{
+    size_t n = 0;
+    for (const MInst &m : code)
+        n += m.op == op;
+    return n;
+}
+
+bool
+isCall(MOp op)
+{
+    return op == MOp::CallDirect || op == MOp::CallExt ||
+           op == MOp::CallInd || op == MOp::CallIndChecked;
+}
+
+} // namespace
+
+TEST(Peephole, FusionNeverMovesOrAbsorbsCfiInstructions)
+{
+    // Run cfiPass *before* fusing — the hostile order, where a greedy
+    // peephole could swallow a label adjacent to (or inside) the
+    // pattern it matches. Labels, CheckRets and call/label adjacency
+    // must all survive fusion untouched.
+    auto parsed = vir::parse(R"(
+func @f(2) {
+entry:
+  %2 = load.i64 %0
+  store.i64 %1, %2
+  %3 = call @g(%2)
+  %4 = const 8
+  memcpy %0, %1, %4
+  ret %3
+}
+
+func @g(1) {
+entry:
+  ret %0
+}
+)");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    sandboxPass(parsed.module);
+    for (const auto &fn : parsed.module.functions) {
+        LoweredFunc lf = lowerFunction(fn);
+        cfiPass(lf.code);
+        size_t labels = countOp(lf.code, MOp::CfiLabel);
+        size_t checkrets = countOp(lf.code, MOp::CheckRet);
+        ASSERT_GT(labels, 0u);
+
+        PassStats fs = fuseSandboxPass(lf.code);
+        if (fn.name == "f") {
+            EXPECT_EQ(fs.sitesInstrumented, 4u); // load+store+2 memcpy
+        }
+
+        EXPECT_EQ(countOp(lf.code, MOp::CfiLabel), labels) << fn.name;
+        EXPECT_EQ(countOp(lf.code, MOp::CheckRet), checkrets) << fn.name;
+        EXPECT_EQ(lf.code.front().op, MOp::CfiLabel) << fn.name;
+        for (size_t i = 0; i < lf.code.size(); i++) {
+            if (!isCall(lf.code[i].op))
+                continue;
+            ASSERT_LT(i + 1, lf.code.size());
+            EXPECT_EQ(lf.code[i + 1].op, MOp::CfiLabel)
+                << fn.name << " call at " << i
+                << " lost its return-site label";
+        }
+    }
+}
+
+TEST(Peephole, LabelSplicedIntoMaskSequenceBlocksFusion)
+{
+    auto parsed = vir::parse(R"(
+func @peek(1) {
+entry:
+  %1 = load.i64 %0
+  ret %1
+}
+)");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    sandboxPass(parsed.module);
+    LoweredFunc lf = lowerFunction(parsed.module.functions[0]);
+
+    // Pristine code fuses its one masking sequence...
+    std::vector<MInst> pristine = lf.code;
+    PassStats all = fuseSandboxPass(pristine);
+    EXPECT_EQ(all.sitesInstrumented, 1u);
+
+    // ...but with a CfiLabel spliced into the sequence interior the
+    // pattern no longer matches: the label must survive, unfused.
+    int dst = -1;
+    size_t seq = SIZE_MAX;
+    for (size_t i = 0; i < lf.code.size(); i++)
+        if (matchSandboxMaskSeq(lf.code, i, dst) >= 0) {
+            seq = i;
+            break;
+        }
+    ASSERT_NE(seq, SIZE_MAX);
+    MInst label;
+    label.op = MOp::CfiLabel;
+    label.imm = cfiLabelValue;
+    lf.code.insert(lf.code.begin() + (long)(seq + 5), label);
+
+    PassStats blocked = fuseSandboxPass(lf.code);
+    EXPECT_EQ(blocked.sitesInstrumented, 0u);
+    EXPECT_EQ(countOp(lf.code, MOp::CfiLabel), 1u);
+    EXPECT_EQ(countOp(lf.code, MOp::SandboxAddr), 0u);
+}
+
+TEST(Peephole, FusedAndUnfusedTranslationsBothPassTheVerifier)
+{
+    const char *src = R"(
+func @worker(2) {
+entry:
+  %2 = const 8
+  memcpy %1, %0, %2
+  %3 = load.i64 %1
+  store.i64 %0, %3
+  %4 = call @worker(%3, %1)
+  ret %4
+}
+)";
+    std::vector<std::shared_ptr<const MachineImage>> images;
+    for (bool fuse : {true, false}) {
+        sim::VgConfig cfg = sim::VgConfig::full();
+        cfg.fuseSandboxMasks = fuse;
+        sim::SimContext ctx(cfg);
+        Translator translator(kKey, ctx);
+        // The translator's own verifyMcode gate is on: translation
+        // succeeding already implies 0 findings.
+        auto tr = translator.translateText(src, kCodeBase);
+        ASSERT_TRUE(tr.ok) << tr.error;
+        EXPECT_EQ(tr.mverify.findings.size(), 0u);
+        images.push_back(tr.image);
+    }
+    // Fusion must not change the CFI skeleton, only compress masks.
+    EXPECT_EQ(countOp(images[0]->code, MOp::CfiLabel),
+              countOp(images[1]->code, MOp::CfiLabel));
+    EXPECT_EQ(countOp(images[0]->code, MOp::CheckRet),
+              countOp(images[1]->code, MOp::CheckRet));
+    EXPECT_GT(countOp(images[0]->code, MOp::SandboxAddr), 0u);
+    EXPECT_EQ(countOp(images[1]->code, MOp::SandboxAddr), 0u);
+    EXPECT_LT(images[0]->code.size(), images[1]->code.size());
+}

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * vg_lint: run the machine-code safety verifier from the command line.
+ *
+ * Compiles a VIR module exactly as the kernel's trusted translator
+ * would (same passes, same layout) and then runs McodeVerifier over the
+ * resulting image, printing each finding as
+ *
+ *     vg_lint: <function> @ 0x<addr>: [VG-xx-nn] <message>
+ *
+ * Compilation flags (--no-sandbox/--no-cfi/--no-fuse/--native) and the
+ * verification policy (--require-sandbox/--require-cfi) are controlled
+ * independently, so a module compiled without CFI can be linted against
+ * a CFI-requiring policy — that is the CI known-bad fixture. --inject
+ * applies one miscompile kind from minject.hh after layout, modelling a
+ * buggy pass pipeline, and --self-test sweeps every kind x site on an
+ * embedded module and demands 100% detection.
+ *
+ * Exit status: 0 clean, 1 findings (or failed self-test), 2 usage or
+ * translation error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "compiler/minject.hh"
+#include "compiler/mverify.hh"
+#include "compiler/translator.hh"
+#include "sim/context.hh"
+
+namespace
+{
+
+using namespace vg;
+
+constexpr uint64_t kCodeBase = 0xffffff9000000000ull;
+
+/** Built-in module for --self-test (same shape as the CI fixture). */
+const char *kSelfTestSrc = R"(
+func @checksum(2) {
+entry:
+  %2 = const 0
+  %3 = const 0
+  br head
+head:
+  %4 = icmp ult %3, %1
+  condbr %4, body, done
+body:
+  %5 = add %0, %3
+  %6 = load.i8 %5
+  %2 = add %2, %6
+  %7 = const 1
+  %3 = add %3, %7
+  br head
+done:
+  ret %2
+}
+
+func @copy8(2) {
+entry:
+  %2 = const 8
+  memcpy %1, %0, %2
+  %3 = load.i64 %1
+  store.i64 %0, %3
+  ret %3
+}
+
+func @dispatch(2) {
+entry:
+  %2 = funcaddr @checksum
+  %3 = callind %2(%0, %1)
+  %4 = call @copy8(%0, %1)
+  %5 = add %3, %4
+  ret %5
+}
+)";
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: vg_lint [options] <module.vir | ->\n"
+        "       vg_lint --self-test\n"
+        "\n"
+        "Compile a VIR module with the trusted translator's passes and\n"
+        "run the machine-code safety verifier over the result.\n"
+        "\n"
+        "compilation flags:\n"
+        "  --native          compile with all instrumentation off\n"
+        "  --no-sandbox      disable the sandboxing pass\n"
+        "  --no-cfi          disable the CFI pass\n"
+        "  --no-fuse         keep the unfused 13-inst mask sequence\n"
+        "\n"
+        "verification policy (defaults follow the compilation flags):\n"
+        "  --require-sandbox enforce VG-SB rules regardless of flags\n"
+        "  --require-cfi     enforce VG-CFI rules regardless of flags\n"
+        "\n"
+        "fault injection:\n"
+        "  --inject KIND[:SITE]  apply one miscompile after layout\n"
+        "                        (drop-mask, clobber-mask,\n"
+        "                        strip-entry-label, strip-return-label,\n"
+        "                        raw-ret, raw-callind, bad-jump-target,\n"
+        "                        forge-label); SITE defaults to 0\n"
+        "\n"
+        "  --self-test       sweep every kind x site on a built-in\n"
+        "                    module; exit 0 iff the verifier detects\n"
+        "                    100%% and reports 0 findings when clean\n"
+        "\n"
+        "exit status: 0 clean, 1 findings, 2 usage/translate error\n");
+    return 2;
+}
+
+struct Options
+{
+    sim::VgConfig config;
+    bool requireSandbox = false;
+    bool requireCfi = false;
+    bool haveInject = false;
+    cc::Miscompile injectKind = cc::Miscompile::DropMask;
+    size_t injectSite = 0;
+    bool selfTest = false;
+    std::string input;
+};
+
+cc::McodePolicy
+policyFor(const Options &opt)
+{
+    cc::McodePolicy policy = cc::McodePolicy::fromConfig(opt.config);
+    policy.requireSandbox |= opt.requireSandbox;
+    policy.requireCfi |= opt.requireCfi;
+    return policy;
+}
+
+/** Translate with the verifier gate off: vg_lint runs the verifier
+ *  itself so it can report findings instead of a refusal. */
+cc::TranslateResult
+compile(const Options &opt, const std::string &text)
+{
+    sim::VgConfig cfg = opt.config;
+    cfg.verifyMcode = false;
+    sim::SimContext ctx(cfg);
+    std::vector<uint8_t> key(32, 0x42);
+    cc::Translator translator(key, ctx);
+    return translator.translateText(text, kCodeBase);
+}
+
+int
+lint(const Options &opt, const std::string &text)
+{
+    cc::TranslateResult tr = compile(opt, text);
+    if (!tr.ok) {
+        std::fprintf(stderr, "vg_lint: translation failed: %s\n",
+                     tr.error.c_str());
+        return 2;
+    }
+
+    cc::MachineImage image = *tr.image;
+    if (opt.haveInject) {
+        auto sites = cc::miscompileSites(image, opt.injectKind);
+        if (!cc::injectMiscompile(image, opt.injectKind,
+                                  opt.injectSite)) {
+            std::fprintf(stderr,
+                         "vg_lint: --inject %s: site %zu out of range "
+                         "(%zu sites)\n",
+                         cc::miscompileName(opt.injectKind),
+                         opt.injectSite, sites.size());
+            return 2;
+        }
+    }
+
+    cc::McodeVerifier verifier(policyFor(opt));
+    cc::McodeVerifyResult res = verifier.verify(image);
+    for (const cc::McodeFinding &f : res.findings)
+        std::printf("vg_lint: %s\n", f.render().c_str());
+    std::printf("vg_lint: %s: %llu function(s), %llu instruction(s), "
+                "%zu finding(s)\n",
+                image.moduleName.empty() ? "<module>"
+                                         : image.moduleName.c_str(),
+                (unsigned long long)res.functionsChecked,
+                (unsigned long long)res.instsChecked,
+                res.findings.size());
+    return res.findings.empty() ? 0 : 1;
+}
+
+int
+selfTest()
+{
+    Options opt; // full instrumentation, full policy
+    cc::TranslateResult tr = compile(opt, kSelfTestSrc);
+    if (!tr.ok) {
+        std::fprintf(stderr, "vg_lint: self-test translate failed: %s\n",
+                     tr.error.c_str());
+        return 1;
+    }
+    cc::McodeVerifier verifier(policyFor(opt));
+
+    cc::McodeVerifyResult clean = verifier.verify(*tr.image);
+    if (!clean.ok()) {
+        std::fprintf(stderr,
+                     "vg_lint: self-test FAILED: %zu finding(s) on the "
+                     "clean compile:\n%s\n",
+                     clean.findings.size(), clean.message().c_str());
+        return 1;
+    }
+
+    size_t injected = 0, detected = 0;
+    for (cc::Miscompile kind : cc::allMiscompiles()) {
+        size_t sites =
+            cc::miscompileSites(*tr.image, kind).size();
+        for (size_t s = 0; s < sites; s++) {
+            cc::MachineImage bad = *tr.image;
+            cc::injectMiscompile(bad, kind, s);
+            injected++;
+            if (!verifier.verify(bad).ok())
+                detected++;
+            else
+                std::fprintf(stderr,
+                             "vg_lint: self-test MISS: %s site %zu "
+                             "went undetected\n",
+                             cc::miscompileName(kind), s);
+        }
+    }
+    std::printf("vg_lint: self-test: 0 findings clean, %zu/%zu "
+                "injected miscompiles detected\n",
+                detected, injected);
+    return detected == injected && injected > 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg == "--native")
+            opt.config = sim::VgConfig::native();
+        else if (arg == "--no-sandbox")
+            opt.config.sandboxMemory = false;
+        else if (arg == "--no-cfi")
+            opt.config.cfi = false;
+        else if (arg == "--no-fuse")
+            opt.config.fuseSandboxMasks = false;
+        else if (arg == "--require-sandbox")
+            opt.requireSandbox = true;
+        else if (arg == "--require-cfi")
+            opt.requireCfi = true;
+        else if (arg == "--self-test")
+            opt.selfTest = true;
+        else if (arg == "--inject") {
+            if (++i >= argc)
+                return usage();
+            std::string spec = argv[i];
+            size_t colon = spec.find(':');
+            std::string kind = spec.substr(0, colon);
+            if (!cc::parseMiscompile(kind, opt.injectKind)) {
+                std::fprintf(stderr,
+                             "vg_lint: unknown miscompile kind '%s'\n",
+                             kind.c_str());
+                return 2;
+            }
+            if (colon != std::string::npos)
+                opt.injectSite =
+                    (size_t)std::strtoull(spec.c_str() + colon + 1,
+                                          nullptr, 10);
+            opt.haveInject = true;
+        } else if (arg == "--help" || arg == "-h")
+            return usage();
+        else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+            std::fprintf(stderr, "vg_lint: unknown option '%s'\n",
+                         arg.c_str());
+            return usage();
+        } else if (opt.input.empty())
+            opt.input = arg;
+        else
+            return usage();
+    }
+
+    if (opt.selfTest)
+        return selfTest();
+    if (opt.input.empty())
+        return usage();
+
+    std::string text;
+    if (opt.input == "-") {
+        std::ostringstream ss;
+        ss << std::cin.rdbuf();
+        text = ss.str();
+    } else {
+        std::ifstream f(opt.input);
+        if (!f) {
+            std::fprintf(stderr, "vg_lint: cannot open '%s'\n",
+                         opt.input.c_str());
+            return 2;
+        }
+        std::ostringstream ss;
+        ss << f.rdbuf();
+        text = ss.str();
+    }
+    return lint(opt, text);
+}
