@@ -10,6 +10,10 @@
  *   - vg-unfused:       full instrumentation with the 13-instruction
  *                       unfused mask sequence (pre-fusion engine).
  *
+ * Each configuration is measured twice: pure interpreter and with the
+ * trace tier enabled (+trace rows), so the superinstruction speedup
+ * and its trace.* counters land in BENCH_exec.json per config.
+ *
  * Unlike bench_micro this is a standalone harness: it prints a small
  * table and writes machine-readable results to BENCH_exec.json in the
  * current directory. Pass --smoke (or set VG_BENCH_SCALE=smoke) for a
@@ -78,13 +82,21 @@ struct Result {
     uint64_t mverifyInsts = 0;
     uint64_t mverifyFindings = 0;
     double mverifyWallUs = 0;
+    // Trace-tier counters (zero for interpreter-only rows).
+    bool traceTier = false;
+    uint64_t tracesFormed = 0;
+    uint64_t traceExecuted = 0;
+    uint64_t traceSideExits = 0;
+    uint64_t traceRetired = 0;
 };
 
 /** Translate kModuleSrc under @p vg, then call work(N) repeatedly for
- *  at least @p minSeconds of wall clock. */
+ *  at least @p minSeconds of wall clock. With @p traceTier the
+ *  executor's trace tier is enabled, so hot-loop passes run as
+ *  verified superinstruction blocks. */
 Result
 measure(const std::string &name, const sim::VgConfig &vg,
-        uint64_t iters, double minSeconds)
+        uint64_t iters, double minSeconds, bool traceTier = false)
 {
     sim::SimContext ctx(vg);
     std::vector<uint8_t> key(32, 1);
@@ -99,8 +111,12 @@ measure(const std::string &name, const sim::VgConfig &vg,
     cc::ExternTable externs;
     cc::Executor exec(*r.image, port, externs, ctx,
                       0xffffffa000000000ull, 1 << 20);
+    if (traceTier)
+        exec.enableTraceTier(tr);
 
-    // Warm up (also captures the per-call instruction count).
+    // Warm up (also captures the per-call instruction count and, with
+    // the tier on, crosses the hot threshold so traces are formed and
+    // re-verified before timing starts).
     auto warm = exec.call("work", {iters});
     if (!warm.ok) {
         std::fprintf(stderr, "%s: workload faulted: %s\n",
@@ -129,6 +145,11 @@ measure(const std::string &name, const sim::VgConfig &vg,
     out.mverifyFindings = ctx.stats().get("mverify.findings");
     out.mverifyWallUs =
         double(ctx.stats().get("mverify.wall_ns")) / 1e3;
+    out.traceTier = traceTier;
+    out.tracesFormed = exec.tracesFormed();
+    out.traceExecuted = ctx.stats().get("trace.executed");
+    out.traceSideExits = ctx.stats().get("trace.side_exits");
+    out.traceRetired = ctx.stats().get("trace.retired_insts");
     return out;
 }
 
@@ -154,22 +175,42 @@ main(int argc, char **argv)
     std::vector<Result> results;
     results.push_back(
         measure("native", sim::VgConfig::native(), iters, minSeconds));
+    results.push_back(measure("native+trace", sim::VgConfig::native(),
+                              iters, minSeconds, true));
     results.push_back(
         measure("vg-fused", sim::VgConfig::full(), iters, minSeconds));
+    results.push_back(measure("vg-fused+trace", sim::VgConfig::full(),
+                              iters, minSeconds, true));
     results.push_back(measure("vg-unfused", unfused, iters,
                               minSeconds));
+    results.push_back(measure("vg-unfused+trace", unfused, iters,
+                              minSeconds, true));
 
-    std::printf("%-12s %14s %12s %18s\n", "config", "insts/call",
-                "us/call", "host insts/sec");
+    std::printf("%-18s %14s %12s %18s %8s\n", "config", "insts/call",
+                "us/call", "host insts/sec", "traces");
     for (const auto &r : results)
-        std::printf("%-12s %14llu %12.2f %18.3e\n", r.name.c_str(),
+        std::printf("%-18s %14llu %12.2f %18.3e %8llu\n",
+                    r.name.c_str(),
                     (unsigned long long)r.instsPerCall, r.usPerCall,
-                    r.hostInstsPerSec);
+                    r.hostInstsPerSec,
+                    (unsigned long long)r.tracesFormed);
 
-    const Result &fused = results[1];
-    const Result &unf = results[2];
+    const Result &fused = results[2];
+    const Result &unf = results[4];
     double speedup = unf.usPerCall / fused.usPerCall;
     std::printf("fused vs unfused host speedup: %.2fx\n", speedup);
+
+    // Interpreter vs trace tier, per config (same insts/call by
+    // construction — the tier only changes host time).
+    auto traceSpeedup = [&](size_t off, size_t on) {
+        return results[off].usPerCall / results[on].usPerCall;
+    };
+    double trNative = traceSpeedup(0, 1);
+    double trFused = traceSpeedup(2, 3);
+    double trUnfused = traceSpeedup(4, 5);
+    std::printf("trace tier speedup: native %.2fx, vg-fused %.2fx, "
+                "vg-unfused %.2fx\n",
+                trNative, trFused, trUnfused);
 
     std::FILE *f = std::fopen("BENCH_exec.json", "w");
     if (!f) {
@@ -189,18 +230,32 @@ main(int argc, char **argv)
                      " \"host_insts_per_sec\": %.1f,"
                      " \"mverify_insts\": %llu,"
                      " \"mverify_findings\": %llu,"
-                     " \"mverify_wall_us\": %.3f}%s\n",
+                     " \"mverify_wall_us\": %.3f,"
+                     " \"trace_tier\": %s,"
+                     " \"trace\": {\"formed\": %llu,"
+                     " \"executed\": %llu, \"side_exits\": %llu,"
+                     " \"retired_insts\": %llu}}%s\n",
                      r.name.c_str(),
                      (unsigned long long)r.instsPerCall, r.usPerCall,
                      r.hostInstsPerSec,
                      (unsigned long long)r.mverifyInsts,
                      (unsigned long long)r.mverifyFindings,
-                     r.mverifyWallUs, i + 1 < results.size() ? ","
-                                                             : "");
+                     r.mverifyWallUs,
+                     r.traceTier ? "true" : "false",
+                     (unsigned long long)r.tracesFormed,
+                     (unsigned long long)r.traceExecuted,
+                     (unsigned long long)r.traceSideExits,
+                     (unsigned long long)r.traceRetired,
+                     i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
-    std::fprintf(f, "  \"fused_vs_unfused_speedup\": %.3f\n}\n",
+    std::fprintf(f, "  \"fused_vs_unfused_speedup\": %.3f,\n",
                  speedup);
+    std::fprintf(f,
+                 "  \"trace_speedup\": %.3f,\n"
+                 "  \"trace_speedup_native\": %.3f,\n"
+                 "  \"trace_speedup_unfused\": %.3f\n}\n",
+                 trFused, trNative, trUnfused);
     std::fclose(f);
     return 0;
 }

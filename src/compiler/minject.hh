@@ -38,6 +38,13 @@ enum class Miscompile : uint8_t
     RawIndirectCall,  ///< CallIndChecked degraded to raw CallInd
     BadJumpTarget,    ///< jump immediate knocked off the inst boundary
     ForgeLabel,       ///< a data constant rewritten to cfiLabelValue
+
+    // Trace-splice miscompiles: ways a buggy (or hostile) trace builder
+    // could corrupt a superinstruction block. Sites exist only on
+    // images that carry spliced traces.
+    TraceExitHijack,    ///< side exit retargeted outside trace + home
+    TraceDropMask,      ///< mask inside a trace degraded to a plain Mov
+    TraceStripHeadLabel,///< trace head CfiLabel removed
 };
 
 /** All kinds, for sweeping. */

@@ -32,8 +32,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 
 #include "compiler/passes.hh"
+#include "compiler/trace.hh"
 
 namespace vg::cc
 {
@@ -52,6 +54,9 @@ ruleId(MRule rule)
     case MRule::BadCallTarget: return "VG-ST-02";
     case MRule::BadRegister: return "VG-ST-03";
     case MRule::FallsOffEnd: return "VG-ST-04";
+    case MRule::SideExitEscape: return "VG-TR-01";
+    case MRule::SideExitWeakerState: return "VG-TR-02";
+    case MRule::TraceBadOp: return "VG-TR-03";
     }
     return "VG-??";
 }
@@ -118,6 +123,16 @@ class RegSet
             _words[i] = w;
         }
         return changed;
+    }
+
+    /** True when every register set in @p other is also set here. */
+    bool
+    covers(const RegSet &other) const
+    {
+        for (size_t i = 0; i < _words.size(); i++)
+            if (other._words[i] & ~_words[i])
+                return false;
+        return true;
     }
 
   private:
@@ -213,16 +228,149 @@ isCallOp(MOp op)
            op == MOp::CallInd || op == MOp::CallIndChecked;
 }
 
+/** Fixpoint of the forward masked-register dataflow over one function
+ *  extent (see file header), from a given entry state. */
+struct MaskFlow
+{
+    std::vector<RegSet> in;
+    std::vector<bool> reached;
+};
+
+MaskFlow
+maskFlow(const MachineImage &img, const FuncRange &r, int numRegs,
+         const RegSet &entry)
+{
+    const size_t n = r.end - r.begin;
+    MaskFlow out;
+    out.in.assign(n, RegSet());
+    out.reached.assign(n, false);
+    if (n == 0)
+        return out;
+
+    auto targetIdx = [&](const MInst &m) -> size_t {
+        if (!img.contains(m.imm))
+            return SIZE_MAX;
+        size_t idx = (size_t)((m.imm - img.codeBase) / mInstBytes);
+        if (idx < r.begin || idx >= r.end)
+            return SIZE_MAX;
+        return idx;
+    };
+
+    std::vector<bool> isJumpTarget(n, false);
+    for (size_t i = r.begin; i < r.end; i++) {
+        const MInst &m = img.code[i];
+        if (m.op != MOp::Jump && m.op != MOp::JumpIfZero)
+            continue;
+        size_t t = targetIdx(m);
+        if (t != SIZE_MAX)
+            isJumpTarget[t - r.begin] = true;
+    }
+
+    // Mask generators: SandboxAddr, and the final Mul of a matched
+    // unfused sequence whose interior no jump can enter.
+    std::vector<int> maskGen(n, -1);
+    for (size_t i = 0; i < n; i++) {
+        const MInst &m = img.code[r.begin + i];
+        if (m.op == MOp::SandboxAddr) {
+            maskGen[i] = m.dst;
+            continue;
+        }
+        int dst = -1;
+        if (i + sandboxMaskSeqLen <= n &&
+            matchSandboxMaskSeq(img.code, r.begin + i, dst) >= 0) {
+            bool enterable = false;
+            for (size_t k = 1; k < sandboxMaskSeqLen; k++)
+                enterable |= isJumpTarget[i + k];
+            if (!enterable)
+                maskGen[i + sandboxMaskSeqLen - 1] = dst;
+        }
+    }
+
+    out.in[0] = entry;
+    out.reached[0] = true;
+
+    // Register bounds are re-checked here (not just in layer 1) because
+    // a trace checker runs this over its home function regardless of
+    // the home's own layer-1 outcome.
+    auto transfer = [&](size_t i, RegSet &state) {
+        const MInst &m = img.code[r.begin + i];
+        bool movMasked = m.op == MOp::Mov && m.a >= 0 && m.a < numRegs &&
+                         state.test(m.a);
+        int d = defReg(m);
+        if (d >= 0 && d < numRegs)
+            state.clear(d);
+        if (maskGen[i] >= 0 && maskGen[i] < numRegs)
+            state.set(maskGen[i]);
+        else if (movMasked && m.dst >= 0 && m.dst < numRegs)
+            state.set(m.dst);
+    };
+
+    auto successors = [&](size_t i, size_t succ[2]) -> int {
+        const MInst &m = img.code[r.begin + i];
+        int cnt = 0;
+        if (m.op == MOp::Ret || m.op == MOp::CheckRet)
+            return 0;
+        if (m.op == MOp::Jump || m.op == MOp::JumpIfZero) {
+            size_t t = targetIdx(m);
+            if (t != SIZE_MAX)
+                succ[cnt++] = t - r.begin;
+            if (m.op == MOp::Jump)
+                return cnt;
+        }
+        if (i + 1 < n)
+            succ[cnt++] = i + 1;
+        return cnt;
+    };
+
+    std::vector<size_t> work{0};
+    std::vector<bool> inWork(n, false);
+    inWork[0] = true;
+    while (!work.empty()) {
+        size_t i = work.back();
+        work.pop_back();
+        inWork[i] = false;
+        RegSet state = out.in[i];
+        transfer(i, state);
+        size_t succ[2];
+        int cnt = successors(i, succ);
+        for (int k = 0; k < cnt; k++) {
+            size_t s = succ[k];
+            bool changed;
+            if (!out.reached[s]) {
+                out.in[s] = state;
+                out.reached[s] = true;
+                changed = true;
+            } else {
+                changed = out.in[s].intersect(state);
+            }
+            if (changed && !inWork[s]) {
+                inWork[s] = true;
+                work.push_back(s);
+            }
+        }
+    }
+    return out;
+}
+
 /** Per-function verification context. */
 class FuncChecker
 {
   public:
+    /**
+     * @param trace non-null when @p range is a spliced trace block;
+     *              enables the VG-TR rules and relaxes VG-ST-01 for
+     *              side exits into @p home.
+     * @param home  extent of the trace's home function (trace mode).
+     */
     FuncChecker(const MachineImage &image, const FuncRange &range,
                 const McodePolicy &policy,
                 const std::vector<uint64_t> &entryAddrs,
-                std::vector<McodeFinding> &findings)
+                std::vector<McodeFinding> &findings,
+                const TraceInfo *trace = nullptr,
+                const FuncRange *home = nullptr)
         : _img(image), _r(range), _policy(policy),
-          _entryAddrs(entryAddrs), _findings(findings)
+          _entryAddrs(entryAddrs), _findings(findings), _trace(trace),
+          _home(home)
     {
     }
 
@@ -230,7 +378,6 @@ class FuncChecker
     run()
     {
         bool regsOk = checkRegisters();
-        markJumpTargets();
         checkStructure();
         if (_policy.requireCfi)
             checkCfi();
@@ -300,21 +447,23 @@ class FuncChecker
         return idx;
     }
 
-    void
-    markJumpTargets()
+    /** Resolve a jump immediate into the home function, or SIZE_MAX
+     *  (trace mode only). */
+    size_t
+    homeTargetIdx(const MInst &m) const
     {
-        _isJumpTarget.assign(_r.end - _r.begin, false);
-        for (size_t i = _r.begin; i < _r.end; i++) {
-            const MInst &m = _img.code[i];
-            if (m.op != MOp::Jump && m.op != MOp::JumpIfZero)
-                continue;
-            size_t t = jumpTargetIdx(m);
-            if (t != SIZE_MAX)
-                _isJumpTarget[t - _r.begin] = true;
-        }
+        if (!_home || !_img.contains(m.imm))
+            return SIZE_MAX;
+        size_t idx = (size_t)((m.imm - _img.codeBase) / mInstBytes);
+        if (idx < _home->begin || idx >= _home->end)
+            return SIZE_MAX;
+        return idx;
     }
 
-    /** Layer 1b: branch/call targets and function termination. */
+    /** Layer 1b: branch/call targets and function termination. In
+     *  trace mode, jumps may also side-exit into the home function
+     *  (VG-TR-01 otherwise) and call/return ops are banned outright
+     *  (VG-TR-03). */
     void
     checkStructure()
     {
@@ -327,7 +476,27 @@ class FuncChecker
             char hex[32];
             std::snprintf(hex, sizeof(hex), "0x%llx",
                           (unsigned long long)m.imm);
+            if (_trace && !traceableOp(m.op)) {
+                report(MRule::TraceBadOp, i,
+                       "trace block contains a call or return "
+                       "(traces may only leave through side exits)");
+                continue;
+            }
             if (m.op == MOp::Jump || m.op == MOp::JumpIfZero) {
+                if (_trace) {
+                    if (!_img.contains(m.imm))
+                        report(MRule::SideExitEscape, i,
+                               std::string("side exit target ") + hex +
+                                   " is not an instruction boundary "
+                                   "in the code region");
+                    else if (jumpTargetIdx(m) == SIZE_MAX &&
+                             homeTargetIdx(m) == SIZE_MAX)
+                        report(MRule::SideExitEscape, i,
+                               std::string("side exit target ") + hex +
+                                   " lands outside the trace and its "
+                                   "home function");
+                    continue;
+                }
                 if (!_img.contains(m.imm))
                     report(MRule::BadBranchTarget, i,
                            std::string("jump target ") + hex +
@@ -395,7 +564,18 @@ class FuncChecker
         }
     }
 
-    /** Layer 3: forward masked-register dataflow (see file header). */
+    /** Layer 3: forward masked-register dataflow (see file header).
+     *
+     * Trace mode differs in two ways. First, the entry state is the
+     * home function's fixpoint state at the anchor — exactly what the
+     * interpreter can rely on at the moment the trace is entered —
+     * instead of the empty set. Second, VG-TR-02: at every side exit
+     * the trace's state must cover the home's fixpoint state at the
+     * landing point, so code downstream of the landing keeps every
+     * masking fact it was verified under. An honest splice satisfies
+     * this by construction (it replays the very instructions the home
+     * path executes); a splice that drops or clobbers a mask does not.
+     */
     void
     checkSandbox()
     {
@@ -404,97 +584,34 @@ class FuncChecker
             return;
         const int numRegs = _r.info->numRegs;
 
-        // Mask generators: SandboxAddr, and the final Mul of a matched
-        // unfused sequence whose interior no jump can enter.
-        std::vector<int> maskGen(n, -1);
-        for (size_t i = 0; i < n; i++) {
-            const MInst &m = _img.code[_r.begin + i];
-            if (m.op == MOp::SandboxAddr) {
-                maskGen[i] = m.dst;
-                continue;
-            }
-            int dst = -1;
-            if (i + sandboxMaskSeqLen <= n &&
-                matchSandboxMaskSeq(_img.code, _r.begin + i, dst) >= 0) {
-                bool enterable = false;
-                for (size_t k = 1; k < sandboxMaskSeqLen; k++)
-                    enterable |= _isJumpTarget[i + k];
-                if (!enterable)
-                    maskGen[i + sandboxMaskSeqLen - 1] = dst;
+        RegSet entry(numRegs, false);
+        MaskFlow homeFlow;
+        bool haveHome = false;
+        if (_trace && _home && _home->info &&
+            _home->info->numRegs == numRegs) {
+            homeFlow = maskFlow(_img, *_home, numRegs,
+                                RegSet(numRegs, false));
+            haveHome = true;
+            if (_img.contains(_trace->anchorAddr)) {
+                size_t a = (size_t)((_trace->anchorAddr -
+                                     _img.codeBase) /
+                                    mInstBytes);
+                if (a >= _home->begin && a < _home->end &&
+                    homeFlow.reached[a - _home->begin])
+                    entry = homeFlow.in[a - _home->begin];
             }
         }
 
-        std::vector<RegSet> in(n);
-        std::vector<bool> reached(n, false);
-        in[0] = RegSet(numRegs, false);
-        reached[0] = true;
-
-        auto transfer = [&](size_t i, RegSet &state) {
-            const MInst &m = _img.code[_r.begin + i];
-            bool movMasked =
-                m.op == MOp::Mov && m.a >= 0 && state.test(m.a);
-            int d = defReg(m);
-            if (d >= 0)
-                state.clear(d);
-            if (maskGen[i] >= 0)
-                state.set(maskGen[i]);
-            else if (movMasked)
-                state.set(m.dst);
-        };
-
-        auto successors = [&](size_t i, size_t out[2]) -> int {
-            const MInst &m = _img.code[_r.begin + i];
-            int cnt = 0;
-            if (m.op == MOp::Ret || m.op == MOp::CheckRet)
-                return 0;
-            if (m.op == MOp::Jump || m.op == MOp::JumpIfZero) {
-                size_t t = jumpTargetIdx(m);
-                if (t != SIZE_MAX)
-                    out[cnt++] = t - _r.begin;
-                if (m.op == MOp::Jump)
-                    return cnt;
-            }
-            if (i + 1 < n)
-                out[cnt++] = i + 1;
-            return cnt;
-        };
-
-        std::vector<size_t> work{0};
-        std::vector<bool> inWork(n, false);
-        inWork[0] = true;
-        while (!work.empty()) {
-            size_t i = work.back();
-            work.pop_back();
-            inWork[i] = false;
-            RegSet state = in[i];
-            transfer(i, state);
-            size_t succ[2];
-            int cnt = successors(i, succ);
-            for (int k = 0; k < cnt; k++) {
-                size_t s = succ[k];
-                bool changed;
-                if (!reached[s]) {
-                    in[s] = state;
-                    reached[s] = true;
-                    changed = true;
-                } else {
-                    changed = in[s].intersect(state);
-                }
-                if (changed && !inWork[s]) {
-                    inWork[s] = true;
-                    work.push_back(s);
-                }
-            }
-        }
+        MaskFlow flow = maskFlow(_img, _r, numRegs, entry);
 
         // Report at the fixpoint, in address order, so diagnostics are
         // deterministic and never reflect a transient optimistic state.
         for (size_t i = 0; i < n; i++) {
-            if (!reached[i])
+            if (!flow.reached[i])
                 continue;
             const MInst &m = _img.code[_r.begin + i];
             auto flag = [&](int reg, const char *role) {
-                if (!in[i].test(reg))
+                if (!flow.in[i].test(reg))
                     report(MRule::UnmaskedAccess, _r.begin + i,
                            std::string(role) + " register %" +
                                std::to_string(reg) +
@@ -509,6 +626,35 @@ class FuncChecker
                 flag(m.b, "memcpy source");
             }
         }
+
+        if (!_trace || !haveHome)
+            return;
+        for (size_t i = 0; i < n; i++) {
+            if (!flow.reached[i])
+                continue;
+            const MInst &m = _img.code[_r.begin + i];
+            if (m.op != MOp::Jump && m.op != MOp::JumpIfZero)
+                continue;
+            if (jumpTargetIdx(m) != SIZE_MAX)
+                continue; // stays inside the trace
+            size_t t = homeTargetIdx(m);
+            if (t == SIZE_MAX || !homeFlow.reached[t - _home->begin])
+                continue;
+            const RegSet &needed = homeFlow.in[t - _home->begin];
+            if (flow.in[i].covers(needed))
+                continue;
+            int missing = -1;
+            for (int reg = 0; reg < numRegs; reg++) {
+                if (needed.test(reg) && !flow.in[i].test(reg)) {
+                    missing = reg;
+                    break;
+                }
+            }
+            report(MRule::SideExitWeakerState, i + _r.begin,
+                   "side exit masked-register state is weaker than "
+                   "the interpreter path at the landing (register %" +
+                       std::to_string(missing) + " unproven)");
+        }
     }
 
     const MachineImage &_img;
@@ -516,7 +662,8 @@ class FuncChecker
     const McodePolicy &_policy;
     const std::vector<uint64_t> &_entryAddrs;
     std::vector<McodeFinding> &_findings;
-    std::vector<bool> _isJumpTarget;
+    const TraceInfo *_trace = nullptr;
+    const FuncRange *_home = nullptr;
 };
 
 } // namespace
@@ -567,11 +714,40 @@ McodeVerifier::verify(const MachineImage &image) const
                     : image.code.size();
     }
 
+    // Trace blocks are registered as pseudo-functions; match each range
+    // to its TraceInfo by entry address so the checker can apply the
+    // VG-TR rules against the trace's home function extent.
+    std::map<uint64_t, const TraceInfo *> traceAt;
+    for (const TraceInfo &t : image.traces)
+        traceAt[t.entryAddr] = &t;
+    std::map<std::string, const FuncRange *> rangeByName;
+    for (const FuncRange &r : ranges)
+        if (r.info)
+            rangeByName[r.info->name] = &r;
+
     for (const FuncRange &r : ranges) {
         if (!r.info)
             continue;
+        const TraceInfo *trace = nullptr;
+        const FuncRange *home = nullptr;
+        auto tIt = traceAt.find(r.info->entryAddr);
+        if (tIt != traceAt.end()) {
+            trace = tIt->second;
+            auto hIt = rangeByName.find(trace->home);
+            if (hIt == rangeByName.end()) {
+                McodeFinding f;
+                f.rule = MRule::SideExitEscape;
+                f.function = r.info->name;
+                f.addr = r.info->entryAddr;
+                f.message = "trace block's home function '" +
+                            trace->home + "' is not in the image";
+                result.findings.push_back(std::move(f));
+                continue;
+            }
+            home = hIt->second;
+        }
         FuncChecker checker(image, r, _policy, entryAddrs,
-                            result.findings);
+                            result.findings, trace, home);
         checker.run();
         result.functionsChecked++;
         result.instsChecked += r.end - r.begin;

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Trace splicer implementation.
+ *
+ * Emission rules (see trace.hh for the model):
+ *
+ *  - non-control ops: verbatim copy; consecutive recorded steps must be
+ *    physically consecutive, so the copy preserves mask sequences.
+ *  - Jump: re-emitted targeting the next block slot (or the block head
+ *    for the loop-closing edge, or the continuation for a linear cut);
+ *    cost 1, exactly the instruction it replaces.
+ *  - JumpIfZero taken: re-emitted targeting the next block slot, then a
+ *    zero-cost side-exit stub Jump to the original fall-through.
+ *  - JumpIfZero not taken: re-emitted verbatim — its taken target is
+ *    already the side exit.
+ *  - tail: paths that fell through (or branched away) after the last
+ *    step get a zero-cost closing Jump to the head / continuation.
+ *
+ * Every target that would land on the anchor is redirected to the block
+ * head: the two addresses are execution-equivalent (the head is either
+ * the copy of the anchor instruction or a zero-cost label directly in
+ * front of it), and staying inside the block avoids a pointless bounce
+ * through the interpreter.
+ */
+
+#include "compiler/trace.hh"
+
+#include "sim/log.hh"
+
+namespace vg::cc
+{
+
+bool
+traceableOp(MOp op)
+{
+    switch (op) {
+      case MOp::ConstI:
+      case MOp::Mov:
+      case MOp::Add:
+      case MOp::Sub:
+      case MOp::Mul:
+      case MOp::UDiv:
+      case MOp::URem:
+      case MOp::And:
+      case MOp::Or:
+      case MOp::Xor:
+      case MOp::Shl:
+      case MOp::LShr:
+      case MOp::AShr:
+      case MOp::ICmp:
+      case MOp::SandboxAddr:
+      case MOp::Load:
+      case MOp::Store:
+      case MOp::Memcpy:
+      case MOp::FrameAddr:
+      case MOp::Jump:
+      case MOp::JumpIfZero:
+      case MOp::CfiLabel:
+        return true;
+      default:
+        return false;
+    }
+}
+
+namespace
+{
+
+SpliceBuildResult
+fail(std::string msg)
+{
+    SpliceBuildResult r;
+    r.error = std::move(msg);
+    return r;
+}
+
+MInst
+jumpTo(uint64_t addr)
+{
+    MInst j;
+    j.op = MOp::Jump;
+    j.imm = addr;
+    return j;
+}
+
+} // namespace
+
+SpliceBuildResult
+buildSplicedImage(const MachineImage &base, const TraceRequest &req,
+                  bool cfiHead)
+{
+    const size_t n = req.steps.size();
+    if (n == 0)
+        return fail("empty trace path");
+    auto homeIt = base.functions.find(req.home);
+    if (homeIt == base.functions.end())
+        return fail("trace home '" + req.home + "' not in image");
+    if (!base.contains(req.anchorAddr))
+        return fail("trace anchor is not an instruction boundary");
+    if (!req.loop && !base.contains(req.contAddr))
+        return fail("trace continuation is not an instruction "
+                    "boundary");
+
+    auto byteAddr = [&](uint64_t idx) {
+        return base.codeBase + idx * mInstBytes;
+    };
+    const uint32_t anchorIdx =
+        uint32_t((req.anchorAddr - base.codeBase) / mInstBytes);
+    if (req.steps[0].idx != anchorIdx)
+        return fail("trace path does not start at its anchor");
+
+    // Validate the path: every step in range and traceable, every
+    // consecutive pair connected by the recorded control flow.
+    for (size_t i = 0; i < n; i++) {
+        const TraceStep &s = req.steps[i];
+        if (s.idx >= base.code.size())
+            return fail("trace step index out of range");
+        const MInst &m = base.code[s.idx];
+        if (!traceableOp(m.op))
+            return fail(std::string("untraceable op in trace path"));
+        uint64_t next_addr;
+        if (m.op == MOp::Jump)
+            next_addr = m.imm;
+        else if (m.op == MOp::JumpIfZero && s.taken)
+            next_addr = m.imm;
+        else
+            next_addr = byteAddr(s.idx + 1);
+        uint64_t expect = i + 1 < n ? byteAddr(req.steps[i + 1].idx)
+                          : req.loop ? req.anchorAddr
+                                     : req.contAddr;
+        if (next_addr != expect)
+            return fail("trace path is not connected at step " +
+                        std::to_string(i));
+    }
+
+    SpliceBuildResult out;
+    out.image = base;
+    MachineImage &img = out.image;
+
+    const uint64_t blockBase = base.codeEnd();
+
+    TraceInfo info;
+    info.home = req.home;
+    info.name =
+        req.home + "$tr" + std::to_string(base.traces.size());
+    info.anchorAddr = req.anchorAddr;
+    info.entryAddr = blockBase;
+    if (img.functions.count(info.name))
+        return fail("trace name collision: " + info.name);
+
+    // Pass 1: slot layout. A synthesized head label is needed when CFI
+    // is on and the path does not already start with the home's entry
+    // label (i.e. for loop-head anchors).
+    const bool synthHead =
+        cfiHead && !(base.code[req.steps[0].idx].op == MOp::CfiLabel &&
+                     base.code[req.steps[0].idx].imm == cfiLabelValue);
+    std::vector<uint32_t> firstSlot(n);
+    uint32_t slots = synthHead ? 1 : 0;
+    for (size_t i = 0; i < n; i++) {
+        firstSlot[i] = slots;
+        const MInst &m = base.code[req.steps[i].idx];
+        slots += m.op == MOp::JumpIfZero && req.steps[i].taken ? 2 : 1;
+    }
+    const MInst &lastInst = base.code[req.steps[n - 1].idx];
+    const bool needTail =
+        !(lastInst.op == MOp::Jump ||
+          (lastInst.op == MOp::JumpIfZero && req.steps[n - 1].taken));
+
+    auto slotAddr = [&](uint32_t slot) {
+        return blockBase + slot * mInstBytes;
+    };
+    // Where control continues after step i when it stays on the trace.
+    auto nextOnTrace = [&](size_t i) -> uint64_t {
+        if (i + 1 < n)
+            return slotAddr(firstSlot[i + 1]);
+        return req.loop ? info.entryAddr : req.contAddr;
+    };
+    // Side exits (and verbatim branch targets) that land on the anchor
+    // stay inside the block instead.
+    auto mapExit = [&](uint64_t addr) {
+        return req.loop && addr == req.anchorAddr ? info.entryAddr
+                                                  : addr;
+    };
+
+    // Pass 2: emission.
+    if (synthHead) {
+        MInst label;
+        label.op = MOp::CfiLabel;
+        label.imm = cfiLabelValue;
+        info.freeOffs.push_back(uint32_t(img.code.size() -
+                                         base.code.size()));
+        img.code.push_back(std::move(label));
+    }
+    for (size_t i = 0; i < n; i++) {
+        const MInst &m = base.code[req.steps[i].idx];
+        const uint32_t orig = req.steps[i].idx;
+        if (m.op == MOp::Jump) {
+            img.code.push_back(jumpTo(nextOnTrace(i)));
+        } else if (m.op == MOp::JumpIfZero) {
+            MInst g = m;
+            if (req.steps[i].taken) {
+                g.imm = nextOnTrace(i);
+                img.code.push_back(std::move(g));
+                info.guards++;
+                info.freeOffs.push_back(
+                    uint32_t(img.code.size() - base.code.size()));
+                img.code.push_back(
+                    jumpTo(mapExit(byteAddr(orig + 1))));
+            } else {
+                g.imm = mapExit(g.imm);
+                img.code.push_back(std::move(g));
+                info.guards++;
+            }
+        } else {
+            img.code.push_back(m);
+        }
+    }
+    if (needTail) {
+        info.freeOffs.push_back(uint32_t(img.code.size() -
+                                         base.code.size()));
+        img.code.push_back(
+            jumpTo(req.loop ? info.entryAddr : req.contAddr));
+    }
+
+    info.length = uint32_t(img.code.size() - base.code.size());
+    if (info.length != slots + (needTail ? 1u : 0u))
+        sim::panic("trace splice: slot layout mismatch");
+
+    const FuncInfo &home = homeIt->second;
+    FuncInfo fi;
+    fi.name = info.name;
+    fi.entryAddr = info.entryAddr;
+    fi.frameBytes = home.frameBytes;
+    fi.numParams = 0;
+    fi.numRegs = home.numRegs;
+    img.functions[fi.name] = fi;
+    img.traces.push_back(std::move(info));
+
+    // Splicing invalidates the base signature; the caller
+    // (Translator::spliceTraces) re-verifies and re-signs.
+    img.signature = crypto::Digest{};
+
+    out.ok = true;
+    return out;
+}
+
+} // namespace vg::cc

@@ -70,6 +70,90 @@ Translator::translateText(const std::string &text, uint64_t code_base)
 }
 
 TranslateResult
+Translator::spliceTrace(const MachineImage &base, const TraceRequest &req)
+{
+    TranslateResult result;
+    if (!_ctx.config().traceTier) {
+        result.error = "trace tier is disabled";
+        return result;
+    }
+
+    // Generation key: the base signature identifies the exact signed
+    // translation (source, base address, flags, signing key) the trace
+    // extends; the descriptor pins the recorded path.
+    crypto::Sha256 h;
+    h.update("trace-splice", 12);
+    h.update(base.signature.data(), base.signature.size());
+    h.update(req.home.data(), req.home.size());
+    h.update(&req.anchorAddr, sizeof(req.anchorAddr));
+    h.update(&req.contAddr, sizeof(req.contAddr));
+    uint8_t loop = req.loop ? 1 : 0;
+    h.update(&loop, 1);
+    for (const TraceStep &s : req.steps) {
+        h.update(&s.idx, sizeof(s.idx));
+        h.update(&s.taken, sizeof(s.taken));
+    }
+    std::string key = crypto::toHex(h.final());
+
+    auto it = _cache.find(key);
+    if (it != _cache.end()) {
+        result.ok = true;
+        result.image = it->second;
+        result.fromCache = true;
+        _cacheHits++;
+        _ctx.stats().add("translator.cache_hits");
+        return result;
+    }
+
+    SpliceBuildResult built =
+        buildSplicedImage(base, req, _ctx.config().cfi);
+    if (!built.ok) {
+        result.error = "trace splice rejected: " + built.error;
+        _ctx.stats().add("translator.splice_rejected");
+        return result;
+    }
+    auto image =
+        std::make_shared<MachineImage>(std::move(built.image));
+
+    if (_postLayoutHook)
+        _postLayoutHook(*image);
+
+    // Same gate as a fresh translation: the trace builder is untrusted,
+    // so nothing spliced is signed (or installed) unless the verifier
+    // re-proves the whole image — including the new block's side exits.
+    if (_ctx.config().verifyMcode) {
+        auto t0 = std::chrono::steady_clock::now();
+        McodeVerifier verifier(McodePolicy::fromConfig(_ctx.config()));
+        result.mverify = verifier.verify(*image);
+        auto wall = std::chrono::steady_clock::now() - t0;
+        sim::StatSet &stats = _ctx.stats();
+        stats.add("mverify.functions", result.mverify.functionsChecked);
+        stats.add("mverify.insts", result.mverify.instsChecked);
+        stats.add("mverify.findings", result.mverify.findings.size());
+        stats.add("mverify.wall_ns",
+                  (uint64_t)std::chrono::duration_cast<
+                      std::chrono::nanoseconds>(wall)
+                      .count());
+        if (!result.mverify.ok()) {
+            result.error = "mcode verifier rejected spliced image '" +
+                           image->moduleName + "':\n" +
+                           result.mverify.message();
+            stats.add("translator.mverify_rejected");
+            return result;
+        }
+    }
+
+    image->signature = sign(*image);
+    _cache[key] = image;
+
+    _ctx.stats().add("translator.traces_spliced");
+
+    result.ok = true;
+    result.image = std::move(image);
+    return result;
+}
+
+TranslateResult
 Translator::translateModule(vir::Module mod, uint64_t code_base)
 {
     TranslateResult result;

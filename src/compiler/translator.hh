@@ -26,6 +26,7 @@
 #include "compiler/mcode.hh"
 #include "compiler/mverify.hh"
 #include "compiler/passes.hh"
+#include "compiler/trace.hh"
 #include "crypto/hmac.hh"
 #include "sim/context.hh"
 #include "vir/module.hh"
@@ -72,6 +73,20 @@ class Translator
      * images that fail (S 4.5: no unsigned native code).
      */
     bool verifySignature(const MachineImage &image) const;
+
+    /**
+     * Splice one recorded hot trace into @p base (which must be a
+     * signed translation): lay the trace block out through the same
+     * builder, re-run the machine-code verifier over the whole spliced
+     * image (VgConfig::verifyMcode; a splice the verifier cannot
+     * re-prove is refused, never signed and never cached), re-sign, and
+     * register the result in the translation cache under a key derived
+     * from the base image's signature — its translation generation —
+     * plus the trace descriptor. Repeated formation of the same trace
+     * on the same base is therefore served from cache.
+     */
+    TranslateResult spliceTrace(const MachineImage &base,
+                                const TraceRequest &req);
 
     /** Number of cache hits (stats / tests). */
     uint64_t cacheHits() const { return _cacheHits; }

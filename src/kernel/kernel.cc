@@ -640,6 +640,10 @@ Kernel::loadModule(const std::string &name, const std::string &text,
     module.executor = std::make_unique<cc::Executor>(
         *module.image, *_kmem, _moduleExterns, _ctx, stack_base,
         1 << 20);
+    // Trace tier: hot paths are spliced through the VM's translator,
+    // which re-proves and re-signs every spliced image before the
+    // executor adopts it — unverified spliced code is never run.
+    module.executor->enableTraceTier(_vm.translator());
     _modules[name] = std::move(module);
     _ctx.stats().add("kernel.modules_loaded");
     return true;

@@ -77,6 +77,30 @@ struct VgConfig
     bool secureRng = true;
 
     /**
+     * Trace-tier superinstruction execution in the Executor: hot loop
+     * heads and function entries (detected by lightweight back-edge /
+     * entry counters) are spliced into superinstruction trace blocks
+     * appended to the image, re-proved by the machine-code verifier,
+     * re-signed, and then run as threaded DInst blocks with folded
+     * cycle-cost bookkeeping. Architectural state, instruction counts,
+     * cycle costs and exec.* stats are bit-identical to the plain
+     * interpreter; disabling this exists for differential testing and
+     * as a perf ablation knob.
+     */
+    bool traceTier = true;
+
+    /** Executions of a back edge / function entry before a trace is
+     *  recorded there (trace-tier knob). */
+    unsigned traceHotThreshold = 50;
+
+    /** Maximum recorded instructions per trace; longer paths are cut
+     *  into a linear trace at the cap (trace-tier knob). */
+    unsigned traceMaxInsts = 512;
+
+    /** Maximum traces spliced into one image (trace-tier knob). */
+    unsigned traceMaxPerImage = 64;
+
+    /**
      * Number of simulated vCPUs. Each vCPU owns a TLB, a timer, and a
      * cycle clock; a deterministic interleaver in the scheduler decides
      * which vCPU runs next. With vcpus == 1 the machine is stat- and

@@ -198,8 +198,22 @@ expectedRule(Miscompile kind)
     case Miscompile::RawIndirectCall: return MRule::RawIndirectCall;
     case Miscompile::BadJumpTarget: return MRule::BadBranchTarget;
     case Miscompile::ForgeLabel: return MRule::LabelForgery;
+    case Miscompile::TraceExitHijack: return MRule::SideExitEscape;
+    case Miscompile::TraceDropMask: return MRule::UnmaskedAccess;
+    case Miscompile::TraceStripHeadLabel:
+        return MRule::MissingEntryLabel;
     }
     return MRule::UnmaskedAccess;
+}
+
+/** True for kinds that only have sites on images carrying spliced
+ *  traces; those are exercised by the sweep in test_trace.cc. */
+bool
+traceOnlyKind(Miscompile kind)
+{
+    return kind == Miscompile::TraceExitHijack ||
+           kind == Miscompile::TraceDropMask ||
+           kind == Miscompile::TraceStripHeadLabel;
 }
 
 bool
@@ -275,10 +289,14 @@ TEST(McodeVerifySweep, EveryInjectedMiscompileIsDetected)
             }
         }
     }
-    // The corpus must actually exercise every kind.
-    for (size_t k = 0; k < perKind.size(); k++)
+    // The corpus must actually exercise every kind (trace-splice kinds
+    // need a spliced image and are swept in test_trace.cc).
+    for (size_t k = 0; k < perKind.size(); k++) {
+        if (traceOnlyKind(allMiscompiles()[k]))
+            continue;
         EXPECT_GT(perKind[k], 0u)
             << "no sites for " << miscompileName(allMiscompiles()[k]);
+    }
     EXPECT_GT(injected, 100u);
 }
 

@@ -27,6 +27,7 @@
 #include <sstream>
 #include <string>
 
+#include "compiler/exec.hh"
 #include "compiler/minject.hh"
 #include "compiler/mverify.hh"
 #include "compiler/translator.hh"
@@ -111,6 +112,11 @@ usage()
         "                    module; exit 0 iff the verifier detects\n"
         "                    100%% and reports 0 findings when clean\n"
         "\n"
+        "trace tier:\n"
+        "  --dump-traces     execute the module's functions under the\n"
+        "                    trace tier and print each formed trace\n"
+        "                    (anchor PC, length, guards, fold savings)\n"
+        "\n"
         "exit status: 0 clean, 1 findings, 2 usage/translate error\n");
     return 2;
 }
@@ -124,6 +130,7 @@ struct Options
     cc::Miscompile injectKind = cc::Miscompile::DropMask;
     size_t injectSite = 0;
     bool selfTest = false;
+    bool dumpTraces = false;
     std::string input;
 };
 
@@ -185,6 +192,65 @@ lint(const Options &opt, const std::string &text)
                 (unsigned long long)res.instsChecked,
                 res.findings.size());
     return res.findings.empty() ? 0 : 1;
+}
+
+/** Memory that accepts everything: --dump-traces only needs control
+ *  flow to run, not a faithful kernel address space. */
+class AcceptAllPort : public cc::MemPort
+{
+  public:
+    bool
+    read(uint64_t, unsigned, uint64_t &out) override
+    {
+        out = 0;
+        return true;
+    }
+    bool write(uint64_t, unsigned, uint64_t) override { return true; }
+    bool copy(uint64_t, uint64_t, uint64_t) override { return true; }
+};
+
+int
+dumpTraces(const Options &opt, const std::string &text)
+{
+    sim::VgConfig cfg = opt.config;
+    cfg.traceTier = true;
+    sim::SimContext ctx(cfg);
+    std::vector<uint8_t> key(32, 0x42);
+    cc::Translator translator(key, ctx);
+    cc::TranslateResult tr = translator.translateText(text, kCodeBase);
+    if (!tr.ok) {
+        std::fprintf(stderr, "vg_lint: translation failed: %s\n",
+                     tr.error.c_str());
+        return 2;
+    }
+
+    AcceptAllPort mem;
+    cc::ExternTable externs;
+    cc::Executor exec(*tr.image, mem, externs, ctx,
+                      0xffffffb000000000ull, 1 << 20);
+    exec.enableTraceTier(translator);
+    exec.setFuel(2'000'000);
+    // Drive every function hot: nonzero arguments so counted loops
+    // iterate, several passes so entry anchors cross the threshold.
+    std::vector<uint64_t> args(8, 4096);
+    for (const auto &[name, fn] : tr.image->functions) {
+        (void)name;
+        for (int pass = 0; pass < 3; pass++)
+            exec.call(fn, args);
+    }
+
+    const cc::MachineImage &img = exec.currentImage();
+    for (const cc::TraceInfo &t : img.traces)
+        std::printf("vg_lint: trace %s: home %s anchor 0x%llx len %u "
+                    "guards %u fold-savings %u\n",
+                    t.name.c_str(), t.home.c_str(),
+                    (unsigned long long)t.anchorAddr, t.length,
+                    t.guards, t.foldSavings());
+    std::printf("vg_lint: %s: %zu trace(s) formed\n",
+                img.moduleName.empty() ? "<module>"
+                                       : img.moduleName.c_str(),
+                img.traces.size());
+    return 0;
 }
 
 int
@@ -253,6 +319,8 @@ main(int argc, char **argv)
             opt.requireCfi = true;
         else if (arg == "--self-test")
             opt.selfTest = true;
+        else if (arg == "--dump-traces")
+            opt.dumpTraces = true;
         else if (arg == "--inject") {
             if (++i >= argc)
                 return usage();
@@ -303,5 +371,7 @@ main(int argc, char **argv)
         ss << f.rdbuf();
         text = ss.str();
     }
+    if (opt.dumpTraces)
+        return dumpTraces(opt, text);
     return lint(opt, text);
 }
