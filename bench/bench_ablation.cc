@@ -75,6 +75,10 @@ main()
             base_mmap = mm;
             base_fork = fe;
         }
+        // Pool the measured per-op latencies across configurations.
+        for (double us : {null_lat, oc, mm, fe})
+            report.latency().add(
+                uint64_t(us * sim::Clock::cyclesPerUsec));
         std::printf("%-22s %9.3f %9.3f %9.3f %9.3f\n", config.name,
                     null_lat, oc, mm, fe);
         std::printf("%-22s %8.2fx %8.2fx %8.2fx %8.2fx\n", "",

@@ -56,6 +56,10 @@ main()
                             });
         create_nat.push_back(nat);
         create_vg.push_back(vgr);
+        // One pooled sample per size: VG per-file create latency.
+        if (vgr > 0)
+            report.latency().add(uint64_t(
+                sim::Clock::cyclesPerUsec * 1e6 / vgr));
         std::printf("%-10s %12.0f %12.0f %8.2fx | %12.0f %12.0f "
                     "%8.2fx\n",
                     sizeLabel(row.size).c_str(), nat, vgr, nat / vgr,
@@ -89,6 +93,9 @@ main()
                     sizeLabel(row.size).c_str(), nat, vgr, nat / vgr,
                     row.paperDeleteNat, row.paperDeleteVg,
                     row.paperDeleteNat / row.paperDeleteVg);
+        if (vgr > 0)
+            report.latency().add(uint64_t(
+                sim::Clock::cyclesPerUsec * 1e6 / vgr));
         report.row()
             .str("test", "delete")
             .count("file_bytes", row.size)

@@ -85,6 +85,9 @@ main()
                            [&](kern::UserApi &api) {
                                return row.fn(api, row.iters);
                            });
+        // One pooled sample per test: the VG per-op mean, in cycles.
+        report.latency().add(
+            uint64_t(vg * sim::Clock::cyclesPerUsec));
         std::printf("%-26s %10.3f %10.3f %8.2fx | %10.3f %10.1f %9s\n",
                     row.name, native, vg, vg / native, row.paperNative,
                     row.paperVg, row.paperOverhead);

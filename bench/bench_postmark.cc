@@ -16,7 +16,8 @@ namespace
 {
 
 double
-postmarkSeconds(sim::VgConfig vg, const PostmarkConfig &cfg)
+postmarkSeconds(sim::VgConfig vg, const PostmarkConfig &cfg,
+                LatencySamples *lat = nullptr)
 {
     kern::System sys(benchConfig(vg));
     sys.boot();
@@ -26,6 +27,9 @@ postmarkSeconds(sim::VgConfig vg, const PostmarkConfig &cfg)
         return 0;
     });
     collectVerifierStats(sys);
+    if (lat)
+        for (uint64_t c : result.transactionCycles)
+            lat->add(c);
     return result.seconds();
 }
 
@@ -58,7 +62,8 @@ main()
     for (int i = 0; i < runs; i++) {
         cfg.seed = uint64_t(42 + i);
         nat += postmarkSeconds(sim::VgConfig::native(), cfg);
-        vgs += postmarkSeconds(sim::VgConfig::full(), cfg);
+        vgs += postmarkSeconds(sim::VgConfig::full(), cfg,
+                               &report.latency());
     }
     nat /= runs;
     vgs /= runs;

@@ -16,7 +16,8 @@ namespace
 {
 
 double
-clientBandwidth(uint64_t file_size, bool ghosting)
+clientBandwidth(uint64_t file_size, bool ghosting,
+                LatencySamples *lat = nullptr)
 {
     kern::System sys(benchConfig(sim::VgConfig::full()));
     sys.boot();
@@ -57,6 +58,8 @@ clientBandwidth(uint64_t file_size, bool ghosting)
             return capi.execve(&bin, [&](kern::UserApi &napi) {
                 sim::Stopwatch sw(napi.kernel().ctx().clock());
                 SshResult r = sshFetch(napi, "/payload", ghosting);
+                if (lat)
+                    lat->add(sw.elapsed());
                 double secs = sim::Clock::toSec(sw.elapsed());
                 if (r.ok && secs > 0)
                     kbps = double(r.bytes) / 1024.0 / secs;
@@ -92,7 +95,8 @@ main()
     double worst = 0;
     for (uint64_t size = 1024; size <= max_size; size *= 4) {
         double plain = clientBandwidth(size, false);
-        double ghost = clientBandwidth(size, true);
+        double ghost =
+            clientBandwidth(size, true, &report.latency());
         double red = plain > 0 ? 100.0 * (1.0 - ghost / plain) : 0.0;
         worst = std::max(worst, red);
         std::printf("%-10s %14.0f %14.0f %11.1f%%\n",

@@ -20,7 +20,8 @@ namespace
  *  23, ...); returns aggregate KB/s across all sessions. With
  *  vcpus == 1 this is the paper's single-session transfer. */
 double
-transferBandwidth(sim::VgConfig vg, uint64_t file_size, bool ghosting)
+transferBandwidth(sim::VgConfig vg, uint64_t file_size, bool ghosting,
+                  LatencySamples *lat = nullptr)
 {
     kern::System sys(benchConfig(vg));
     sys.boot();
@@ -69,9 +70,13 @@ transferBandwidth(sim::VgConfig vg, uint64_t file_size, bool ghosting)
         for (unsigned s = 0; s < sessions; s++)
             clients.push_back(api.fork([&, s](kern::UserApi &capi) {
                 return capi.execve(&bin, [&, s](kern::UserApi &napi) {
+                    uint64_t s0 = napi.kernel().ctx().clock().now();
                     SshResult r =
                         sshFetch(napi, "/payload", ghosting, false,
                                  uint16_t(sshdPort + s));
+                    if (lat)
+                        lat->add(napi.kernel().ctx().clock().now() -
+                                 s0);
                     if (r.ok)
                         total_bytes += r.bytes;
                     return r.ok ? 0 : 1;
@@ -96,11 +101,16 @@ main(int argc, char **argv)
 {
     bool paper = paperScale();
     unsigned vcpus = parseVcpus(argc, argv);
+    bool legacy_io = legacyIo(argc, argv);
     uint64_t max_size =
         paper ? (64ull << 20) : smokeScale() ? (1ull << 20) : (4ull << 20);
 
-    BenchReport report(vcpus > 1 ? "sshd_smp" : "sshd", vcpus);
+    std::string name = vcpus > 1 ? "sshd_smp" : "sshd";
+    if (legacy_io)
+        name += "_syncio";
+    BenchReport report(name, vcpus);
     report.top().count("max_file_bytes", max_size);
+    report.top().flag("async_io", !legacy_io);
 
     banner("Figure 3. SSH server average transfer rate (KB/s)\n"
            "(non-ghosting client; paper: 23% mean reduction, 45% "
@@ -116,8 +126,10 @@ main(int argc, char **argv)
         sim::VgConfig nat_vg = sim::VgConfig::native();
         sim::VgConfig full_vg = sim::VgConfig::full();
         nat_vg.vcpus = full_vg.vcpus = vcpus;
+        nat_vg.asyncIo = full_vg.asyncIo = !legacy_io;
         double nat = transferBandwidth(nat_vg, size, false);
-        double vgb = transferBandwidth(full_vg, size, false);
+        double vgb =
+            transferBandwidth(full_vg, size, false, &report.latency());
         double red = nat > 0 ? 100.0 * (1.0 - vgb / nat) : 0.0;
         reductions += red;
         n++;

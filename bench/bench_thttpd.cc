@@ -16,7 +16,8 @@ namespace
 {
 
 double
-bandwidthFor(sim::VgConfig vg, uint64_t file_size, uint64_t requests)
+bandwidthFor(sim::VgConfig vg, uint64_t file_size, uint64_t requests,
+             LatencySamples *lat = nullptr)
 {
     kern::System sys(benchConfig(vg));
     sys.boot();
@@ -75,6 +76,9 @@ bandwidthFor(sim::VgConfig vg, uint64_t file_size, uint64_t requests)
                                                   share,
                                                   uint16_t(80 + inst));
                         total_bytes += ab.bytes;
+                        if (lat)
+                            for (uint64_t c : ab.requestCycles)
+                                lat->add(c);
                         return 0;
                     }));
             }
@@ -99,12 +103,17 @@ main(int argc, char **argv)
 {
     bool paper = paperScale();
     unsigned vcpus = parseVcpus(argc, argv);
+    bool legacy_io = legacyIo(argc, argv);
     uint64_t requests = paper ? 10000 : smokeScale() ? 12 : 50;
     // Keep per-server load meaningful when fanning out across vCPUs.
     requests *= vcpus;
 
-    BenchReport report(vcpus > 1 ? "thttpd_smp" : "thttpd", vcpus);
+    std::string name = vcpus > 1 ? "thttpd_smp" : "thttpd";
+    if (legacy_io)
+        name += "_syncio";
+    BenchReport report(name, vcpus);
     report.top().count("requests", requests);
+    report.top().flag("async_io", !legacy_io);
 
     banner("Figure 2. thttpd average bandwidth (KB/s) vs file size\n"
            "(ApacheBench workload; paper: VG impact negligible)");
@@ -117,8 +126,10 @@ main(int argc, char **argv)
         sim::VgConfig nat_vg = sim::VgConfig::native();
         sim::VgConfig full_vg = sim::VgConfig::full();
         nat_vg.vcpus = full_vg.vcpus = vcpus;
+        nat_vg.asyncIo = full_vg.asyncIo = !legacy_io;
         double nat = bandwidthFor(nat_vg, size, requests);
-        double vgb = bandwidthFor(full_vg, size, requests);
+        double vgb =
+            bandwidthFor(full_vg, size, requests, &report.latency());
         std::printf("%-10s %12.0f %12.0f %9.1f%%\n",
                     sizeLabel(size).c_str(), nat, vgb,
                     100.0 * vgb / nat);

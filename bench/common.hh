@@ -63,6 +63,19 @@ parseVcpus(int argc, char **argv)
     return 1;
 }
 
+/** Parse "--legacy-io" from argv, or VG_ASYNC_IO=0 from the
+ *  environment: run with the synchronous device paths
+ *  (VgConfig::asyncIo = false) for A/B comparison in CI. */
+inline bool
+legacyIo(int argc, char **argv)
+{
+    for (int i = 1; i < argc; i++)
+        if (std::strcmp(argv[i], "--legacy-io") == 0)
+            return true;
+    const char *env = std::getenv("VG_ASYNC_IO");
+    return env && std::strcmp(env, "0") == 0;
+}
+
 /** Machine-wide simulated time: the furthest-ahead vCPU clock.
  *  Identical to ctx.clock().now() on single-CPU machines. */
 inline sim::Cycles
@@ -73,6 +86,35 @@ machineNow(kern::System &sys)
         t = std::max<uint64_t>(t, sys.ctx().clockOf(c).now());
     return sim::Cycles(t);
 }
+
+/**
+ * Per-operation latency pool. Benchmarks feed one sample per natural
+ * unit of work (HTTP request, ssh session, postmark transaction,
+ * micro-op iteration); BenchReport turns the pool into p50/p99/p999
+ * so tail behaviour lands in the JSON next to the throughput figures.
+ */
+class LatencySamples
+{
+  public:
+    void add(uint64_t cycles) { _samples.push_back(cycles); }
+    size_t count() const { return _samples.size(); }
+
+    /** Percentile (0-100) in cycles over the recorded pool; 0 when
+     *  the pool is empty. Nearest-rank on a sorted copy. */
+    uint64_t
+    percentile(double p) const
+    {
+        if (_samples.empty())
+            return 0;
+        std::vector<uint64_t> sorted(_samples);
+        std::sort(sorted.begin(), sorted.end());
+        double rank = p / 100.0 * double(sorted.size() - 1);
+        return sorted[size_t(rank + 0.5)];
+    }
+
+  private:
+    std::vector<uint64_t> _samples;
+};
 
 /**
  * Machine-readable results: every bench binary writes one
@@ -165,6 +207,10 @@ class BenchReport
     /** Top-level scalars ("speedup", "work_iters", ...). */
     Obj &top() { return _top; }
 
+    /** Per-operation latency pool; write() renders it as a "latency"
+     *  object with p50/p99/p999 in microseconds. */
+    LatencySamples &latency() { return _latency; }
+
     /** Append one result row (shows up under "results"). */
     Obj &
     row()
@@ -203,6 +249,15 @@ class BenchReport
             std::fprintf(f, "}%s\n", i + 1 < _rows.size() ? "," : "");
         }
         std::fprintf(f, "  ],\n");
+        double cpu = sim::Clock::cyclesPerUsec;
+        std::fprintf(f,
+                     "  \"latency\": {\"samples\": %zu, "
+                     "\"p50_us\": %.3f, \"p99_us\": %.3f, "
+                     "\"p999_us\": %.3f},\n",
+                     _latency.count(),
+                     double(_latency.percentile(50)) / cpu,
+                     double(_latency.percentile(99)) / cpu,
+                     double(_latency.percentile(99.9)) / cpu);
         std::fprintf(f, "  \"host_seconds\": %.3f\n}\n", host);
         std::fclose(f);
         std::printf("wrote %s (%.2fs host)\n", path.c_str(), host);
@@ -214,6 +269,7 @@ class BenchReport
     std::chrono::steady_clock::time_point _start;
     Obj _top;
     std::vector<Obj> _rows;
+    LatencySamples _latency;
 };
 
 /**

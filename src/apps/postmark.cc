@@ -99,7 +99,9 @@ postmark(kern::UserApi &api, const PostmarkConfig &config)
         create_file();
 
     // Phase 2: transactions.
+    result.transactionCycles.reserve(config.transactions);
     for (uint64_t t = 0; t < config.transactions; t++) {
+        uint64_t t0 = api.kernel().ctx().clock().now();
         if (rng.nextBounded(10) < uint64_t(config.createBias)) {
             if (rng.nextBounded(2) == 0)
                 create_file();
@@ -112,6 +114,8 @@ postmark(kern::UserApi &api, const PostmarkConfig &config)
                 append_file();
         }
         result.transactions++;
+        result.transactionCycles.push_back(
+            api.kernel().ctx().clock().now() - t0);
     }
 
     // Phase 3: delete everything left.

@@ -13,6 +13,7 @@
 #define VG_APPS_POSTMARK_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "kernel/kernel.hh"
 
@@ -41,6 +42,9 @@ struct PostmarkResult
     uint64_t bytesRead = 0;
     uint64_t bytesWritten = 0;
     sim::Cycles cycles = 0;
+    /** Per-transaction latency samples (cycles), one per phase-2
+     *  transaction. */
+    std::vector<uint64_t> transactionCycles;
 
     double
     seconds() const

@@ -8,15 +8,15 @@ namespace vg::apps
 bool
 sendMsg(kern::UserApi &api, int fd, const std::vector<uint8_t> &payload)
 {
+    // One writev-style send for header + payload: one gate crossing
+    // and one wire frame per message instead of two.
+    std::vector<uint8_t> frame(4 + payload.size());
     uint32_t len = uint32_t(payload.size());
-    uint8_t hdr[4];
-    std::memcpy(hdr, &len, 4);
-    if (api.sendHost(fd, hdr, 4) != 4)
-        return false;
-    if (payload.empty())
-        return true;
-    return api.sendHost(fd, payload.data(), payload.size()) ==
-           int64_t(payload.size());
+    std::memcpy(frame.data(), &len, 4);
+    if (!payload.empty())
+        std::memcpy(frame.data() + 4, payload.data(), payload.size());
+    return api.sendHost(fd, frame.data(), frame.size()) ==
+           int64_t(frame.size());
 }
 
 namespace

@@ -12,6 +12,7 @@
  *   5. serve "GET <path>" requests: size, then sealed 32 KB chunks.
  */
 
+#include <algorithm>
 #include <cstring>
 
 #include "apps/ssh_common.hh"
@@ -105,14 +106,14 @@ serveConnection(kern::UserApi &api, ghost::GhostRuntime & /*runtime*/,
             continue;
         }
         constexpr uint64_t chunk = 32 * 1024;
-        hw::Vaddr buf = api.mmap(chunk);
+        // Read straight from the buffer cache: no mmap staging area to
+        // demand-fault and no extra user copy per chunk.
         std::vector<uint8_t> host_buf(chunk);
         uint64_t remaining = st.size;
         while (remaining > 0) {
             uint64_t n = std::min(remaining, chunk);
-            if (api.read(fd, buf, n) != int64_t(n))
+            if (api.readHost(fd, host_buf.data(), n) != int64_t(n))
                 break;
-            api.copyFromUser(buf, host_buf.data(), n);
             std::vector<uint8_t> plain(host_buf.begin(),
                                        host_buf.begin() + long(n));
             crypto::SealedBlob blob = appSeal(api, session, rng, plain);
@@ -120,7 +121,6 @@ serveConnection(kern::UserApi &api, ghost::GhostRuntime & /*runtime*/,
                 break;
             remaining -= n;
         }
-        api.munmap(buf, chunk);
         api.close(fd);
     }
     return true;
@@ -154,27 +154,45 @@ sshd(kern::UserApi &api, const SshdConfig &config)
     if (api.bind(ls, config.port) != 0 || api.listen(ls) != 0)
         return 4;
 
-    int served = 0;
-    while (config.maxConnections == 0 ||
-           served < config.maxConnections) {
-        int conn = api.accept(ls);
-        if (conn < 0)
-            break;
-        // Like OpenSSH, fork a per-connection child; session setup
-        // (privilege separation, pty plumbing, environment) is a
-        // large burst of kernel work.
-        uint64_t child = api.fork([&, conn](kern::UserApi &capi) {
+    // Pre-forked worker pool: each worker pays the session
+    // infrastructure setup (privilege separation, pty plumbing,
+    // environment) ONCE, then sleeps in accept() until the accept
+    // queue's softirq wakes it. Per accepted connection only the
+    // per-session state (login record, channel open) is charged.
+    unsigned nworkers = config.workers;
+    if (nworkers == 0)
+        nworkers = config.maxConnections
+                       ? std::min(unsigned(config.maxConnections), 4u)
+                       : 4u;
+    // Split the connection quota across the pool (0 = forever).
+    std::vector<uint64_t> workers;
+    for (unsigned w = 0; w < nworkers; w++) {
+        int quota = 0;
+        if (config.maxConnections) {
+            quota = config.maxConnections / int(nworkers) +
+                    (w < unsigned(config.maxConnections) % nworkers);
+            if (quota == 0)
+                continue;
+        }
+        workers.push_back(api.fork([&, quota](kern::UserApi &capi) {
             capi.kernel().ctx().chargeKernelWork(140000, 60000, 13000);
-            bool ok = serveConnection(capi, runtime, host_key,
-                                      authorized, conn, rng);
-            capi.close(conn);
-            return ok ? 0 : 1;
-        });
-        int status = 0;
-        api.waitpid(child, status);
-        api.close(conn);
-        served++;
+            int served = 0;
+            while (quota == 0 || served < quota) {
+                int conn = capi.accept(ls);
+                if (conn < 0)
+                    break;
+                capi.kernel().ctx().chargeKernelWork(14000, 6000, 1300);
+                serveConnection(capi, runtime, host_key, authorized,
+                                conn, rng);
+                capi.close(conn);
+                served++;
+            }
+            return 0;
+        }));
     }
+    int status = 0;
+    for (uint64_t w : workers)
+        api.waitpid(w, status);
     api.close(ls);
     return 0;
 }

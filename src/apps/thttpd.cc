@@ -70,7 +70,6 @@ thttpd(kern::UserApi &api, const ThttpdConfig &config)
         return 1;
 
     uint64_t served = 0;
-    std::vector<uint8_t> file_buf;
     while (config.maxRequests == 0 || served < config.maxRequests) {
         int conn = api.accept(ls);
         if (conn < 0)
@@ -108,21 +107,16 @@ thttpd(kern::UserApi &api, const ThttpdConfig &config)
         sendAll(api, conn, hdr.data(), hdr.size());
 
         int fd = api.open(path);
-        constexpr uint64_t chunk = 32 * 1024;
-        hw::Vaddr buf = api.mmap(chunk);
-        if (file_buf.size() < chunk)
-            file_buf.resize(chunk);
+        // sendfile(): the kernel streams bcache pages onto the NIC
+        // ring directly — no mmap staging area to demand-fault, no
+        // copy out to user space and back in.
         uint64_t remaining = st.size;
         while (remaining > 0) {
-            uint64_t n = std::min(remaining, chunk);
-            if (api.read(fd, buf, n) != int64_t(n))
+            int64_t n = api.sendfile(conn, fd, remaining);
+            if (n <= 0)
                 break;
-            api.copyFromUser(buf, file_buf.data(), n);
-            if (!sendAll(api, conn, file_buf.data(), n))
-                break;
-            remaining -= n;
+            remaining -= uint64_t(n);
         }
-        api.munmap(buf, chunk);
         api.close(fd);
         api.close(conn);
         served++;
@@ -140,6 +134,7 @@ apacheBench(kern::UserApi &api, const std::string &path,
 
     std::vector<uint8_t> buf(64 * 1024);
     for (uint64_t i = 0; i < requests; i++) {
+        uint64_t req_t0 = api.kernel().ctx().clock().now();
         int fd = api.connect(port);
         if (fd < 0) {
             result.failures++;
@@ -175,6 +170,8 @@ apacheBench(kern::UserApi &api, const std::string &path,
         api.close(fd);
         result.requests++;
         result.bytes += got;
+        result.requestCycles.push_back(
+            api.kernel().ctx().clock().now() - req_t0);
     }
     result.cycles = sw.elapsed();
     return result;

@@ -8,6 +8,7 @@
 #define VG_APPS_THTTPD_HH
 
 #include <string>
+#include <vector>
 
 #include "kernel/kernel.hh"
 
@@ -33,6 +34,8 @@ struct AbResult
     uint64_t bytes = 0;
     /** Simulated cycles spent across the run. */
     uint64_t cycles = 0;
+    /** Per-request latency samples (cycles), one per GET. */
+    std::vector<uint64_t> requestCycles;
 
     double
     bandwidthKBps(double cycles_per_usec) const

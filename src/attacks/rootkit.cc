@@ -222,4 +222,52 @@ checkAttack2(kern::Kernel &kernel, const std::vector<uint8_t> &secret)
     return result;
 }
 
+AttackResult
+mountAttack3(hw::Nic &tx_nic, hw::Nic &rx_nic, hw::Paddr secret_pa,
+             const std::vector<uint8_t> &secret)
+{
+    AttackResult result;
+
+    // Discard unrelated queued traffic so the loot is only what this
+    // descriptor moves.
+    while (rx_nic.hasPacket())
+        rx_nic.receive();
+
+    hw::RingDesc d;
+    d.pa = secret_pa;
+    d.len = uint32_t(
+        std::min<uint64_t>(secret.size() + 48, hw::Nic::mtu));
+    d.useDma = true;
+    if (!tx_nic.txPost(d)) {
+        result.detail = "attack 3: TX ring full";
+        return result;
+    }
+    result.mounted = true;
+    tx_nic.txDoorbell();
+    std::vector<hw::RingCompletion> comps = tx_nic.txReapAll();
+    bool blocked = !comps.empty() && comps.front().error;
+
+    while (rx_nic.hasPacket()) {
+        std::vector<uint8_t> p = rx_nic.receive();
+        result.loot.insert(result.loot.end(), p.begin(), p.end());
+    }
+    if (result.loot.size() >= secret.size()) {
+        for (size_t off = 0;
+             off + secret.size() <= result.loot.size(); off++) {
+            if (std::equal(secret.begin(), secret.end(),
+                           result.loot.begin() + long(off))) {
+                result.dataStolen = true;
+                break;
+            }
+        }
+    }
+    result.detail =
+        result.dataStolen
+            ? "attack 3 shipped the secret frame onto the wire"
+            : blocked ? "attack 3 blocked: IOMMU refused the ring "
+                        "descriptor's DMA"
+                      : "attack 3 obtained nothing";
+    return result;
+}
+
 } // namespace vg::attacks

@@ -69,6 +69,19 @@ AttackResult mountAttack2(kern::Kernel &kernel, uint64_t victim_pid,
 AttackResult checkAttack2(kern::Kernel &kernel,
                           const std::vector<uint8_t> &secret);
 
+/**
+ * Attack 3: descriptor-ring redirection (the asyncIo surface). The
+ * hostile OS posts a TX descriptor on @p tx_nic whose DMA address is
+ * the frame holding the victim's @p secret, rings the doorbell, and
+ * scrapes the peer @p rx_nic for whatever went over the wire. Under
+ * Virtual Ghost the IOMMU refuses the slot's DMA: the completion
+ * carries an error, nic.ring_blocked_dma counts the attempt, and no
+ * packet is delivered.
+ */
+AttackResult mountAttack3(hw::Nic &tx_nic, hw::Nic &rx_nic,
+                          hw::Paddr secret_pa,
+                          const std::vector<uint8_t> &secret);
+
 } // namespace vg::attacks
 
 #endif // VG_ATTACKS_ROOTKIT_HH

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "hw/mmu.hh"
+#include "hw/ring.hh"
 #include "hw/timer.hh"
 #include "sim/context.hh"
 
@@ -61,10 +62,35 @@ class Cpu
         sp = 0;
     }
 
+    /** Wire a device interrupt line into this vCPU. Lines are shared
+     *  machine-wide objects; a device re-steers its line to another
+     *  vCPU by IrqLine::wireTo() (MSI-X affinity), so a line attached
+     *  here is "deliverable" on this CPU only while its affinity
+     *  points at it. */
+    void attachIrq(IrqLine *line) { _irqs.push_back(line); }
+
+    /** Device lines attached to this vCPU (for the kernel's IRQ scan
+     *  and for `vg_lint --dump-rings`). */
+    const std::vector<IrqLine *> &irqLines() const { return _irqs; }
+
+    /** Earliest pending completion time among lines currently steered
+     *  at this vCPU; 0 when none is raised. */
+    uint64_t
+    earliestIrq() const
+    {
+        uint64_t at = 0;
+        for (const IrqLine *l : _irqs)
+            if (l->pending() && l->cpu() == _id &&
+                (at == 0 || l->pendingAt() < at))
+                at = l->pendingAt();
+        return at;
+    }
+
   private:
     unsigned _id;
     Mmu _mmu;
     Timer _timer;
+    std::vector<IrqLine *> _irqs;
 };
 
 /** The machine's vCPUs, sized from SimContext::vcpuCount(). */

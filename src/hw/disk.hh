@@ -21,6 +21,7 @@
 
 #include "hw/iommu.hh"
 #include "hw/phys_mem.hh"
+#include "hw/ring.hh"
 #include "sim/context.hh"
 
 namespace vg::hw
@@ -52,6 +53,30 @@ class Disk
      *  the OS has full read/write access to persistent storage. */
     uint8_t *rawBlock(uint64_t block);
 
+    // --- Async request queue (VgConfig::asyncIo) ----------------------
+    /** Post one request descriptor (charges descriptor setup). The
+     *  descriptor names a block and either a host buffer or a DMA
+     *  address. False when the queue is full. */
+    bool submit(const RingDesc &d);
+
+    /**
+     * Ring the request doorbell. Data moves at submit time (the
+     * simulator is functional); what the device models is *latency*:
+     * each request completes at doorbell-time + ssdRequest +
+     * ssdPerBlock, independently of its queue neighbours (deep NCQ —
+     * flash channels do not serialize distinct requests). DMA
+     * descriptors go through the IOMMU; blocked slots complete with
+     * error and are counted. Returns the latest completion time.
+     */
+    uint64_t doorbell();
+
+    /** Drain completions in doorbell order, freeing queue slots. */
+    std::vector<RingCompletion> reapAll() { return _queue.reapAll(); }
+
+    IrqLine &irq() { return _irq; }
+    const DescRing &queue() const { return _queue; }
+    uint64_t ringBlockedDma() const { return _ringBlocked; }
+
   private:
     void check(uint64_t block) const;
     void charge(uint64_t blocks);
@@ -59,8 +84,12 @@ class Disk
     std::vector<uint8_t> _data;
     Iommu &_iommu;
     sim::SimContext &_ctx;
+    DescRing _queue;
+    IrqLine _irq;
+    uint64_t _ringBlocked = 0;
     sim::StatHandle _hRequests;
     sim::StatHandle _hBlocks;
+    sim::StatHandle _hRingBlocked;
 };
 
 } // namespace vg::hw

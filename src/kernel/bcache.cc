@@ -36,10 +36,38 @@ BufferCache::get(uint64_t block_no)
     Buf buf;
     buf.blockNo = block_no;
     buf.data.resize(hw::Disk::blockSize);
-    _disk.readBlock(block_no, buf.data.data());
     _lru.push_front(std::move(buf));
     _index[block_no] = _lru.begin();
-    return &*_lru.begin();
+    Buf *nb = &*_lru.begin();
+    if (_ctx.config().asyncIo)
+        ringRead(*nb);
+    else
+        _disk.readBlock(block_no, nb->data.data());
+    return nb;
+}
+
+void
+BufferCache::ringRead(Buf &buf)
+{
+    hw::RingDesc d;
+    d.block = buf.blockNo;
+    d.hostOut = buf.data.data();
+    d.len = hw::Disk::blockSize;
+    if (!_disk.submit(d)) {
+        // Ring packed with unreaped writeback slots: drain and retry.
+        _disk.reapAll();
+        if (!_disk.submit(d)) {
+            _disk.readBlock(buf.blockNo, buf.data.data());
+            return;
+        }
+    }
+    uint64_t done = _disk.doorbell();
+    _disk.reapAll();
+    // The caller needs the bytes now: stall to the completion. The
+    // win stays with writebacks, which never stall.
+    auto &clk = _ctx.clock();
+    if (done > clk.now())
+        clk.advance(done - clk.now());
 }
 
 Buf *
@@ -92,7 +120,30 @@ BufferCache::evictIfNeeded()
 void
 BufferCache::writeback(Buf &buf)
 {
-    _disk.writeBlock(buf.blockNo, buf.data.data());
+    if (_ctx.config().asyncIo) {
+        // Fire-and-forget through the disk request queue: the bytes
+        // cross into the device at the doorbell; the CPU does not
+        // stall for the media latency. sync() is the barrier.
+        hw::RingDesc d;
+        d.block = buf.blockNo;
+        d.host = buf.data.data();
+        d.len = hw::Disk::blockSize;
+        d.write = true;
+        if (!_disk.submit(d)) {
+            _disk.reapAll();
+            if (!_disk.submit(d)) {
+                _disk.writeBlock(buf.blockNo, buf.data.data());
+                buf.dirty = false;
+                sim::StatSet::add(_hWritebacks);
+                return;
+            }
+        }
+        uint64_t done = _disk.doorbell();
+        _disk.reapAll();
+        _flushDone = std::max(_flushDone, done);
+    } else {
+        _disk.writeBlock(buf.blockNo, buf.data.data());
+    }
     buf.dirty = false;
     sim::StatSet::add(_hWritebacks);
 }
@@ -104,6 +155,12 @@ BufferCache::sync()
         if (buf.dirty)
             writeback(buf);
     }
+    // Durability barrier: an fsync-style caller must not return before
+    // the queued writebacks hit the media. Deep NCQ means the whole
+    // batch completes one request-latency after the last doorbell.
+    auto &clk = _ctx.clock();
+    if (_ctx.config().asyncIo && _flushDone > clk.now())
+        clk.advance(_flushDone - clk.now());
 }
 
 void

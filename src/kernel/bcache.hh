@@ -53,7 +53,9 @@ class BufferCache
     /** Mark a buffer dirty (after mutating its data). */
     void markDirty(Buf *buf) { buf->dirty = true; }
 
-    /** Write every dirty block back to the device. */
+    /** Write every dirty block back to the device. Under asyncIo the
+     *  writebacks are queued through the disk ring and this acts as
+     *  the durability barrier: it stalls to the last completion. */
     void sync();
 
     /** Drop a block without writeback (e.g. freed block). */
@@ -62,12 +64,17 @@ class BufferCache
     uint64_t hits() const { return _hits; }
     uint64_t misses() const { return _misses; }
 
+    /** Simulated time the last ring writeback completes (0 = none). */
+    uint64_t flushBarrier() const { return _flushDone; }
+
   private:
     void evictIfNeeded();
     void writeback(Buf &buf);
+    void ringRead(Buf &buf);
 
     hw::Disk &_disk;
     sim::SimContext &_ctx;
+    uint64_t _flushDone = 0;
     uint64_t _capacity;
     std::list<Buf> _lru; // front = most recent
     std::unordered_map<uint64_t, std::list<Buf>::iterator> _index;

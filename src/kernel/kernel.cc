@@ -25,8 +25,15 @@ Kernel::Kernel(sim::SimContext &ctx, hw::PhysMem &mem, hw::CpuSet &cpus,
       _hExecs(ctx.stats().handle("kernel.execs")),
       _hSignalsDelivered(
           ctx.stats().handle("kernel.signals_delivered")),
-      _hNetBytesSent(ctx.stats().handle("net.bytes_sent"))
-{}
+      _hNetBytesSent(ctx.stats().handle("net.bytes_sent")),
+      _hDeviceIrqs(ctx.stats().handle("kernel.device_irqs")),
+      _hIrqsCoalesced(ctx.stats().handle("kernel.irqs_coalesced")),
+      _hSoftirqWakes(ctx.stats().handle("kernel.softirq_wakes")),
+      _hZeroCopySends(ctx.stats().handle("kernel.zero_copy_sends"))
+{
+    _softirq.resize(ctx.vcpuCount());
+    _lastIrqAt.assign(ctx.vcpuCount(), 0);
+}
 
 Kernel::~Kernel()
 {
@@ -59,9 +66,14 @@ Kernel::boot()
     _vm.registerKernelEntry(0xffffff8000100000ull);
 
     // Preemption quantum: 10 ms, armed on every vCPU's local timer.
+    // Device interrupt lines are attached to every vCPU; MSI-X
+    // affinity (IrqLine::wireTo) decides where a given raise lands.
     for (unsigned c = 0; c < _cpus.count(); c++) {
         _cpus[c].timer().setInterval(
             sim::Cycles(10000 * sim::Clock::cyclesPerUsec));
+        _cpus[c].attachIrq(&_nicA.irq());
+        _cpus[c].attachIrq(&_nicB.irq());
+        _cpus[c].attachIrq(&_disk.irq());
     }
 
     setupModuleExterns();
@@ -406,9 +418,10 @@ Kernel::blockCurrentTimed(Process &proc, const void *channel,
     blockCurrent(proc, channel);
 }
 
-void
+unsigned
 Kernel::wakeup(const void *channel)
 {
+    unsigned woke = 0;
     for (auto &[pid, proc] : _procs) {
         if (proc->state != ProcState::Blocked)
             continue;
@@ -424,8 +437,90 @@ Kernel::wakeup(const void *channel)
             // observe the wakeup earlier than it was produced.
             proc->readyStamp =
                 std::max(proc->readyStamp, uint64_t(_ctx.clock().now()));
+            woke++;
         }
     }
+    return woke;
+}
+
+void
+Kernel::postSoftirq(unsigned cpu, uint64_t due_at, const void *channel)
+{
+    _softirq[cpu % _softirq.size()].push_back(Softirq{due_at, channel});
+}
+
+uint64_t
+Kernel::earliestSoftirq() const
+{
+    uint64_t min_due = 0;
+    for (const auto &q : _softirq)
+        for (const Softirq &s : q)
+            if (min_due == 0 || s.dueAt < min_due)
+                min_due = s.dueAt;
+    return min_due;
+}
+
+uint64_t
+Kernel::serviceSoftirqs(unsigned cpu)
+{
+    std::deque<Softirq> &q = _softirq[cpu];
+    if (q.empty())
+        return 0;
+    uint64_t now = _ctx.clockOf(cpu).now();
+
+    // Deliver eagerly, in post order. An idle vCPU's local clock can
+    // sit arbitrarily far behind the completion time, so gating on it
+    // would hold every sleeper hostage to the busiest CPU; waking
+    // early is safe because a reader re-checks its segment's arrival
+    // time and puts itself back to sleep until then.
+    std::vector<const void *> due;
+    for (const Softirq &s : q)
+        due.push_back(s.channel);
+    q.clear();
+
+    if (!due.empty()) {
+        unsigned prev_cpu = _ctx.activeCpu();
+        _ctx.setActiveCpu(cpu);
+        unsigned woke = 0;
+        const void *last = nullptr;
+        for (const void *ch : due) {
+            if (ch == last)
+                continue; // adjacent completions for one queue
+            woke += wakeup(ch);
+            last = ch;
+        }
+        if (woke > 0) {
+            // NAPI discipline: the interrupt is armed only while
+            // someone is blocked on the queue. Within the coalescing
+            // holdoff the still-running bottom half reaps further
+            // completions without a fresh trap.
+            uint64_t window =
+                uint64_t(double(_ctx.config().irqCoalesceUs) *
+                         sim::Clock::cyclesPerUsec);
+            if (_lastIrqAt[cpu] == 0 || now - _lastIrqAt[cpu] > window) {
+                _ctx.chargeTrap();
+                sim::StatSet::add(_hDeviceIrqs);
+            } else {
+                sim::StatSet::add(_hIrqsCoalesced);
+            }
+            _lastIrqAt[cpu] = now;
+            _ctx.clockOf(cpu).advance(_ctx.costs().softirqDispatch);
+            sim::StatSet::add(_hSoftirqWakes, woke);
+        }
+        _ctx.setActiveCpu(prev_cpu);
+        // The bottom half has drained this CPU's queues: acknowledge
+        // device lines steered here whose completions were due.
+        for (hw::IrqLine *line : _cpus[cpu].irqLines())
+            if (line->pending() && line->cpu() == cpu &&
+                line->pendingAt() <= now)
+                line->ack();
+    }
+
+    uint64_t min_due = 0;
+    for (const Softirq &s : q)
+        if (min_due == 0 || s.dueAt < min_due)
+            min_due = s.dueAt;
+    return min_due;
 }
 
 void
@@ -453,6 +548,9 @@ Kernel::runLegacy()
 {
     uint64_t rr_cursor = 0;
     while (true) {
+        // Run due bottom halves first so their wakeups join the queue.
+        serviceSoftirqs(0);
+
         // Collect runnable processes.
         std::vector<Process *> runnable;
         bool any_alive = false;
@@ -467,7 +565,8 @@ Kernel::runLegacy()
             break;
 
         if (runnable.empty()) {
-            // Look for a timed sleeper to advance virtual time to.
+            // Look for a timed sleeper or a pending device completion
+            // to advance virtual time to.
             uint64_t min_wake = 0;
             for (auto &[pid, proc] : _procs) {
                 if (proc->state == ProcState::Blocked &&
@@ -475,6 +574,9 @@ Kernel::runLegacy()
                     (min_wake == 0 || proc->wakeTime < min_wake))
                     min_wake = proc->wakeTime;
             }
+            uint64_t soft = earliestSoftirq();
+            if (soft != 0 && (min_wake == 0 || soft < min_wake))
+                min_wake = soft;
             if (min_wake == 0)
                 sim::panic("scheduler: all processes blocked "
                            "(deadlock)");
@@ -519,6 +621,13 @@ Kernel::runSmp()
     sim::RoundRobinInterleaver ilv(ncpus);
     std::vector<uint64_t> cursors(ncpus, 0);
     while (true) {
+        // Run due bottom halves on every vCPU first so their wakeups
+        // are visible when the run queues are built. Delivery order is
+        // CPU-index order, then post order — deterministic under the
+        // interleaver.
+        for (unsigned c = 0; c < ncpus; c++)
+            serviceSoftirqs(c);
+
         // Build per-CPU run queues in pid order.
         std::vector<std::vector<Process *>> queues(ncpus);
         bool any_alive = false;
@@ -563,8 +672,9 @@ Kernel::runSmp()
 
         if (cpu < 0) {
             // Everyone blocked: advance every vCPU's clock to the
-            // earliest timed wake (never backwards), then release the
-            // sleepers that are due on their home CPU.
+            // earliest timed wake or pending device completion (never
+            // backwards), then release the sleepers that are due on
+            // their home CPU.
             uint64_t min_wake = 0;
             for (auto &[pid, proc] : _procs) {
                 if (proc->state == ProcState::Blocked &&
@@ -572,6 +682,9 @@ Kernel::runSmp()
                     (min_wake == 0 || proc->wakeTime < min_wake))
                     min_wake = proc->wakeTime;
             }
+            uint64_t soft = earliestSoftirq();
+            if (soft != 0 && (min_wake == 0 || soft < min_wake))
+                min_wake = soft;
             if (min_wake == 0)
                 sim::panic("scheduler: all processes blocked "
                            "(deadlock)");

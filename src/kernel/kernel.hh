@@ -62,6 +62,19 @@ enum class Sys : int
     accept = 30,
     connect = 98,
     getrandom = 563,
+    sendfile = 393,
+};
+
+/**
+ * One pending bottom-half wakeup on a vCPU's completion queue: when
+ * the vCPU's clock reaches dueAt, the softirq runs there (charged as a
+ * device interrupt, coalesced per VgConfig::irqCoalesceUs) and wakes
+ * every process blocked on the channel.
+ */
+struct Softirq
+{
+    uint64_t dueAt = 0;
+    const void *channel = nullptr;
 };
 
 /** Loaded kernel module state. */
@@ -175,6 +188,17 @@ class UserApi
      *  keep data in traditional memory. */
     int64_t sendHost(int fd, const void *buf, uint64_t len);
     int64_t recvHost(int fd, void *buf, uint64_t len);
+
+    /** Host-buffer file read (zero user-page staging), the file-side
+     *  twin of recvHost. */
+    int64_t readHost(int fd, void *buf, uint64_t len);
+
+    /** sendfile(): stream @p len bytes of @p in_fd (from its current
+     *  offset) straight from the buffer cache onto @p out_fd's
+     *  socket. Under asyncIo with the sandbox/IOMMU proof in force the
+     *  bcache block is handed to the NIC ring without the intermediate
+     *  kmem copy; otherwise the copy is charged. */
+    int64_t sendfile(int out_fd, int in_fd, uint64_t len);
 
     int select(const std::vector<int> &read_fds, uint64_t timeout_us);
 
@@ -292,6 +316,22 @@ class Kernel
     bool handleUserAccess(Process &proc, hw::Vaddr va,
                           hw::Access access, hw::Paddr &pa);
 
+    /** Enqueue a bottom-half wakeup on @p cpu's completion queue. */
+    void postSoftirq(unsigned cpu, uint64_t due_at, const void *channel);
+
+    /** Per-CPU completion queue (for tests and --dump-rings). */
+    const std::deque<Softirq> &softirqQueue(unsigned cpu) const
+    {
+        return _softirq[cpu % _softirq.size()];
+    }
+
+    /** Cycle of the last device interrupt taken on @p cpu (the
+     *  coalescing holdoff anchor; 0 if none yet). */
+    uint64_t lastIrqAt(unsigned cpu) const
+    {
+        return _lastIrqAt[cpu % _lastIrqAt.size()];
+    }
+
   private:
     // --- scheduling ---------------------------------------------------
     void schedulerLoop();
@@ -307,7 +347,15 @@ class Kernel
     void blockCurrent(Process &proc, const void *channel);
     void blockCurrentTimed(Process &proc, const void *channel,
                            uint64_t wake_time);
-    void wakeup(const void *channel);
+    unsigned wakeup(const void *channel);
+    /** Deliver due completion-queue entries on @p cpu (bottom half:
+     *  IRQ trap at most once per coalescing window, softirq dispatch
+     *  per batch, wakeups). Returns the earliest still-pending dueAt
+     *  on that queue (0 when empty). */
+    uint64_t serviceSoftirqs(unsigned cpu);
+    /** Earliest pending softirq dueAt across every vCPU (0 if none) —
+     *  folded into the all-idle virtual-time advance. */
+    uint64_t earliestSoftirq() const;
     void yieldCurrent(Process &proc);
     void deliverPushedCalls(Process &proc, UserApi &api);
     void executeUserContextCode(Process &proc, uint64_t code_addr,
@@ -328,7 +376,18 @@ class Kernel
     std::shared_ptr<OpenFile> file(Process &proc, int fd);
     int64_t socketSend(Process &proc, Socket &sock, const uint8_t *data,
                        uint64_t len);
+    /** Ring-based transmit used by socketSend/doSendfile under
+     *  asyncIo: posts one descriptor per segment, rings the doorbell
+     *  once per batch, queues peer segments with completion-time
+     *  readyAt stamps and arms the RX softirq. @p zero_copy skips the
+     *  kmem staging-copy charge (sendfile with the sandbox proof).
+     *  Returns bytes actually segmented (stops at window-full). */
+    uint64_t ringTransmit(Socket &sock, const std::shared_ptr<Socket> &peer,
+                          const uint8_t *data, uint64_t len,
+                          bool zero_copy);
     int64_t socketRecv(Process &proc, Socket &sock, uint8_t *data,
+                       uint64_t len);
+    int64_t doSendfile(Process &proc, int out_fd, int in_fd,
                        uint64_t len);
     void postSignal(Process &target, int signum);
 
@@ -366,6 +425,11 @@ class Kernel
     unsigned _nextCpuAssign = 0;
 
     std::map<uint16_t, std::shared_ptr<Socket>> _listeners;
+
+    /** Per-CPU softirq completion queues (asyncIo) and the cycle each
+     *  CPU last took a device interrupt (coalescing anchor). */
+    std::vector<std::deque<Softirq>> _softirq;
+    std::vector<uint64_t> _lastIrqAt;
 
     /** Swapped-out ghost pages: (pid, va) -> ciphertext blob. */
     std::map<std::pair<uint64_t, hw::Vaddr>, crypto::SealedBlob>
@@ -405,6 +469,10 @@ class Kernel
     sim::StatHandle _hExecs;
     sim::StatHandle _hSignalsDelivered;
     sim::StatHandle _hNetBytesSent;
+    sim::StatHandle _hDeviceIrqs;
+    sim::StatHandle _hIrqsCoalesced;
+    sim::StatHandle _hSoftirqWakes;
+    sim::StatHandle _hZeroCopySends;
 
     friend struct ModuleExternBinder;
 };

@@ -73,6 +73,11 @@ struct Socket
     /** Connected peer (weak to break the cycle). */
     std::weak_ptr<Socket> peer;
 
+    /** Flow steering (aRFS): the vCPU whose softirq queue should take
+     *  RX-completion bottom halves for this socket. The reader sets it
+     *  to its home CPU before blocking so wakes land locally. */
+    unsigned irqSteer = 0;
+
     bool peerClosed = false;
 
     bool

@@ -987,6 +987,60 @@ UserApi::connect(uint16_t port)
     return result;
 }
 
+uint64_t
+Kernel::ringTransmit(Socket &sock, const std::shared_ptr<Socket> &peer,
+                     const uint8_t *data, uint64_t len, bool zero_copy)
+{
+    (void)sock;
+    // Post a descriptor per segment — same segmentation as the legacy
+    // path — for as much of @p len as the peer window and the TX ring
+    // allow, then cross the device boundary once for the whole batch.
+    std::vector<uint64_t> chunks;
+    uint64_t queued = 0;
+    uint64_t win = peer->pendingBytes;
+    while (queued < len && win < sockWindow) {
+        uint64_t chunk = std::min<uint64_t>(
+            {len - queued, hw::Nic::mtu - 64, sockWindow - win});
+        hw::RingDesc d;
+        d.len = uint32_t(chunk + 64);
+        d.cookie = reinterpret_cast<uint64_t>(peer.get());
+        if (zero_copy)
+            d.host = data + queued; // bcache buffer handed to the ring
+        if (!_nicA.txPost(d))
+            break; // ring full: flush this batch, then continue
+        chunks.push_back(chunk);
+        queued += chunk;
+        win += chunk;
+    }
+    if (chunks.empty())
+        return 0;
+    _nicA.txDoorbell();
+    std::vector<hw::RingCompletion> comps = _nicA.txReapAll();
+
+    uint64_t sent = 0;
+    unsigned steer = peer->irqSteer % _softirq.size();
+    for (size_t i = 0; i < chunks.size() && i < comps.size(); i++) {
+        uint64_t ready_at = comps[i].doneAt;
+        _nicB.receive();
+        _ctx.chargeKernelWork(240, 96, 24);
+        Segment seg;
+        seg.data.assign(data + sent, data + sent + chunks[i]);
+        seg.readyAt = ready_at;
+        peer->rxBuf.push_back(std::move(seg));
+        peer->pendingBytes += chunks[i];
+        sent += chunks[i];
+        // RX interrupt: steered at the consumer's vCPU (flow
+        // steering); the bottom half there wakes a reader that went
+        // to sleep on the queue. A reader that is awake (or wakes via
+        // the send-side notify below) reaps inline, NAPI-style, and
+        // the IRQ is acked without a trap charge.
+        _nicB.irq().wireTo(steer);
+        _nicB.irq().raise(ready_at);
+        postSoftirq(steer, ready_at, peer.get());
+    }
+    return sent;
+}
+
 int64_t
 Kernel::socketSend(Process &proc, Socket &sock, const uint8_t *data,
                    uint64_t len)
@@ -997,6 +1051,7 @@ Kernel::socketSend(Process &proc, Socket &sock, const uint8_t *data,
     if (!peer || peer->peerClosed)
         return -1;
 
+    bool async = _ctx.config().asyncIo;
     uint64_t sent = 0;
     while (sent < len) {
         // Flow control: block while the peer's window is full.
@@ -1004,6 +1059,11 @@ Kernel::socketSend(Process &proc, Socket &sock, const uint8_t *data,
             if (sock.peerClosed)
                 return int64_t(sent);
             blockCurrent(proc, &sock);
+        }
+        if (async) {
+            sent += ringTransmit(sock, peer, data + sent, len - sent,
+                                 /*zero_copy=*/false);
+            continue;
         }
         uint64_t chunk = std::min<uint64_t>(
             {len - sent, hw::Nic::mtu - 64,
@@ -1032,10 +1092,15 @@ Kernel::socketRecv(Process &proc, Socket &sock, uint8_t *data,
 {
     if (sock.state != Socket::State::Connected)
         return -1;
+    // Steer RX completions at this reader's home vCPU so the softirq
+    // bottom half (and its wake) lands on the CPU that will run us.
+    sock.irqSteer = proc.cpu;
     while (true) {
         if (!sock.rxBuf.empty()) {
             // If the head segment is still on the wire, sleep until
-            // it lands (other processes run meanwhile).
+            // it lands (other processes run meanwhile). Keep the timed
+            // block even under asyncIo: the segment's softirq may have
+            // already fired on another vCPU's (earlier) clock.
             uint64_t ready_at = sock.rxBuf.front().readyAt;
             if (ready_at <= _ctx.clock().now())
                 break;
@@ -1046,6 +1111,8 @@ Kernel::socketRecv(Process &proc, Socket &sock, uint8_t *data,
             return 0; // EOF
         if (proc.killRequested)
             return -1;
+        // Empty buffer: any future send posts a softirq at this
+        // socket's channel, so an untimed block cannot be lost.
         blockCurrent(proc, &sock);
     }
 
@@ -1131,6 +1198,92 @@ UserApi::recvHost(int fd, void *buf, uint64_t len)
         if (result > 0)
             _kernel._ctx.chargeKernelBulk(uint64_t(result));
     }
+    sysExit();
+    return result;
+}
+
+int64_t
+UserApi::readHost(int fd, void *buf, uint64_t len)
+{
+    sysEnter();
+    int64_t result = -1;
+    Kernel &k = _kernel;
+    auto of = k.file(_proc, fd);
+    if (of) {
+        if (of->kind == OpenFile::Kind::Socket) {
+            result = k.socketRecv(_proc, *of->sock,
+                                  static_cast<uint8_t *>(buf), len);
+            if (result > 0)
+                k._ctx.chargeKernelBulk(uint64_t(result));
+        } else {
+            int64_t n =
+                k._fs->read(of->ino, of->offset, buf, len);
+            if (n >= 0) {
+                of->offset += uint64_t(n);
+                if (n > 0)
+                    k._ctx.chargeKernelBulk(uint64_t(n)); // copyout
+                result = n;
+            }
+        }
+    }
+    sysExit();
+    return result;
+}
+
+int64_t
+Kernel::doSendfile(Process &proc, int out_fd, int in_fd, uint64_t len)
+{
+    auto out = file(proc, out_fd);
+    auto in = file(proc, in_fd);
+    if (!out || out->kind != OpenFile::Kind::Socket || !out->sock)
+        return -1;
+    if (!in || in->kind != OpenFile::Kind::File)
+        return -1;
+
+    // Zero-copy proof obligation: handing a bcache buffer straight to
+    // the NIC ring is safe when kernel memory accesses are already
+    // sandboxed away from ghost frames, or when no sandbox is in force
+    // at all (native). Without a proof, fall back to the staging copy.
+    const sim::VgConfig &cfg = _ctx.config();
+    bool zero_copy =
+        cfg.asyncIo && (!cfg.sandboxMemory || cfg.verifyMcode);
+
+    std::vector<uint8_t> scratch(64 * 1024);
+    uint64_t sent = 0;
+    while (sent < len) {
+        uint64_t want = std::min<uint64_t>(len - sent, scratch.size());
+        int64_t got = _fs->read(in->ino, in->offset, scratch.data(),
+                                want);
+        if (got < 0)
+            return sent ? int64_t(sent) : -1;
+        if (got == 0)
+            break; // EOF
+        in->offset += uint64_t(got);
+        _ctx.chargeKernelWork(90, 36, 9); // splice bookkeeping
+        if (zero_copy)
+            sim::StatSet::add(_hZeroCopySends);
+        else
+            _ctx.chargeKernelBulk(uint64_t(got)); // staging copy
+        int64_t n = socketSend(proc, *out->sock, scratch.data(),
+                               uint64_t(got));
+        if (n < 0)
+            return sent ? int64_t(sent) : -1;
+        sent += uint64_t(n);
+        if (uint64_t(n) < uint64_t(got))
+            break;
+    }
+    return int64_t(sent);
+}
+
+int64_t
+UserApi::sendfile(int out_fd, int in_fd, uint64_t len)
+{
+    sysEnter();
+    int64_t result;
+    std::vector<uint64_t> args = {uint64_t(out_fd), uint64_t(in_fd),
+                                  len, _proc.pid};
+    if (!_kernel.moduleDispatch(Sys::sendfile, args, result))
+        result = _kernel.doSendfile(_proc, out_fd, in_fd, len);
     sysExit();
     return result;
 }

@@ -45,6 +45,9 @@ class System
     hw::Iommu &iommu() { return _iommu; }
     hw::Tpm &tpm() { return _tpm; }
     hw::Disk &disk() { return _disk; }
+    /** Loopback NIC pair (A is the kernel's TX side). */
+    hw::Nic &nicA() { return _nicA; }
+    hw::Nic &nicB() { return _nicB; }
     sva::SvaVm &vm() { return _vm; }
     Kernel &kernel() { return _kernel; }
 

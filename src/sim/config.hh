@@ -101,6 +101,34 @@ struct VgConfig
     unsigned traceMaxPerImage = 64;
 
     /**
+     * Interrupt-driven, ring-based device stack: virtio-style TX/RX
+     * descriptor rings on the NIC and a deep request queue on the
+     * disk, doorbell/completion semantics, and per-CPU softirq-style
+     * completion queues in the scheduler. Payload bytes, packet
+     * segmentation and fs/disk/nic stat counts are identical to the
+     * legacy synchronous paths (enforced by IoRingEquivalenceSweep);
+     * only cost charging and wakeup mechanics differ. Disabling this
+     * falls back to the synchronous request-response device model and
+     * exists for differential testing and as a perf ablation knob.
+     */
+    bool asyncIo = true;
+
+    /** Descriptor slots per device ring (TX, RX, and disk request
+     *  queue). Posting to a full ring reaps completed slots first and,
+     *  if none have completed, waits for the oldest in-flight
+     *  descriptor (async-I/O knob). */
+    unsigned ringSize = 256;
+
+    /**
+     * Interrupt-coalescing holdoff in simulated microseconds: after a
+     * device IRQ is taken on a vCPU, further completions that come due
+     * within this window are reaped by the still-running bottom half
+     * (softirq charge only) instead of raising a fresh interrupt
+     * (async-I/O knob).
+     */
+    unsigned irqCoalesceUs = 16;
+
+    /**
      * Number of simulated vCPUs. Each vCPU owns a TLB, a timer, and a
      * cycle clock; a deterministic interleaver in the scheduler decides
      * which vCPU runs next. With vcpus == 1 the machine is stat- and

@@ -97,11 +97,26 @@ struct CostModel
     /** SSD cycles per 4 KB block transferred. */
     Cycles ssdPerBlock = 27000; // ~8 us per 4 KB => ~500 MB/s
 
-    /** NIC per-packet processing cost (descriptor + IRQ amortised). */
+    /** NIC per-packet processing cost on the legacy synchronous path
+     *  (descriptor + IRQ amortised into every send). */
     Cycles nicPerPacket = 3400; // ~1 us
 
     /** NIC per-byte cost modelling gigabit wire rate (~125 MB/s). */
     Cycles nicCyclesPer64Bytes = 1740; // 3400 c/us / 125 B/us * 64
+
+    // --- Async ring stack (VgConfig::asyncIo) --------------------------
+    /** Preparing one ring descriptor (slot write + index update). */
+    Cycles ringDescriptor = 180;
+
+    /** Ringing a device doorbell: one uncached MMIO write. The
+     *  trusted boundary is crossed once per doorbell, not once per
+     *  packet, so a batch of descriptors shares this cost. */
+    Cycles ringDoorbell = 600;
+
+    /** Running one softirq bottom-half batch (reap completion ring,
+     *  schedule wakeups). The device *interrupt* itself is charged as
+     *  a trap, at most once per coalescing window. */
+    Cycles softirqDispatch = 700;
 
     // --- Crypto (application-side, software implementation) -----------
     /** AES-128 software cost per byte (T-table implementation). */

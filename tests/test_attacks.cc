@@ -185,6 +185,59 @@ TEST(Attack2, GhostMemoryAloneStopsAttack1StyleReadsInExploit)
     EXPECT_GT(sys.ctx().stats().get("exec.insts"), before);
 }
 
+TEST(Attack3, RingRedirectionSucceedsOnBaselineKernel)
+{
+    // Baseline: the hostile OS points a NIC TX ring descriptor at the
+    // frame holding the victim's (traditional-memory) secret and the
+    // device happily ships it onto the wire.
+    System sys(smallConfig(sim::VgConfig::native()));
+    sys.boot();
+    sys.runProcess("victim", [&](UserApi &api) {
+        hw::Vaddr va = api.mmap(hw::pageSize);
+        for (size_t i = 0; i < kSecret.size(); i++)
+            api.poke(va + i, 1, uint64_t(uint8_t(kSecret[i])));
+        auto pte = sys.mmu().probe(va);
+        EXPECT_TRUE(pte.has_value());
+        if (!pte)
+            return 1;
+        hw::Paddr pa = hw::pte::frameAddr(*pte);
+
+        AttackResult r = mountAttack3(sys.nicA(), sys.nicB(), pa,
+                                      secretBytes());
+        EXPECT_TRUE(r.mounted) << r.detail;
+        EXPECT_TRUE(r.dataStolen) << r.detail;
+        return 0;
+    });
+}
+
+TEST(Attack3, RingRedirectionFailsUnderVirtualGhost)
+{
+    System sys(smallConfig(sim::VgConfig::full()));
+    sys.boot();
+    sys.runProcess("victim", [&](UserApi &api) {
+        hw::Vaddr gva = api.allocGhost(1);
+        api.ghostWrite(gva, kSecret.data(), kSecret.size());
+        auto pte = sys.mmu().probe(gva);
+        EXPECT_TRUE(pte.has_value());
+        if (!pte)
+            return 1;
+        hw::Paddr pa = hw::pte::frameAddr(*pte);
+
+        uint64_t blocked_before =
+            sys.ctx().stats().get("nic.ring_blocked_dma");
+        AttackResult r = mountAttack3(sys.nicA(), sys.nicB(), pa,
+                                      secretBytes());
+        EXPECT_TRUE(r.mounted) << r.detail;
+        EXPECT_FALSE(r.dataStolen) << r.detail;
+        // Zero disclosure: nothing went over the wire at all, and the
+        // blocked attempt was recorded.
+        EXPECT_TRUE(r.loot.empty());
+        EXPECT_GT(sys.ctx().stats().get("nic.ring_blocked_dma"),
+                  blocked_before);
+        return 0;
+    });
+}
+
 TEST(Attacks, IagoRandomnessDefeatedByVm)
 {
     // The S 4.7 protection: a rigged /dev/random cannot feed the

@@ -190,6 +190,201 @@ TEST(DmaAttack, PageTableAndSvaFramesAlsoProtected)
     });
 }
 
+// --------------------------------------------------------------------
+// Ring attacks (VgConfig::asyncIo): the descriptor-ring interface is a
+// new hostile-OS surface — a descriptor can aim the device's DMA at a
+// ghost frame, and the completion interface can be fed stale indices.
+// Both must be blocked and counted, with zero disclosure.
+// --------------------------------------------------------------------
+
+TEST(RingAttack, NicTxDescriptorAtGhostFrameBlocked)
+{
+    System sys(cfg());
+    sys.boot();
+    sys.runProcess("victim", [&](UserApi &api) {
+        hw::Vaddr gva = api.allocGhost(1);
+        api.ghostWrite(gva, "RING-GHOST-SECRET", 17);
+        auto pte = sys.mmu().probe(gva);
+        EXPECT_TRUE(pte.has_value());
+        if (!pte)
+            return 1;
+        hw::Paddr pa = hw::pte::frameAddr(*pte);
+
+        hw::Nic nic_a(sys.iommu(), sys.ctx());
+        hw::Nic nic_b(sys.iommu(), sys.ctx());
+        nic_a.connectTo(&nic_b);
+        nic_b.connectTo(&nic_a);
+
+        // Hostile OS posts a TX descriptor whose DMA address is the
+        // ghost frame, then rings the doorbell.
+        hw::RingDesc d;
+        d.pa = pa;
+        d.len = 64;
+        d.useDma = true;
+        EXPECT_TRUE(nic_a.txPost(d));
+        nic_a.txDoorbell();
+
+        // The slot completes with an error; the IOMMU refused the
+        // read, the attempt was counted, and nothing hit the wire.
+        auto comps = nic_a.txReapAll();
+        EXPECT_EQ(comps.size(), 1u);
+        if (comps.size() != 1)
+            return 1;
+        EXPECT_TRUE(comps[0].error);
+        EXPECT_EQ(nic_a.ringBlockedDma(), 1u);
+        EXPECT_GT(sys.ctx().stats().get("nic.ring_blocked_dma"), 0u);
+        EXPECT_GT(sys.iommu().blockedCount(), 0u);
+        EXPECT_FALSE(nic_b.hasPacket());
+        return 0;
+    });
+}
+
+TEST(RingAttack, NicRxDescriptorAtGhostFrameBlocked)
+{
+    System sys(cfg());
+    sys.boot();
+    sys.runProcess("victim", [&](UserApi &api) {
+        hw::Vaddr gva = api.allocGhost(1);
+        api.ghostWrite(gva, "keepout", 7);
+        auto pte = sys.mmu().probe(gva);
+        EXPECT_TRUE(pte.has_value());
+        if (!pte)
+            return 1;
+        hw::Paddr pa = hw::pte::frameAddr(*pte);
+
+        hw::Nic nic_a(sys.iommu(), sys.ctx());
+        hw::Nic nic_b(sys.iommu(), sys.ctx());
+        nic_a.connectTo(&nic_b);
+        nic_b.connectTo(&nic_a);
+        nic_a.send(std::vector<uint8_t>(64, 0x55));
+
+        // Hostile OS posts an RX buffer over the ghost frame,
+        // attempting to corrupt ghost memory via device write.
+        hw::RingDesc d;
+        d.pa = pa;
+        d.len = 64;
+        d.useDma = true;
+        EXPECT_TRUE(nic_b.rxPost(d));
+        nic_b.rxDoorbell();
+
+        auto comps = nic_b.rxReapAll();
+        EXPECT_EQ(comps.size(), 1u);
+        if (comps.size() != 1)
+            return 1;
+        EXPECT_TRUE(comps[0].error);
+        EXPECT_EQ(nic_b.ringBlockedDma(), 1u);
+
+        // The ghost page is untouched.
+        char back[8] = {};
+        EXPECT_TRUE(api.ghostRead(gva, back, 7));
+        EXPECT_EQ(std::memcmp(back, "keepout", 7), 0);
+        return 0;
+    });
+}
+
+TEST(RingAttack, DiskRingDescriptorAtGhostFrameBlocked)
+{
+    System sys(cfg());
+    sys.boot();
+    sys.runProcess("victim", [&](UserApi &api) {
+        hw::Vaddr gva = api.allocGhost(1);
+        api.ghostWrite(gva, "DISK-RING-SECRET", 16);
+        auto pte = sys.mmu().probe(gva);
+        EXPECT_TRUE(pte.has_value());
+        if (!pte)
+            return 1;
+        hw::Paddr pa = hw::pte::frameAddr(*pte);
+
+        // Exfiltrate: write-to-disk request sourced from the ghost
+        // frame.
+        hw::RingDesc wr;
+        wr.block = 11;
+        wr.pa = pa;
+        wr.useDma = true;
+        wr.write = true;
+        EXPECT_TRUE(sys.disk().submit(wr));
+        sys.disk().doorbell();
+        auto comps = sys.disk().reapAll();
+        EXPECT_EQ(comps.size(), 1u);
+        if (comps.size() != 1)
+            return 1;
+        EXPECT_TRUE(comps[0].error);
+        EXPECT_GE(sys.disk().ringBlockedDma(), 1u);
+        EXPECT_GT(sys.ctx().stats().get("disk.ring_blocked_dma"), 0u);
+        std::string block(
+            reinterpret_cast<char *>(sys.disk().rawBlock(11)),
+            hw::Disk::blockSize);
+        EXPECT_EQ(block.find("DISK-RING-SECRET"), std::string::npos);
+
+        // Corrupt: read-from-disk request aimed at the ghost frame.
+        hw::RingDesc rd;
+        rd.block = 11;
+        rd.pa = pa;
+        rd.useDma = true;
+        EXPECT_TRUE(sys.disk().submit(rd));
+        sys.disk().doorbell();
+        comps = sys.disk().reapAll();
+        EXPECT_EQ(comps.size(), 1u);
+        if (comps.size() != 1)
+            return 1;
+        EXPECT_TRUE(comps[0].error);
+        char back[17] = {};
+        EXPECT_TRUE(api.ghostRead(gva, back, 16));
+        EXPECT_EQ(std::memcmp(back, "DISK-RING-SECRET", 16), 0);
+        return 0;
+    });
+}
+
+TEST(RingAttack, StaleCompletionReplayRejected)
+{
+    System sys(cfg());
+    sys.boot();
+    sys.runProcess("victim", [&](UserApi &api) {
+        (void)api;
+        hw::Nic nic_a(sys.iommu(), sys.ctx());
+        hw::Nic nic_b(sys.iommu(), sys.ctx());
+        nic_a.connectTo(&nic_b);
+        nic_b.connectTo(&nic_a);
+
+        std::vector<uint8_t> payload(64, 0x2a);
+        hw::RingDesc d;
+        d.host = payload.data();
+        d.len = 64;
+        EXPECT_TRUE(nic_a.txPost(d));
+        nic_a.txDoorbell();
+        auto comps = nic_a.txReapAll();
+        EXPECT_EQ(comps.size(), 1u);
+        if (comps.size() != 1)
+            return 1;
+        uint32_t index = comps[0].index;
+        uint32_t gen = comps[0].gen;
+
+        // reapAll() already freed the slot and bumped its generation;
+        // a hostile OS replaying the old (index, gen) pair must be
+        // rejected and counted, not double-free the slot.
+        EXPECT_FALSE(nic_a.txReapAt(index, gen));
+        EXPECT_EQ(nic_a.staleCompletions(), 1u);
+        EXPECT_GT(sys.ctx().stats().get("nic.stale_completions"), 0u);
+
+        // A second in-flight descriptor reaped once by (index, gen)
+        // works; the immediate replay of the same pair does not.
+        EXPECT_TRUE(nic_a.txPost(d));
+        nic_a.txDoorbell();
+        const hw::DescRing &ring = nic_a.txRing();
+        uint32_t idx2 = 0;
+        uint32_t gen2 = 0;
+        for (uint32_t i = 0; i < ring.size(); i++)
+            if (ring.slot(i).state == hw::DescRing::Slot::Done) {
+                idx2 = i;
+                gen2 = ring.slot(i).gen;
+            }
+        EXPECT_TRUE(nic_a.txReapAt(idx2, gen2));
+        EXPECT_FALSE(nic_a.txReapAt(idx2, gen2));
+        EXPECT_EQ(nic_a.staleCompletions(), 2u);
+        return 0;
+    });
+}
+
 TEST(DmaAttack, BaselineKernelIsVulnerable)
 {
     // Without VG the same DMA succeeds — the protection, not the
