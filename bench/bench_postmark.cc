@@ -17,7 +17,7 @@ namespace
 
 double
 postmarkSeconds(sim::VgConfig vg, const PostmarkConfig &cfg,
-                LatencySamples *lat = nullptr)
+                LatencyHist *lat = nullptr)
 {
     kern::System sys(benchConfig(vg));
     sys.boot();

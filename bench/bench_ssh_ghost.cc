@@ -17,7 +17,7 @@ namespace
 
 double
 clientBandwidth(uint64_t file_size, bool ghosting,
-                LatencySamples *lat = nullptr)
+                LatencyHist *lat = nullptr)
 {
     kern::System sys(benchConfig(sim::VgConfig::full()));
     sys.boot();

@@ -21,7 +21,7 @@ namespace
  *  vcpus == 1 this is the paper's single-session transfer. */
 double
 transferBandwidth(sim::VgConfig vg, uint64_t file_size, bool ghosting,
-                  LatencySamples *lat = nullptr)
+                  LatencyHist *lat = nullptr)
 {
     kern::System sys(benchConfig(vg));
     sys.boot();

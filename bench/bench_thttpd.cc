@@ -17,7 +17,7 @@ namespace
 
 double
 bandwidthFor(sim::VgConfig vg, uint64_t file_size, uint64_t requests,
-             LatencySamples *lat = nullptr)
+             LatencyHist *lat = nullptr)
 {
     kern::System sys(benchConfig(vg));
     sys.boot();

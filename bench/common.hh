@@ -88,12 +88,15 @@ machineNow(kern::System &sys)
 }
 
 /**
- * Per-operation latency pool. Benchmarks feed one sample per natural
- * unit of work (HTTP request, ssh session, postmark transaction,
- * micro-op iteration); BenchReport turns the pool into p50/p99/p999
- * so tail behaviour lands in the JSON next to the throughput figures.
+ * Per-operation latency recorder, shared by every bench binary.
+ * Benchmarks feed one sample per natural unit of work (HTTP request,
+ * ssh session, postmark transaction, ghost page fault); the histogram
+ * turns the pool into p50/p99/p999 so tail behaviour lands in the
+ * JSON next to the throughput figures. Histograms from per-phase or
+ * per-mode sub-runs can be merge()d into a run-wide pool, and emit()
+ * renders the standard percentile fields into any report object.
  */
-class LatencySamples
+class LatencyHist
 {
   public:
     void add(uint64_t cycles) { _samples.push_back(cycles); }
@@ -110,6 +113,26 @@ class LatencySamples
         std::sort(sorted.begin(), sorted.end());
         double rank = p / 100.0 * double(sorted.size() - 1);
         return sorted[size_t(rank + 0.5)];
+    }
+
+    /** Mean sample in cycles (0 when empty). */
+    double
+    mean() const
+    {
+        if (_samples.empty())
+            return 0;
+        double sum = 0;
+        for (uint64_t s : _samples)
+            sum += double(s);
+        return sum / double(_samples.size());
+    }
+
+    /** Fold another histogram's samples into this one. */
+    void
+    merge(const LatencyHist &other)
+    {
+        _samples.insert(_samples.end(), other._samples.begin(),
+                        other._samples.end());
     }
 
   private:
@@ -209,7 +232,7 @@ class BenchReport
 
     /** Per-operation latency pool; write() renders it as a "latency"
      *  object with p50/p99/p999 in microseconds. */
-    LatencySamples &latency() { return _latency; }
+    LatencyHist &latency() { return _latency; }
 
     /** Append one result row (shows up under "results"). */
     Obj &
@@ -269,8 +292,23 @@ class BenchReport
     std::chrono::steady_clock::time_point _start;
     Obj _top;
     std::vector<Obj> _rows;
-    LatencySamples _latency;
+    LatencyHist _latency;
 };
+
+/** Render @p hist's standard percentile fields (in microseconds,
+ *  keyed <prefix>p50_us/p99_us/p999_us plus a sample count) into a
+ *  report object — the idiom for per-row / per-mode latencies that
+ *  don't belong in the report-wide pool. */
+inline void
+emitLatency(BenchReport::Obj &obj, const LatencyHist &hist,
+            const std::string &prefix = "")
+{
+    double cpu = sim::Clock::cyclesPerUsec;
+    obj.count(prefix + "lat_samples", hist.count())
+        .num(prefix + "p50_us", double(hist.percentile(50)) / cpu)
+        .num(prefix + "p99_us", double(hist.percentile(99)) / cpu)
+        .num(prefix + "p999_us", double(hist.percentile(99.9)) / cpu);
+}
 
 /**
  * Process-wide accumulator for machine-code verifier work (PAPER.md

@@ -1,5 +1,6 @@
 #include "attacks/rootkit.hh"
 
+#include <cstring>
 #include <sstream>
 
 #include "sim/log.hh"
@@ -267,6 +268,88 @@ mountAttack3(hw::Nic &tx_nic, hw::Nic &rx_nic, hw::Paddr secret_pa,
             : blocked ? "attack 3 blocked: IOMMU refused the ring "
                         "descriptor's DMA"
                       : "attack 3 obtained nothing";
+    return result;
+}
+
+namespace
+{
+
+/** Scrape the two sealed blocks of a swap slot off the platter. */
+std::vector<uint8_t>
+scrapeSlot(hw::Disk &disk, uint64_t first_block)
+{
+    std::vector<uint8_t> bytes;
+    for (uint64_t b = 0; b < kern::SwapArea::blocksPerSlot; b++) {
+        uint8_t *raw = disk.rawBlock(first_block + b);
+        bytes.insert(bytes.end(), raw, raw + hw::Disk::blockSize);
+    }
+    return bytes;
+}
+
+/** Does any window of @p loot equal @p secret? */
+bool
+lootContains(const std::vector<uint8_t> &loot,
+             const std::vector<uint8_t> &secret)
+{
+    if (secret.empty() || loot.size() < secret.size())
+        return false;
+    for (size_t off = 0; off + secret.size() <= loot.size(); off++) {
+        if (std::equal(secret.begin(), secret.end(),
+                       loot.begin() + long(off)))
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+AttackResult
+mountAttack4(kern::Kernel &kernel, hw::Disk &disk, uint64_t victim_pid,
+             uint64_t ghost_va, SwapAttack mode,
+             const std::function<bool()> &cycle_page,
+             const std::vector<uint8_t> &secret)
+{
+    AttackResult result;
+
+    auto block = kernel.swapSlotBlock(victim_pid, ghost_va);
+    if (!block) {
+        result.detail = "attack 4: victim page is not swapped out";
+        return result;
+    }
+    // Loot = whatever the platter holds for the victim's page.
+    result.loot = scrapeSlot(disk, *block);
+
+    if (mode == SwapAttack::StaleReplay) {
+        // Let the page cycle through memory and back to swap — the
+        // slot now holds a fresh blob sealed under a new generation.
+        if (!cycle_page || !cycle_page()) {
+            result.detail = "attack 4: page cycle did not complete";
+            return result;
+        }
+        auto fresh = kernel.swapSlotBlock(victim_pid, ghost_va);
+        if (!fresh) {
+            result.detail = "attack 4: page did not return to swap";
+            return result;
+        }
+        // Replay: overwrite the fresh slot with the stale snapshot.
+        for (uint64_t b = 0; b < kern::SwapArea::blocksPerSlot; b++)
+            std::memcpy(disk.rawBlock(*fresh + b),
+                        result.loot.data() + b * hw::Disk::blockSize,
+                        hw::Disk::blockSize);
+        result.detail = "attack 4 armed: stale sealed page replayed "
+                        "over the fresh swap slot";
+    } else {
+        // Flip a ciphertext bit in place (offset 65 lands past the
+        // 48-byte nonce+mac header).
+        disk.rawBlock(*block)[65] ^= 0x01;
+        result.detail =
+            "attack 4 armed: ciphertext bit flipped on the platter";
+    }
+
+    result.mounted = true;
+    result.dataStolen = lootContains(result.loot, secret);
+    if (result.dataStolen)
+        result.detail = "attack 4 read the secret from the swap store";
     return result;
 }
 

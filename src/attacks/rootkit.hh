@@ -24,6 +24,7 @@
 #define VG_ATTACKS_ROOTKIT_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "kernel/kernel.hh"
@@ -80,6 +81,38 @@ AttackResult checkAttack2(kern::Kernel &kernel,
  */
 AttackResult mountAttack3(hw::Nic &tx_nic, hw::Nic &rx_nic,
                           hw::Paddr secret_pa,
+                          const std::vector<uint8_t> &secret);
+
+/** Which hostile edit attack 4 applies to the victim's swap slot. */
+enum class SwapAttack
+{
+    StaleReplay, ///< re-serve an old sealed page after it was superseded
+    BitFlip,     ///< flip a ciphertext bit in the current sealed page
+};
+
+/**
+ * Attack 4: swap-store manipulation (the ghost-swap surface). The
+ * hostile OS owns the swap area — it is ordinary disk blocks — so it
+ * can scrape a victim's sealed page off the platter and later replay
+ * it, or corrupt it in place:
+ *
+ *  - StaleReplay: snapshot the sealed blocks of @p ghost_va's current
+ *    swap slot, call @p cycle_page (the test's stand-in for normal
+ *    scheduler activity: the victim faults the page back in, updates
+ *    it, and the kernel swaps it out again), then write the stale
+ *    snapshot over the fresh slot. The old blob's MAC is valid — but
+ *    it was sealed under the old swap generation, so swap-in refuses
+ *    it.
+ *  - BitFlip: flip one ciphertext bit of the current slot in place.
+ *
+ * Either way the attacker's loot is the scraped ciphertext; the
+ * victim's next access to @p ghost_va must fail with a violation and
+ * zero disclosure.
+ */
+AttackResult mountAttack4(kern::Kernel &kernel, hw::Disk &disk,
+                          uint64_t victim_pid, uint64_t ghost_va,
+                          SwapAttack mode,
+                          const std::function<bool()> &cycle_page,
                           const std::vector<uint8_t> &secret);
 
 } // namespace vg::attacks

@@ -138,6 +138,39 @@ seal(const AesKey &key, CtrDrbg &rng, const std::vector<uint8_t> &plain,
     return blob;
 }
 
+std::vector<SealedBlob>
+sealBatch(const AesKey &key, CtrDrbg &rng,
+          const std::vector<SealInput> &batch, bool fast)
+{
+    std::vector<SealedBlob> out;
+    out.reserve(batch.size());
+
+    if (fast) {
+        const SealKeys &keys = cachedKeys(key);
+        for (const SealInput &in : batch) {
+            SealedBlob blob;
+            rng.generate(blob.nonce.data(), blob.nonce.size());
+            blob.ciphertext = keys.aes.ctrCrypt(in.plain, blob.nonce);
+            blob.mac = computeMacFast(keys.mac, blob, in.aad);
+            out.push_back(std::move(blob));
+        }
+        return out;
+    }
+
+    AesKey enc_key;
+    std::vector<uint8_t> mac_key;
+    deriveKeys(key, enc_key, mac_key, false);
+    Aes128 aes(enc_key, false);
+    for (const SealInput &in : batch) {
+        SealedBlob blob;
+        rng.generate(blob.nonce.data(), blob.nonce.size());
+        blob.ciphertext = aes.ctrCrypt(in.plain, blob.nonce);
+        blob.mac = computeMac(mac_key, blob, in.aad);
+        out.push_back(std::move(blob));
+    }
+    return out;
+}
+
 std::vector<uint8_t>
 unseal(const AesKey &key, const SealedBlob &blob, bool &ok,
        const std::vector<uint8_t> &aad, bool fast)

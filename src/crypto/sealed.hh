@@ -51,6 +51,26 @@ SealedBlob seal(const AesKey &key, CtrDrbg &rng,
                 const std::vector<uint8_t> &plain,
                 const std::vector<uint8_t> &aad = {}, bool fast = true);
 
+/** One element of a sealBatch() call: plaintext plus the associated
+ *  data bound into its MAC. */
+struct SealInput
+{
+    std::vector<uint8_t> plain;
+    std::vector<uint8_t> aad;
+};
+
+/**
+ * Seal a batch of plaintexts under one key in a scatter-gather
+ * pipeline: the KDF passes, AES key schedule, and HMAC pad states are
+ * set up once and reused across the whole batch (the per-call setup
+ * that seal() pays every time). Nonces are drawn from @p rng in batch
+ * order, so the output is bit-identical to calling seal() on each
+ * element in sequence.
+ */
+std::vector<SealedBlob> sealBatch(const AesKey &key, CtrDrbg &rng,
+                                  const std::vector<SealInput> &batch,
+                                  bool fast = true);
+
 /**
  * Verify and decrypt a sealed blob.
  * @param ok false if the MAC (over aad || nonce || ciphertext) fails.

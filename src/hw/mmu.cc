@@ -81,6 +81,7 @@ Mmu::walk(Vaddr va, Access access, Privilege priv, bool charge)
 
     Paddr table = _root;
     Pte entry = 0;
+    Paddr leafSlot = 0;
     for (int level = 4; level >= 1; level--) {
         if (!_mem.valid(table + pageSize - 1)) {
             res.fault = FaultKind::BadPhys;
@@ -89,12 +90,20 @@ Mmu::walk(Vaddr va, Access access, Privilege priv, bool charge)
         if (charge)
             _ctx.clock().advance(_ctx.costs().pageWalkPerLevel);
         uint64_t idx = ptIndex(va, static_cast<PtLevel>(level));
-        entry = _mem.read64(table + idx * 8);
+        leafSlot = table + idx * 8;
+        entry = _mem.read64(leafSlot);
         if (!(entry & pte::present)) {
             res.fault = FaultKind::NotPresent;
             return res;
         }
         table = pte::frameAddr(entry);
+    }
+
+    // Reference bit for the ghost eviction clock. Only ghost leaves
+    // carry it so the kernel-address fast paths stay byte-identical.
+    if (isGhostAddr(va) && !(entry & pte::accessed)) {
+        entry |= pte::accessed;
+        _mem.write64(leafSlot, entry);
     }
 
     if (!allowed(entry, access, priv)) {

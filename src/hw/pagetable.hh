@@ -28,6 +28,10 @@ namespace pte
 constexpr Pte present = 1ull << 0;
 constexpr Pte writable = 1ull << 1;
 constexpr Pte user = 1ull << 2;
+/** Hardware-set reference bit: the MMU sets it on the leaf entry when
+ *  a ghost translation is installed; the eviction clock reads and
+ *  clears it (second-chance). Only maintained for ghost addresses. */
+constexpr Pte accessed = 1ull << 5;
 constexpr Pte noExec = 1ull << 63;
 
 /** Physical frame address field (bits 12..51). */

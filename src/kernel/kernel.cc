@@ -29,7 +29,9 @@ Kernel::Kernel(sim::SimContext &ctx, hw::PhysMem &mem, hw::CpuSet &cpus,
       _hDeviceIrqs(ctx.stats().handle("kernel.device_irqs")),
       _hIrqsCoalesced(ctx.stats().handle("kernel.irqs_coalesced")),
       _hSoftirqWakes(ctx.stats().handle("kernel.softirq_wakes")),
-      _hZeroCopySends(ctx.stats().handle("kernel.zero_copy_sends"))
+      _hZeroCopySends(ctx.stats().handle("kernel.zero_copy_sends")),
+      _hGhostFaults(ctx.stats().handle("kernel.ghost_faults")),
+      _hGhostReclaimed(ctx.stats().handle("kernel.ghost_reclaimed"))
 {
     _softirq.resize(ctx.vcpuCount());
     _lastIrqAt.assign(ctx.vcpuCount(), 0);
@@ -55,8 +57,15 @@ Kernel::boot()
     _kmem = std::make_unique<Kmem>(_ctx, _mem, _cpus[0].mmu(), _vm);
     _kmem->attachCpus(_cpus);
     _bcache = std::make_unique<BufferCache>(_disk, _ctx);
-    _fs = std::make_unique<Fs>(*_bcache, _ctx, _disk.numBlocks());
+    // The swap area is carved from the disk tail; the filesystem gets
+    // the rest. Swap blocks bypass the buffer cache — they sit behind
+    // the disk's request queue directly.
+    uint64_t swap_blocks = _disk.numBlocks() / 8;
+    _fs = std::make_unique<Fs>(*_bcache, _ctx,
+                               _disk.numBlocks() - swap_blocks);
     _fs->mkfs();
+    _swap = std::make_unique<SwapArea>(
+        _disk, _ctx, _disk.numBlocks() - swap_blocks, swap_blocks);
 
     // Ghost memory frames are donated from / returned to our allocator.
     _vm.setFrameProvider([this]() { return _frames->alloc(); });
@@ -253,6 +262,9 @@ void
 Kernel::teardownAddressSpace(Process &proc)
 {
     sva::SvaError err;
+    _ghostClock.removePid(proc.pid);
+    if (_swap)
+        _swap->releaseAll(proc.pid);
     _vm.releaseGhostMemory(proc.pid, proc.rootFrame);
     for (const auto &[va, page] : proc.userPages) {
         if (_vm.unmapPage(proc.rootFrame, va, &err) &&
@@ -787,44 +799,159 @@ Kernel::clearInterposition(Sys sys)
 }
 
 uint64_t
+Kernel::swapOutPages(uint64_t pid, Process &proc,
+                     std::vector<hw::Vaddr> pages)
+{
+    if (!_swap)
+        return 0;
+    // Never seal a page the swap area cannot hold: the victims are
+    // clamped *before* eviction so nothing is lost.
+    if (pages.size() > _swap->freeSlots())
+        pages.resize(_swap->freeSlots());
+
+    uint64_t swapped = 0;
+    if (_ctx.config().swapFastPath) {
+        unsigned batch = std::max(1u, _ctx.config().swapBatchPages);
+        for (size_t i = 0; i < pages.size(); i += batch) {
+            std::vector<hw::Vaddr> chunk(
+                pages.begin() + i,
+                pages.begin() +
+                    std::min(pages.size(), i + batch));
+            sva::SvaError err;
+            std::vector<crypto::SealedBlob> blobs =
+                _vm.swapOutGhostBatch(pid, proc.rootFrame, chunk,
+                                      &err);
+            if (blobs.empty()) {
+                // A stale va poisons the whole batch; salvage the
+                // valid pages one at a time.
+                for (hw::Vaddr va : chunk) {
+                    auto blob = _vm.swapOutGhostPage(
+                        pid, proc.rootFrame, va, &err);
+                    if (!blob)
+                        continue;
+                    SwapArea::StoreReq req{
+                        pid, va, _vm.swapGeneration(pid, va),
+                        &*blob};
+                    _swap->storeBatch({req});
+                    _ghostClock.remove(pid, va);
+                    swapped++;
+                }
+                continue;
+            }
+            std::vector<SwapArea::StoreReq> reqs(chunk.size());
+            for (size_t j = 0; j < chunk.size(); j++)
+                reqs[j] = {pid, chunk[j],
+                           _vm.swapGeneration(pid, chunk[j]),
+                           &blobs[j]};
+            _swap->storeBatch(reqs);
+            for (hw::Vaddr va : chunk)
+                _ghostClock.remove(pid, va);
+            swapped += chunk.size();
+        }
+    } else {
+        for (hw::Vaddr va : pages) {
+            sva::SvaError err;
+            auto blob =
+                _vm.swapOutGhostPage(pid, proc.rootFrame, va, &err);
+            if (!blob)
+                continue;
+            SwapArea::StoreReq req{pid, va,
+                                   _vm.swapGeneration(pid, va),
+                                   &*blob};
+            _swap->storeBatch({req});
+            _ghostClock.remove(pid, va);
+            swapped++;
+        }
+    }
+    _ctx.stats().add("kernel.ghost_swapouts", swapped);
+    return swapped;
+}
+
+uint64_t
 Kernel::swapOutGhost(uint64_t pid, uint64_t max_pages)
 {
     Process *proc = process(pid);
     if (!proc)
         return 0;
     std::vector<hw::Vaddr> pages = _vm.ghostPagesOf(pid);
-    uint64_t swapped = 0;
-    for (hw::Vaddr va : pages) {
-        if (swapped >= max_pages)
-            break;
-        sva::SvaError err;
-        auto blob = _vm.swapOutGhostPage(pid, proc->rootFrame, va,
-                                         &err);
-        if (!blob)
-            continue;
-        _ghostSwap[{pid, va}] = std::move(*blob);
-        swapped++;
+    if (pages.size() > max_pages)
+        pages.resize(max_pages);
+    return swapOutPages(pid, *proc, std::move(pages));
+}
+
+uint64_t
+Kernel::reclaimGhostFrames(uint64_t want_pages)
+{
+    if (!_swap || _ghostClock.size() == 0)
+        return 0;
+    want_pages = std::min(want_pages, _swap->freeSlots());
+    std::vector<GhostClock::Page> victims = _ghostClock.pickVictims(
+        want_pages, [this](uint64_t pid, hw::Vaddr va) {
+            Process *p = process(pid);
+            return p && _vm.ghostPageTestClearRef(pid, p->rootFrame,
+                                                  va);
+        });
+    // Contiguous same-pid runs swap out together (one batch shares
+    // one address space); victim order is preserved.
+    uint64_t reclaimed = 0;
+    size_t i = 0;
+    while (i < victims.size()) {
+        size_t j = i;
+        while (j < victims.size() &&
+               victims[j].first == victims[i].first)
+            j++;
+        Process *p = process(victims[i].first);
+        if (p) {
+            std::vector<hw::Vaddr> vas;
+            vas.reserve(j - i);
+            for (size_t k = i; k < j; k++)
+                vas.push_back(victims[k].second);
+            reclaimed +=
+                swapOutPages(victims[i].first, *p, std::move(vas));
+        }
+        i = j;
     }
-    _ctx.stats().add("kernel.ghost_swapouts", swapped);
-    return swapped;
+    sim::StatSet::add(_hGhostReclaimed, reclaimed);
+    return reclaimed;
+}
+
+/** Frames kept free beyond the immediate need: swap-in and ghost
+ *  mapping may consume a few extra frames for page tables. */
+static constexpr uint64_t kGhostHeadroom = 16;
+
+void
+Kernel::ensureGhostHeadroom(uint64_t need)
+{
+    if (!_swap)
+        return;
+    uint64_t want = need + kGhostHeadroom;
+    uint64_t have = _frames->freeCount();
+    if (have >= want)
+        return;
+    reclaimGhostFrames(want - have);
 }
 
 bool
 Kernel::swapInGhost(uint64_t pid, hw::Vaddr page_va)
 {
     Process *proc = process(pid);
-    if (!proc)
+    if (!proc || !_swap || !_swap->contains(pid, page_va))
         return false;
-    auto it = _ghostSwap.find({pid, page_va});
-    if (it == _ghostSwap.end())
+    sim::StatSet::add(_hGhostFaults);
+    // The restore needs a frame; under pressure the clock makes room
+    // first (the faulting page is non-resident, never its own victim).
+    ensureGhostHeadroom(1);
+    std::optional<crypto::SealedBlob> blob = _swap->read(pid, page_va);
+    if (!blob)
         return false;
     sva::SvaError err;
-    if (!_vm.swapInGhostPage(pid, proc->rootFrame, page_va, it->second,
+    if (!_vm.swapInGhostPage(pid, proc->rootFrame, page_va, *blob,
                              &err)) {
         sim::warn("ghost swap-in refused: %s", err.message.c_str());
         return false;
     }
-    _ghostSwap.erase(it);
+    _swap->release(pid, page_va);
+    _ghostClock.insert(pid, page_va);
     _ctx.stats().add("kernel.ghost_swapins");
     return true;
 }
@@ -832,17 +959,37 @@ Kernel::swapInGhost(uint64_t pid, hw::Vaddr page_va)
 uint64_t
 Kernel::swappedGhostPages(uint64_t pid) const
 {
-    uint64_t n = 0;
-    for (const auto &[key, blob] : _ghostSwap)
-        n += key.first == pid ? 1 : 0;
-    return n;
+    return _swap ? _swap->countFor(pid) : 0;
 }
 
-crypto::SealedBlob *
-Kernel::swappedBlob(uint64_t pid, hw::Vaddr page_va)
+std::optional<crypto::SealedBlob>
+Kernel::readSwappedBlob(uint64_t pid, hw::Vaddr page_va)
 {
-    auto it = _ghostSwap.find({pid, page_va});
-    return it == _ghostSwap.end() ? nullptr : &it->second;
+    if (!_swap)
+        return std::nullopt;
+    return _swap->read(pid, page_va);
+}
+
+std::optional<uint64_t>
+Kernel::swapSlotBlock(uint64_t pid, hw::Vaddr page_va) const
+{
+    if (!_swap)
+        return std::nullopt;
+    return _swap->slotBlock(pid, page_va);
+}
+
+void
+Kernel::noteGhostAlloc(uint64_t pid, hw::Vaddr va, uint64_t npages)
+{
+    for (uint64_t i = 0; i < npages; i++)
+        _ghostClock.insert(pid, va + i * hw::pageSize);
+}
+
+void
+Kernel::noteGhostFree(uint64_t pid, hw::Vaddr va, uint64_t npages)
+{
+    for (uint64_t i = 0; i < npages; i++)
+        _ghostClock.remove(pid, va + i * hw::pageSize);
 }
 
 cc::ExecResult

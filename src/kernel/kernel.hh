@@ -28,6 +28,7 @@
 #include "kernel/kalloc.hh"
 #include "kernel/kmem.hh"
 #include "kernel/proc.hh"
+#include "kernel/swap.hh"
 #include "sva/vm.hh"
 
 namespace vg::kern
@@ -295,8 +296,10 @@ class Kernel
     /**
      * Memory-pressure path (S 3.3): swap up to @p max_pages of
      * @p pid's ghost memory out. The VM encrypts+MACs each page; the
-     * OS stores only ciphertext blobs and gets the frames back.
-     * Returns pages swapped.
+     * OS stores only ciphertext in the disk's swap area and gets the
+     * frames back. Under VgConfig::swapFastPath pages are sealed in
+     * batches and written back through the disk's request queue with
+     * one doorbell per batch. Returns pages swapped.
      */
     uint64_t swapOutGhost(uint64_t pid, uint64_t max_pages);
 
@@ -307,9 +310,35 @@ class Kernel
     /** Number of ghost pages currently swapped out for @p pid. */
     uint64_t swappedGhostPages(uint64_t pid) const;
 
-    /** Hostile-OS hook for tests: expose (and allow tampering with)
-     *  a swapped page's ciphertext blob. */
-    crypto::SealedBlob *swappedBlob(uint64_t pid, hw::Vaddr page_va);
+    /**
+     * Frame-pressure relief: pick up to @p want_pages second-chance
+     * clock victims across every process and swap them out (batched
+     * under swapFastPath). Returns pages actually reclaimed.
+     */
+    uint64_t reclaimGhostFrames(uint64_t want_pages);
+
+    /** Reclaim until at least @p need frames (plus a fixed headroom)
+     *  are free; no-op when the allocator already has them. */
+    void ensureGhostHeadroom(uint64_t need);
+
+    /** Hostile-OS view of a swapped page: read its ciphertext blob
+     *  back from the swap area (the OS sees bytes, never plaintext). */
+    std::optional<crypto::SealedBlob> readSwappedBlob(uint64_t pid,
+                                                      hw::Vaddr page_va);
+
+    /** First disk block of (pid, va)'s swap slot — the surface a
+     *  hostile OS tampers with via Disk::rawBlock. */
+    std::optional<uint64_t> swapSlotBlock(uint64_t pid,
+                                          hw::Vaddr page_va) const;
+
+    /** The swap area (null before boot). */
+    SwapArea *swapArea() { return _swap.get(); }
+
+    /** The second-chance eviction clock over resident ghost pages. */
+    const GhostClock &ghostClock() const { return _ghostClock; }
+
+    /** Free frames remaining in the kernel allocator. */
+    uint64_t freeFrames() const { return _frames->freeCount(); }
 
     /** Resolve a user access through @p proc's tables, demand-zero
      *  faulting as needed (the user-mode memory path). */
@@ -396,6 +425,17 @@ class Kernel
     bool moduleDispatch(Sys sys, const std::vector<uint64_t> &args,
                         int64_t &result);
 
+    /** Seal + evict @p pages of @p pid and store them in the swap
+     *  area: batched under swapFastPath, one page at a time on the
+     *  reference path. Victim set and order are caller-decided, so
+     *  both modes evict identically. */
+    uint64_t swapOutPages(uint64_t pid, Process &proc,
+                          std::vector<hw::Vaddr> pages);
+
+    /** Residency-tracking hooks for the eviction clock. */
+    void noteGhostAlloc(uint64_t pid, hw::Vaddr va, uint64_t npages);
+    void noteGhostFree(uint64_t pid, hw::Vaddr va, uint64_t npages);
+
     /** MMU of the vCPU the current process is executing on. */
     hw::Mmu &curMmu() { return _cpus.active().mmu(); }
 
@@ -431,9 +471,10 @@ class Kernel
     std::vector<std::deque<Softirq>> _softirq;
     std::vector<uint64_t> _lastIrqAt;
 
-    /** Swapped-out ghost pages: (pid, va) -> ciphertext blob. */
-    std::map<std::pair<uint64_t, hw::Vaddr>, crypto::SealedBlob>
-        _ghostSwap;
+    /** On-disk swap area for sealed ghost pages (carved from the disk
+     *  tail at boot) and the machine-wide eviction clock. */
+    std::unique_ptr<SwapArea> _swap;
+    GhostClock _ghostClock;
 
     std::map<std::string, KernelModule> _modules;
 
@@ -473,6 +514,8 @@ class Kernel
     sim::StatHandle _hIrqsCoalesced;
     sim::StatHandle _hSoftirqWakes;
     sim::StatHandle _hZeroCopySends;
+    sim::StatHandle _hGhostFaults;
+    sim::StatHandle _hGhostReclaimed;
 
     friend struct ModuleExternBinder;
 };

@@ -528,11 +528,16 @@ UserApi::allocGhost(uint64_t npages)
 {
     sysEnter(); // allocgm is a VM call but still crosses the gate
     hw::Vaddr va = _proc.ghostCursor;
+    // Frame pressure: make room (plus page-table headroom) before the
+    // VM starts pulling frames from the allocator.
+    _kernel.ensureGhostHeadroom(npages + npages / 512 + 3);
     sva::SvaError err;
     bool ok = _kernel._vm.allocGhostMemory(_proc.pid, _proc.rootFrame,
                                            va, npages, &err);
-    if (ok)
+    if (ok) {
         _proc.ghostCursor += npages * hw::pageSize;
+        _kernel.noteGhostAlloc(_proc.pid, va, npages);
+    }
     sysExit();
     return ok ? va : 0;
 }
@@ -544,6 +549,8 @@ UserApi::freeGhost(hw::Vaddr va, uint64_t npages)
     sva::SvaError err;
     bool ok = _kernel._vm.freeGhostMemory(_proc.pid, _proc.rootFrame,
                                           va, npages, &err);
+    if (ok)
+        _kernel.noteGhostFree(_proc.pid, va, npages);
     sysExit();
     return ok;
 }
@@ -735,8 +742,12 @@ UserApi::execve(const sva::AppBinary *binary,
         }
     }
 
-    // Reset the address space and Interrupt Context.
+    // Reset the address space and Interrupt Context. The old image's
+    // ghost memory dies here: clock entries and swap slots go with it.
     sva::SvaError err;
+    k._ghostClock.removePid(_proc.pid);
+    if (k._swap)
+        k._swap->releaseAll(_proc.pid);
     k._vm.reinitIcontext(_proc.tid, 0x400000, 0x7fffffff0000ull,
                          _proc.rootFrame, &err);
     for (const auto &[va, page] : _proc.userPages) {

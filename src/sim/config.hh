@@ -129,6 +129,24 @@ struct VgConfig
     unsigned irqCoalesceUs = 16;
 
     /**
+     * Batched ghost-swap eviction pipeline: evictions picked by the
+     * second-chance clock are sealed with a scatter-gather AES-CTR +
+     * pipelined-HMAC batch (key schedule and MAC-state setup amortised
+     * across the batch) and written back through the disk's NCQ ring
+     * with one doorbell per batch. Page contents, sealed blobs and
+     * work-done stat counts are identical to the per-page reference
+     * path (enforced by SwapEquivalenceSweep); only cost charging and
+     * writeback mechanics differ. Disabling this falls back to one
+     * synchronous seal + disk round-trip per evicted page and exists
+     * for differential testing and as a perf ablation knob.
+     */
+    bool swapFastPath = true;
+
+    /** Maximum pages sealed and written back per eviction batch
+     *  (ghost-swap knob). */
+    unsigned swapBatchPages = 32;
+
+    /**
      * Number of simulated vCPUs. Each vCPU owns a TLB, a timer, and a
      * cycle clock; a deterministic interleaver in the scheduler decides
      * which vCPU runs next. With vcpus == 1 the machine is stat- and

@@ -125,6 +125,12 @@ struct CostModel
     /** SHA-256 software cost per byte. */
     Cycles shaPerByte = 13;
 
+    /** Fixed setup cost of one seal/unseal operation: AES key
+     *  schedule, CTR block setup, HMAC ipad/opad state clone. The
+     *  batched swap pipeline pays this once per batch instead of once
+     *  per page. */
+    Cycles sealSetup = 3600;
+
     /** One RSA private-key operation (modexp at our key sizes). */
     Cycles rsaPrivOp = 170000; // ~50 us
 

@@ -40,19 +40,24 @@ SvaVm::swapKey() const
     std::memcpy(key.data(), d.data(), key.size());
     _swapKey = key;
     _swapKeyValid = true;
+    _sealKeyGen++;
     return key;
 }
 
 namespace
 {
 
-/** Associated data binding a swapped page to (pid, va). */
+/** Associated data binding a swapped page to (pid, va, generation).
+ *  The generation is VM-trusted monotonic state: a stale blob from an
+ *  earlier swap-out of the same slot carries a dead generation and
+ *  fails MAC verification. */
 std::vector<uint8_t>
-swapAad(uint64_t pid, hw::Vaddr va)
+swapAad(uint64_t pid, hw::Vaddr va, uint64_t gen)
 {
-    std::vector<uint8_t> aad(16);
+    std::vector<uint8_t> aad(24);
     std::memcpy(aad.data(), &pid, 8);
     std::memcpy(aad.data() + 8, &va, 8);
+    std::memcpy(aad.data() + 16, &gen, 8);
     return aad;
 }
 
@@ -221,38 +226,33 @@ SvaVm::freeGhostMemory(uint64_t pid, hw::Frame root, hw::Vaddr va,
     return true;
 }
 
-std::optional<crypto::SealedBlob>
-SvaVm::swapOutGhostPage(uint64_t pid, hw::Frame root, hw::Vaddr va,
-                        SvaError *err)
+bool
+SvaVm::validateGhostPage(uint64_t pid, hw::Frame root, hw::Vaddr va,
+                         const char *op, hw::Paddr &slot,
+                         hw::Frame &frame, SvaError *err)
 {
-    hw::Paddr slot = 0;
-    if (!ghostLeafSlot(_mem, _frames, root, va, slot)) {
-        failOp(err, "swapout: page not mapped");
-        return std::nullopt;
-    }
+    if (!ghostLeafSlot(_mem, _frames, root, va, slot))
+        return failOp(err, std::string(op) + ": page not mapped");
     hw::Pte entry = _mem.read64(slot);
-    hw::Frame frame = hw::pte::frameNum(entry);
-    FrameMeta &meta = _frames[frame];
+    frame = hw::pte::frameNum(entry);
+    const FrameMeta &meta = _frames[frame];
     if (!(entry & hw::pte::present) || meta.type != FrameType::Ghost ||
-        meta.owner != pid) {
-        failOp(err, "swapout: not this process's ghost page");
-        return std::nullopt;
-    }
+        meta.owner != pid)
+        return failOp(err, std::string(op) +
+                               ": not this process's ghost page");
+    return true;
+}
 
-    std::vector<uint8_t> plain(hw::pageSize);
-    _mem.readBytes(frame * hw::pageSize, plain.data(), plain.size());
-    _ctx.chargeAes(plain.size());
-    _ctx.chargeSha(plain.size());
-    crypto::SealedBlob blob =
-        crypto::seal(swapKey(), _rng, plain, swapAad(pid, va),
-                     _ctx.config().cryptoFastPath);
-
+bool
+SvaVm::detachGhostFrame(uint64_t pid, hw::Vaddr va, hw::Paddr slot,
+                        hw::Frame frame, const char *op, SvaError *err)
+{
     // Unmap, scrub, and hand the frame back to the OS.
     _mem.write64(slot, 0);
     invalidateEverywhere(va);
-    if (!frameRetypeSafe(frame, "swapout", err)) {
-        return std::nullopt;
-    }
+    if (!frameRetypeSafe(frame, op, err))
+        return false;
+    FrameMeta &meta = _frames[frame];
     _mem.zeroFrame(frame);
     meta.type = FrameType::Free;
     meta.owner = 0;
@@ -270,22 +270,94 @@ SvaVm::swapOutGhostPage(uint64_t pid, hw::Frame root, hw::Vaddr va,
         }
     }
     sim::StatSet::add(_hGhostSwappedOut);
+    return true;
+}
+
+std::optional<crypto::SealedBlob>
+SvaVm::swapOutGhostPage(uint64_t pid, hw::Frame root, hw::Vaddr va,
+                        SvaError *err)
+{
+    hw::Paddr slot = 0;
+    hw::Frame frame = 0;
+    if (!validateGhostPage(pid, root, va, "swapout", slot, frame, err))
+        return std::nullopt;
+
+    std::vector<uint8_t> plain(hw::pageSize);
+    _mem.readBytes(frame * hw::pageSize, plain.data(), plain.size());
+    _ctx.clock().advance(_ctx.costs().sealSetup);
+    _ctx.chargeAes(plain.size());
+    _ctx.chargeSha(plain.size());
+    uint64_t gen = _nextSwapGen++;
+    _swapGens[{pid, va}] = gen;
+    crypto::SealedBlob blob =
+        crypto::seal(swapKey(), _rng, plain, swapAad(pid, va, gen),
+                     _ctx.config().cryptoFastPath);
+
+    if (!detachGhostFrame(pid, va, slot, frame, "swapout", err))
+        return std::nullopt;
     return blob;
+}
+
+std::vector<crypto::SealedBlob>
+SvaVm::swapOutGhostBatch(uint64_t pid, hw::Frame root,
+                         const std::vector<hw::Vaddr> &vas,
+                         SvaError *err)
+{
+    // Validate the whole batch up front: a bad va evicts nothing.
+    std::vector<hw::Paddr> slots(vas.size());
+    std::vector<hw::Frame> framesOf(vas.size());
+    for (size_t i = 0; i < vas.size(); i++)
+        if (!validateGhostPage(pid, root, vas[i], "swapout", slots[i],
+                               framesOf[i], err))
+            return {};
+
+    // Gather plaintexts and bind each page's fresh generation into its
+    // AAD; seal the lot in one pipelined pass. Setup cost is charged
+    // once per batch — the per-byte crypto work is identical to the
+    // per-page path, as are the resulting blobs.
+    std::vector<crypto::SealInput> batch(vas.size());
+    for (size_t i = 0; i < vas.size(); i++) {
+        batch[i].plain.resize(hw::pageSize);
+        _mem.readBytes(framesOf[i] * hw::pageSize,
+                       batch[i].plain.data(), hw::pageSize);
+        uint64_t gen = _nextSwapGen++;
+        _swapGens[{pid, vas[i]}] = gen;
+        batch[i].aad = swapAad(pid, vas[i], gen);
+    }
+    _ctx.clock().advance(_ctx.costs().sealSetup);
+    for (size_t i = 0; i < vas.size(); i++) {
+        _ctx.chargeAes(hw::pageSize);
+        _ctx.chargeSha(hw::pageSize);
+    }
+    std::vector<crypto::SealedBlob> blobs = crypto::sealBatch(
+        swapKey(), _rng, batch, _ctx.config().cryptoFastPath);
+
+    for (size_t i = 0; i < vas.size(); i++)
+        if (!detachGhostFrame(pid, vas[i], slots[i], framesOf[i],
+                              "swapout", err))
+            return {};
+    sim::StatSet::add(_hGhostSwapBatches);
+    return blobs;
 }
 
 bool
 SvaVm::swapInGhostPage(uint64_t pid, hw::Frame root, hw::Vaddr va,
                        const crypto::SealedBlob &blob, SvaError *err)
 {
+    auto genIt = _swapGens.find({pid, va});
+    if (genIt == _swapGens.end())
+        return failOp(err, "swapin: no swapped page recorded for this "
+                           "slot (replayed to the wrong slot?)");
     bool ok = false;
+    _ctx.clock().advance(_ctx.costs().sealSetup);
     _ctx.chargeAes(blob.ciphertext.size());
     _ctx.chargeSha(blob.ciphertext.size());
-    std::vector<uint8_t> plain =
-        crypto::unseal(swapKey(), blob, ok, swapAad(pid, va),
-                       _ctx.config().cryptoFastPath);
+    std::vector<uint8_t> plain = crypto::unseal(
+        swapKey(), blob, ok, swapAad(pid, va, genIt->second),
+        _ctx.config().cryptoFastPath);
     if (!ok || plain.size() != hw::pageSize)
-        return failOp(err, "swapin: page fails verification (tampered "
-                           "or replayed to the wrong slot)");
+        return failOp(err, "swapin: page fails verification (tampered, "
+                           "stale, or replayed to the wrong slot)");
 
     if (!_frameProvider)
         return failOp(err, "swapin: no frame provider");
@@ -305,13 +377,64 @@ SvaVm::swapInGhostPage(uint64_t pid, hw::Frame root, hw::Vaddr va,
     if (!mapGhostPage(root, va, *frame, err))
         return false;
     _ghostPages[pid].push_back({*frame, va});
+    _swapGens.erase(genIt); // slot is live again; the blob is dead
     sim::StatSet::add(_hGhostSwappedIn);
     return true;
+}
+
+bool
+SvaVm::ghostPageTestClearRef(uint64_t pid, hw::Frame root, hw::Vaddr va)
+{
+    hw::Paddr slot = 0;
+    hw::Frame frame = 0;
+    SvaError err;
+    if (!validateGhostPage(pid, root, va, "refclear", slot, frame,
+                           &err))
+        return false;
+    hw::Pte entry = _mem.read64(slot);
+    if (!(entry & hw::pte::accessed))
+        return false;
+    _ctx.chargeMmuUpdate();
+    _mem.write64(slot, entry & ~hw::pte::accessed);
+    invalidateEverywhere(va); // next touch re-walks and re-sets A
+    return true;
+}
+
+bool
+SvaVm::ghostPageReferenced(uint64_t pid, hw::Frame root,
+                           hw::Vaddr va) const
+{
+    hw::Paddr slot = 0;
+    if (!ghostLeafSlot(_mem, _frames, root, va, slot))
+        return false;
+    hw::Pte entry = _mem.read64(slot);
+    if (!(entry & hw::pte::present))
+        return false;
+    const FrameMeta &meta = _frames[hw::pte::frameNum(entry)];
+    if (meta.type != FrameType::Ghost || meta.owner != pid)
+        return false;
+    return (entry & hw::pte::accessed) != 0;
+}
+
+uint64_t
+SvaVm::swapGeneration(uint64_t pid, hw::Vaddr va) const
+{
+    auto it = _swapGens.find({pid, va});
+    return it == _swapGens.end() ? 0 : it->second;
 }
 
 void
 SvaVm::releaseGhostMemory(uint64_t pid, hw::Frame root)
 {
+    // Swapped-out pages die with the process: their generations are
+    // dropped, so any blob the OS kept can never verify again.
+    for (auto g = _swapGens.begin(); g != _swapGens.end();) {
+        if (g->first.first == pid)
+            g = _swapGens.erase(g);
+        else
+            ++g;
+    }
+
     auto it = _ghostPages.find(pid);
     if (it != _ghostPages.end()) {
         // Copy: freeGhostMemory edits the vector.

@@ -48,7 +48,8 @@ SvaVm::SvaVm(sim::SimContext &ctx, hw::PhysMem &mem, hw::Mmu &mmu,
       _hGhostFreed(ctx.stats().handle("sva.ghost_pages_freed")),
       _hGhostSwappedOut(
           ctx.stats().handle("sva.ghost_pages_swapped_out")),
-      _hGhostSwappedIn(ctx.stats().handle("sva.ghost_pages_swapped_in"))
+      _hGhostSwappedIn(ctx.stats().handle("sva.ghost_pages_swapped_in")),
+      _hGhostSwapBatches(ctx.stats().handle("sva.ghost_swap_batches"))
 {}
 
 void

@@ -219,9 +219,51 @@ class SvaVm
                                                        hw::Vaddr va,
                                                        SvaError *err);
 
+    /**
+     * Batched swap-out: validate and read every page in @p vas, seal
+     * the whole eviction batch through one scatter-gather AES-CTR +
+     * pipelined-HMAC pass (key schedule and MAC-state setup amortised
+     * across the batch), then unmap/scrub/return the frames. Blobs are
+     * returned in input order and are bit-identical to calling
+     * swapOutGhostPage() on each va in sequence; only the fixed seal
+     * setup cost is charged once per batch instead of once per page.
+     * Returns an empty vector (with @p err set) if any page fails
+     * validation — no page is evicted in that case.
+     */
+    std::vector<crypto::SealedBlob>
+    swapOutGhostBatch(uint64_t pid, hw::Frame root,
+                      const std::vector<hw::Vaddr> &vas, SvaError *err);
+
     /** Verify and restore a swapped ghost page. */
     bool swapInGhostPage(uint64_t pid, hw::Frame root, hw::Vaddr va,
                          const crypto::SealedBlob &blob, SvaError *err);
+
+    /**
+     * Second-chance reference bit (sva.ghost.refclear): atomically
+     * test and clear the hardware-set accessed bit on @p pid's ghost
+     * page at @p va. Returns true if the page was referenced since the
+     * last clear (the eviction clock gives it a second chance).
+     * Clearing invalidates the translation everywhere so the next
+     * touch re-walks and re-sets the bit.
+     */
+    bool ghostPageTestClearRef(uint64_t pid, hw::Frame root,
+                               hw::Vaddr va);
+
+    /** Read-only probe of the reference bit (observability; no charge,
+     *  no state change). */
+    bool ghostPageReferenced(uint64_t pid, hw::Frame root,
+                             hw::Vaddr va) const;
+
+    /** Swap generation bound into the AAD of @p pid's page at @p va
+     *  while it is swapped out; 0 when the slot holds no swapped page.
+     *  Monotonic across the machine, so a stale blob from an earlier
+     *  swap-out of the same page carries a dead generation and fails
+     *  MAC verification. */
+    uint64_t swapGeneration(uint64_t pid, hw::Vaddr va) const;
+
+    /** How many times the swap key has been (re)derived — advances
+     *  when the key chain rotates via install()/boot(). */
+    uint64_t sealKeyGeneration() const { return _sealKeyGen; }
 
     /** Release every ghost frame owned by @p pid (process exit /
      *  execve reinit). The frames are zeroed and returned to the OS. */
@@ -363,6 +405,18 @@ class SvaVm
                       SvaError *err);
     crypto::AesKey swapKey() const;
 
+    /** Resolve @p va to its leaf slot + frame and check it really is
+     *  @p pid's resident ghost page. */
+    bool validateGhostPage(uint64_t pid, hw::Frame root, hw::Vaddr va,
+                           const char *op, hw::Paddr &slot,
+                           hw::Frame &frame, SvaError *err);
+
+    /** Unmap, shootdown, scrub, and hand @p frame back to the OS
+     *  (shared tail of the per-page and batched swap-out paths). */
+    bool detachGhostFrame(uint64_t pid, hw::Vaddr va, hw::Paddr slot,
+                          hw::Frame frame, const char *op,
+                          SvaError *err);
+
     /**
      * TLB shootdown (sva.invlpg.remote): invalidate @p va on the
      * active CPU and on every remote CPU whose TLB holds the page.
@@ -428,6 +482,15 @@ class SvaVm
     std::map<uint64_t, std::vector<std::pair<hw::Frame, hw::Vaddr>>>
         _ghostPages; // pid -> (frame, va)
 
+    /** Swap generation per swapped-out (pid, va); entries exist only
+     *  while the page is out. Trusted state: the OS cannot rewind it,
+     *  so replaying an older blob of the same slot fails MAC. */
+    std::map<std::pair<uint64_t, uint64_t>, uint64_t> _swapGens;
+    uint64_t _nextSwapGen = 1;
+
+    /** Count of swap-key derivations (key-chain rotation telemetry). */
+    mutable uint64_t _sealKeyGen = 0;
+
     uint64_t _violations = 0;
 
     sim::StatHandle _hViolations;
@@ -444,6 +507,7 @@ class SvaVm
     sim::StatHandle _hGhostFreed;
     sim::StatHandle _hGhostSwappedOut;
     sim::StatHandle _hGhostSwappedIn;
+    sim::StatHandle _hGhostSwapBatches;
 };
 
 } // namespace vg::sva

@@ -238,6 +238,81 @@ TEST(Attack3, RingRedirectionFailsUnderVirtualGhost)
     });
 }
 
+TEST(Attack4, StaleSwapReplayRefusedUnderVirtualGhost)
+{
+    // The hostile OS scrapes a sealed page off the swap store, lets
+    // the victim fault it in and update it, then replays the stale
+    // blob over the fresh slot. Its MAC is intact — but it was sealed
+    // under a superseded swap generation, so swap-in refuses it.
+    System sys(smallConfig(sim::VgConfig::full()));
+    sys.boot();
+    sys.runProcess("victim", [&](UserApi &api) {
+        hw::Vaddr gva = api.allocGhost(1);
+        EXPECT_TRUE(
+            api.ghostWrite(gva, kSecret.data(), kSecret.size()));
+        EXPECT_EQ(sys.kernel().swapOutGhost(api.pid(), 1), 1u);
+
+        uint64_t violations = sys.vm().violationCount();
+        AttackResult r = mountAttack4(
+            sys.kernel(), sys.disk(), api.pid(), gva,
+            SwapAttack::StaleReplay,
+            [&]() {
+                // Normal activity between scrape and replay: the
+                // victim faults the page in, updates the secret, and
+                // memory pressure pushes it back out.
+                char c = 0;
+                if (!api.ghostRead(gva, &c, 1))
+                    return false;
+                const char fresh[] = "FRESH-SECRET-V2!";
+                if (!api.ghostWrite(gva, fresh, sizeof(fresh)))
+                    return false;
+                return sys.kernel().swapOutGhost(api.pid(), 1) == 1;
+            },
+            secretBytes());
+        EXPECT_TRUE(r.mounted) << r.detail;
+        // Zero disclosure: the scraped slot is ciphertext only.
+        EXPECT_FALSE(r.dataStolen) << r.detail;
+
+        // The victim's next access faults the stale blob in — the
+        // generation-keyed MAC fails and nothing is mapped.
+        char buf[16] = {};
+        EXPECT_FALSE(api.ghostRead(gva, buf, sizeof(buf)));
+        EXPECT_GT(sys.vm().violationCount(), violations);
+        for (char c : buf)
+            EXPECT_EQ(c, 0);
+        return 0;
+    });
+}
+
+TEST(Attack4, BitFlippedSwapPageRefusedUnderVirtualGhost)
+{
+    // Same surface, simpler edit: flip one ciphertext bit in place.
+    System sys(smallConfig(sim::VgConfig::full()));
+    sys.boot();
+    sys.runProcess("victim", [&](UserApi &api) {
+        hw::Vaddr gva = api.allocGhost(1);
+        EXPECT_TRUE(
+            api.ghostWrite(gva, kSecret.data(), kSecret.size()));
+        EXPECT_EQ(sys.kernel().swapOutGhost(api.pid(), 1), 1u);
+
+        uint64_t violations = sys.vm().violationCount();
+        AttackResult r = mountAttack4(sys.kernel(), sys.disk(),
+                                      api.pid(), gva,
+                                      SwapAttack::BitFlip, nullptr,
+                                      secretBytes());
+        EXPECT_TRUE(r.mounted) << r.detail;
+        EXPECT_FALSE(r.dataStolen) << r.detail;
+        EXPECT_FALSE(r.loot.empty());
+
+        char buf[16] = {};
+        EXPECT_FALSE(api.ghostRead(gva, buf, sizeof(buf)));
+        EXPECT_GT(sys.vm().violationCount(), violations);
+        for (char c : buf)
+            EXPECT_EQ(c, 0);
+        return 0;
+    });
+}
+
 TEST(Attacks, IagoRandomnessDefeatedByVm)
 {
     // The S 4.7 protection: a rigged /dev/random cannot feed the

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Ghost-swap subsystem tests: equivalence of the batched eviction
+ * pipeline with the per-page reference path, bit-identity of batch
+ * sealing, the generation mechanism that defeats stale replay, the
+ * second-chance eviction clock, and pressure-triggered reclaim.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crypto/drbg.hh"
+#include "crypto/sealed.hh"
+#include "kernel/system.hh"
+
+using namespace vg;
+using namespace vg::kern;
+
+namespace
+{
+
+SystemConfig
+swapConfig(bool swap_fast, unsigned vcpus)
+{
+    SystemConfig cfg;
+    cfg.vg = sim::VgConfig::full();
+    cfg.vg.swapFastPath = swap_fast;
+    cfg.vg.vcpus = vcpus;
+    cfg.memFrames = 4096;
+    cfg.diskBlocks = 16384; // 2048 swap blocks -> 1024 slots
+    cfg.rsaBits = 384;
+    return cfg;
+}
+
+/** FNV-1a over a byte range. */
+uint64_t
+fnv(const uint8_t *p, size_t n, uint64_t h = 1469598103934665603ull)
+{
+    for (size_t i = 0; i < n; i++) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** Everything that must match between the two swap paths. */
+struct SwapResult
+{
+    uint64_t digest1 = 0; ///< pages after the first swap cycle
+    uint64_t digest2 = 0; ///< pages after reclaim + rewrite cycle
+    uint64_t swappedAtEnd = 0;
+    std::map<std::string, uint64_t> stats;
+};
+
+/** Stats that count *work done*, not how it was batched or charged.
+ *  Deliberately excludes the batch-mechanics counters
+ *  (sva.ghost_swap_batches, swap.write_batches) and anything
+ *  timing-dependent. */
+const char *kSwapInvariantStats[] = {
+    "swap.pages_stored",
+    "swap.pages_loaded",
+    "kernel.ghost_swapouts",
+    "kernel.ghost_swapins",
+    "kernel.ghost_faults",
+    "kernel.ghost_reclaimed",
+    "sva.ghost_pages_swapped_out",
+    "sva.ghost_pages_swapped_in",
+    "sva.ghost_pages_allocated",
+    "sva.violations",
+};
+
+constexpr uint64_t kPages = 40;
+
+/** A deterministic swap-heavy workload: alloc, seal-out, fault-in,
+ *  rewrite, evict again, reclaim through the clock, fault everything
+ *  back and digest it. */
+SwapResult
+runSwapCorpus(bool swap_fast, unsigned vcpus)
+{
+    SwapResult out;
+    System sys(swapConfig(swap_fast, vcpus));
+    sys.boot();
+
+    sys.runProcess("swapper", [&](UserApi &api) {
+        uint64_t pid = api.pid();
+        hw::Vaddr base = api.allocGhost(kPages);
+        EXPECT_NE(base, 0u);
+
+        std::vector<uint8_t> page(hw::pageSize);
+        for (uint64_t i = 0; i < kPages; i++) {
+            for (size_t b = 0; b < page.size(); b++)
+                page[b] = uint8_t(i * 131 + b * 7 + 1);
+            EXPECT_TRUE(api.ghostWrite(base + i * hw::pageSize,
+                                       page.data(), page.size()));
+        }
+
+        // Cycle 1: evict everything (batched vs per-page), then fault
+        // every page back in and digest it.
+        EXPECT_EQ(sys.kernel().swapOutGhost(pid, kPages), kPages);
+        EXPECT_EQ(sys.kernel().swappedGhostPages(pid), kPages);
+        uint64_t d = 1469598103934665603ull;
+        for (uint64_t i = 0; i < kPages; i++) {
+            EXPECT_TRUE(api.ghostRead(base + i * hw::pageSize,
+                                      page.data(), page.size()));
+            d = fnv(page.data(), page.size(), d);
+        }
+        out.digest1 = d;
+
+        // Cycle 2: rewrite half the pages, evict a partial set, then
+        // relieve pressure through the clock and digest everything.
+        for (uint64_t i = 0; i < kPages; i += 2) {
+            for (size_t b = 0; b < page.size(); b++)
+                page[b] = uint8_t(i * 17 + b * 3 + 5);
+            EXPECT_TRUE(api.ghostWrite(base + i * hw::pageSize,
+                                       page.data(), page.size()));
+        }
+        EXPECT_EQ(sys.kernel().swapOutGhost(pid, 16), 16u);
+        EXPECT_GT(sys.kernel().reclaimGhostFrames(8), 0u);
+
+        d = 1469598103934665603ull;
+        for (uint64_t i = 0; i < kPages; i++) {
+            EXPECT_TRUE(api.ghostRead(base + i * hw::pageSize,
+                                      page.data(), page.size()));
+            d = fnv(page.data(), page.size(), d);
+        }
+        out.digest2 = d;
+        out.swappedAtEnd = sys.kernel().swappedGhostPages(pid);
+        return 0;
+    });
+
+    for (const char *k : kSwapInvariantStats)
+        out.stats[k] = sys.ctx().stats().get(k);
+    out.stats["sva.ghost_swap_batches"] =
+        sys.ctx().stats().get("sva.ghost_swap_batches");
+    out.stats["swap.write_batches"] =
+        sys.ctx().stats().get("swap.write_batches");
+    return out;
+}
+
+} // namespace
+
+TEST(GhostSwap, SwapEquivalenceSweep)
+{
+    for (unsigned vcpus = 1; vcpus <= 4; vcpus++) {
+        SCOPED_TRACE("vcpus=" + std::to_string(vcpus));
+        SwapResult fast = runSwapCorpus(/*swap_fast=*/true, vcpus);
+        SwapResult ref = runSwapCorpus(/*swap_fast=*/false, vcpus);
+
+        // Ghost contents are bit-identical across the two pipelines.
+        EXPECT_EQ(fast.digest1, ref.digest1);
+        EXPECT_EQ(fast.digest2, ref.digest2);
+        EXPECT_EQ(fast.swappedAtEnd, ref.swappedAtEnd);
+
+        // Work-done counters: same pages sealed, stored, loaded,
+        // faulted and reclaimed, whichever pipeline ran.
+        for (const char *k : kSwapInvariantStats) {
+            SCOPED_TRACE(k);
+            EXPECT_EQ(fast.stats[k], ref.stats[k]);
+        }
+        EXPECT_EQ(fast.stats["sva.violations"], 0u);
+
+        // Only the batching mechanics differ: the fast path groups
+        // pages into multi-page seal batches and doorbell batches.
+        EXPECT_GT(fast.stats["sva.ghost_swap_batches"], 0u);
+        EXPECT_EQ(ref.stats["sva.ghost_swap_batches"], 0u);
+        EXPECT_LT(fast.stats["swap.write_batches"],
+                  ref.stats["swap.write_batches"]);
+    }
+}
+
+TEST(GhostSwap, BatchSealBitIdenticalToSequentialSeal)
+{
+    // sealBatch() draws nonces in batch order, so its output must be
+    // bit-identical to seal() called on each element in sequence.
+    crypto::AesKey key{};
+    for (size_t i = 0; i < key.size(); i++)
+        key[i] = uint8_t(0xA0 + i);
+
+    auto mkBatch = [] {
+        std::vector<crypto::SealInput> batch;
+        for (int i = 0; i < 9; i++) {
+            crypto::SealInput in;
+            in.plain.assign(1024 + 256 * size_t(i), uint8_t(i + 1));
+            in.aad = {uint8_t(i), 0x55, uint8_t(0xF0 | i)};
+            batch.push_back(std::move(in));
+        }
+        return batch;
+    };
+
+    for (bool fast : {true, false}) {
+        SCOPED_TRACE(fast ? "fast" : "ref");
+        crypto::CtrDrbg rngA(
+            std::vector<uint8_t>{1, 2, 3, 4, 5});
+        crypto::CtrDrbg rngB(
+            std::vector<uint8_t>{1, 2, 3, 4, 5});
+
+        std::vector<crypto::SealInput> batch = mkBatch();
+        std::vector<crypto::SealedBlob> batched =
+            crypto::sealBatch(key, rngA, batch, fast);
+
+        ASSERT_EQ(batched.size(), batch.size());
+        for (size_t i = 0; i < batch.size(); i++) {
+            crypto::SealedBlob one = crypto::seal(
+                key, rngB, batch[i].plain, batch[i].aad, fast);
+            EXPECT_EQ(batched[i].nonce, one.nonce);
+            EXPECT_EQ(batched[i].ciphertext, one.ciphertext);
+            EXPECT_EQ(batched[i].mac, one.mac);
+        }
+    }
+}
+
+TEST(GhostSwap, SwapGenerationAdvancesPerEviction)
+{
+    // Every swap-out seals under a fresh monotonic generation, and a
+    // successful swap-in retires the record — the mechanism that makes
+    // stale sealed pages unreplayable.
+    System sys(swapConfig(true, 1));
+    sys.boot();
+    sys.runProcess("gen", [&](UserApi &api) {
+        uint64_t pid = api.pid();
+        hw::Vaddr gva = api.allocGhost(1);
+        const char msg[] = "generation test page";
+        EXPECT_TRUE(api.ghostWrite(gva, msg, sizeof(msg)));
+
+        EXPECT_EQ(sys.vm().swapGeneration(pid, gva), 0u);
+        EXPECT_EQ(sys.kernel().swapOutGhost(pid, 1), 1u);
+        uint64_t g1 = sys.vm().swapGeneration(pid, gva);
+        EXPECT_GT(g1, 0u);
+
+        // Fault it back in: the generation record is retired.
+        char c = 0;
+        EXPECT_TRUE(api.ghostRead(gva, &c, 1));
+        EXPECT_EQ(sys.vm().swapGeneration(pid, gva), 0u);
+
+        // The next eviction gets a strictly newer generation.
+        EXPECT_EQ(sys.kernel().swapOutGhost(pid, 1), 1u);
+        uint64_t g2 = sys.vm().swapGeneration(pid, gva);
+        EXPECT_GT(g2, g1);
+
+        EXPECT_TRUE(api.ghostRead(gva, &c, 1));
+        EXPECT_EQ(c, 'g');
+        return 0;
+    });
+}
+
+TEST(GhostSwap, SecondChanceClockSparesReferencedPages)
+{
+    System sys(swapConfig(true, 1));
+    sys.boot();
+    sys.runProcess("clock", [&](UserApi &api) {
+        uint64_t pid = api.pid();
+        hw::Vaddr base = api.allocGhost(4);
+        uint64_t v = 0;
+        for (uint64_t i = 0; i < 4; i++) {
+            v = 0x1111 * (i + 1);
+            EXPECT_TRUE(api.ghostWrite(base + i * hw::pageSize, &v,
+                                       sizeof(v)));
+        }
+        EXPECT_EQ(sys.kernel().ghostClock().size(), 4u);
+
+        // Clear every hardware reference bit, then touch only page 2.
+        hw::Frame root = sys.kernel().process(pid)->rootFrame;
+        for (uint64_t i = 0; i < 4; i++)
+            sys.vm().ghostPageTestClearRef(pid, root,
+                                           base + i * hw::pageSize);
+        EXPECT_FALSE(sys.vm().ghostPageReferenced(
+            pid, root, base + 2 * hw::pageSize));
+        EXPECT_TRUE(api.ghostRead(base + 2 * hw::pageSize, &v,
+                                  sizeof(v)));
+        EXPECT_TRUE(sys.vm().ghostPageReferenced(
+            pid, root, base + 2 * hw::pageSize));
+
+        // Reclaim three frames: the referenced page gets its second
+        // chance and every unreferenced page goes to swap instead.
+        EXPECT_EQ(sys.kernel().reclaimGhostFrames(3), 3u);
+        EXPECT_FALSE(
+            sys.kernel().swapArea()->contains(pid,
+                                              base + 2 * hw::pageSize));
+        for (uint64_t i : {0u, 1u, 3u})
+            EXPECT_TRUE(sys.kernel().swapArea()->contains(
+                pid, base + i * hw::pageSize));
+
+        // The survivor's reference bit was consumed by the sweep.
+        EXPECT_FALSE(sys.vm().ghostPageReferenced(
+            pid, root, base + 2 * hw::pageSize));
+
+        // Everything still reads back correctly.
+        for (uint64_t i = 0; i < 4; i++) {
+            EXPECT_TRUE(api.ghostRead(base + i * hw::pageSize, &v,
+                                      sizeof(v)));
+            EXPECT_EQ(v, 0x1111 * (i + 1));
+        }
+        return 0;
+    });
+}
+
+TEST(GhostSwap, AllocationUnderPressureReclaimsTransparently)
+{
+    // Oversubscribe physical memory with ghost allocations: the
+    // headroom check in allocgm() must push old ghost pages to swap
+    // instead of failing, and every page must survive the round trip.
+    SystemConfig cfg = swapConfig(true, 1);
+    cfg.diskBlocks = 65536; // 8192 swap blocks -> 4096 slots
+    System sys(cfg);
+    sys.boot();
+    sys.runProcess("hog", [&](UserApi &api) {
+        uint64_t free0 = sys.kernel().freeFrames();
+        EXPECT_GT(free0, 128u);
+        if (free0 <= 128)
+            return 1;
+
+        // First wave fills most of memory; second wave cannot fit
+        // without eviction.
+        uint64_t wave = (free0 * 2) / 3;
+        hw::Vaddr a = api.allocGhost(wave);
+        EXPECT_NE(a, 0u);
+        hw::Vaddr b = a ? api.allocGhost(wave) : 0;
+        EXPECT_NE(b, 0u);
+        if (!a || !b)
+            return 1;
+        uint64_t v = 0;
+        for (uint64_t i = 0; i < wave; i++) {
+            v = 0xAAAA0000 + i;
+            EXPECT_TRUE(api.ghostWrite(a + i * hw::pageSize, &v,
+                                       sizeof(v)));
+        }
+        for (uint64_t i = 0; i < wave; i++) {
+            v = 0xBBBB0000 + i;
+            EXPECT_TRUE(api.ghostWrite(b + i * hw::pageSize, &v,
+                                       sizeof(v)));
+        }
+
+        // Pressure relief actually ran...
+        EXPECT_GT(sys.ctx().stats().get("kernel.ghost_reclaimed"), 0u);
+        EXPECT_GT(sys.kernel().swappedGhostPages(api.pid()), 0u);
+        // ...and the allocator kept its headroom.
+        EXPECT_GT(sys.kernel().freeFrames(), 0u);
+
+        // Every page of both waves reads back through the fault path.
+        for (uint64_t i = 0; i < wave; i++) {
+            EXPECT_TRUE(api.ghostRead(a + i * hw::pageSize, &v,
+                                      sizeof(v)));
+            EXPECT_EQ(v, 0xAAAA0000 + i);
+        }
+        for (uint64_t i = 0; i < wave; i++) {
+            EXPECT_TRUE(api.ghostRead(b + i * hw::pageSize, &v,
+                                      sizeof(v)));
+            EXPECT_EQ(v, 0xBBBB0000 + i);
+        }
+        EXPECT_EQ(sys.vm().violationCount(), 0u);
+        return 0;
+    });
+}

@@ -365,6 +365,79 @@ TEST(SvaGhost, SwapInRejectsReplayToWrongSlot)
         << err.message;
 }
 
+TEST(SvaGhost, SealKeyCacheRotatesWithKeyChain)
+{
+    // swapKey() is derived lazily and cached; install()/boot() rotate
+    // the key chain and must invalidate the cache, so blobs sealed
+    // under the old key are rejected and new seals use the new key.
+    Rig rig;
+    SvaError err;
+    ASSERT_TRUE(rig.vm.declarePtPage(0, 4, &err));
+    ASSERT_TRUE(rig.vm.allocGhostMemory(7, 0, hw::ghostBase, 3, &err));
+
+    // First seal derives and caches the swap key...
+    EXPECT_EQ(rig.vm.sealKeyGeneration(), 0u);
+    auto b1 = rig.vm.swapOutGhostPage(7, 0, hw::ghostBase, &err);
+    ASSERT_TRUE(b1.has_value()) << err.message;
+    EXPECT_EQ(rig.vm.sealKeyGeneration(), 1u);
+
+    // ...and further seals hit the cache (no re-derivation).
+    auto b2 = rig.vm.swapOutGhostPage(7, 0, hw::ghostBase + hw::pageSize,
+                                      &err);
+    ASSERT_TRUE(b2.has_value()) << err.message;
+    EXPECT_EQ(rig.vm.sealKeyGeneration(), 1u);
+
+    // Rotate the key chain: a fresh private key is installed and the
+    // cached swap key must go with it.
+    rig.vm.install(384);
+    rig.vm.boot();
+
+    // Blobs sealed under the old key fail verification now.
+    EXPECT_FALSE(rig.vm.swapInGhostPage(7, 0, hw::ghostBase, *b1, &err));
+    EXPECT_FALSE(rig.vm.swapInGhostPage(
+        7, 0, hw::ghostBase + hw::pageSize, *b2, &err));
+    // The failed attempts re-derived the key from the new chain.
+    EXPECT_EQ(rig.vm.sealKeyGeneration(), 2u);
+
+    // New swaps under the rotated key round-trip as usual.
+    hw::Vaddr fresh = hw::ghostBase + 2 * hw::pageSize;
+    auto b3 = rig.vm.swapOutGhostPage(7, 0, fresh, &err);
+    ASSERT_TRUE(b3.has_value()) << err.message;
+    EXPECT_TRUE(rig.vm.swapInGhostPage(7, 0, fresh, *b3, &err))
+        << err.message;
+    EXPECT_EQ(rig.vm.sealKeyGeneration(), 2u);
+}
+
+TEST(SvaGhost, SwapInRequiresGenerationRecord)
+{
+    // A blob for a slot the VM never swapped out (or already swapped
+    // back in) is refused before any crypto runs: there is no trusted
+    // generation to bind the MAC to.
+    Rig rig;
+    SvaError err;
+    ASSERT_TRUE(rig.vm.declarePtPage(0, 4, &err));
+    ASSERT_TRUE(rig.vm.allocGhostMemory(7, 0, hw::ghostBase, 1, &err));
+    auto blob = rig.vm.swapOutGhostPage(7, 0, hw::ghostBase, &err);
+    ASSERT_TRUE(blob.has_value());
+    ASSERT_TRUE(rig.vm.swapInGhostPage(7, 0, hw::ghostBase, *blob,
+                                       &err));
+
+    // The record was retired by the successful swap-in: replaying the
+    // same (perfectly valid-looking) blob is refused before any
+    // crypto runs.
+    EXPECT_FALSE(rig.vm.swapInGhostPage(7, 0, hw::ghostBase, *blob,
+                                        &err));
+    EXPECT_NE(err.message.find("no swapped page"), std::string::npos);
+
+    // After the page cycles out again the slot has a newer generation,
+    // so the stale blob now fails its MAC.
+    ASSERT_TRUE(rig.vm.swapOutGhostPage(7, 0, hw::ghostBase, &err)
+                    .has_value());
+    EXPECT_FALSE(rig.vm.swapInGhostPage(7, 0, hw::ghostBase, *blob,
+                                        &err));
+    EXPECT_NE(err.message.find("verification"), std::string::npos);
+}
+
 TEST(SvaGhost, ReleaseFreesEverything)
 {
     Rig rig;

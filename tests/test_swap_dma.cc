@@ -67,14 +67,25 @@ TEST(GhostSwap, OsSeesOnlyCiphertext)
         api.ghostWrite(gva, secret, 16);
         sys.kernel().swapOutGhost(api.pid(), 1);
 
-        crypto::SealedBlob *blob =
-            sys.kernel().swappedBlob(api.pid(), gva);
-        EXPECT_NE(blob, nullptr);
+        // The OS can read the swap slot back — and sees ciphertext.
+        auto blob = sys.kernel().readSwappedBlob(api.pid(), gva);
+        EXPECT_TRUE(blob.has_value());
         if (!blob)
             return 1;
         std::string ct(blob->ciphertext.begin(),
                        blob->ciphertext.end());
         EXPECT_EQ(ct.find(secret), std::string::npos);
+
+        // Same story on the raw platter: the slot's disk blocks hold
+        // no plaintext either.
+        auto block = sys.kernel().swapSlotBlock(api.pid(), gva);
+        EXPECT_TRUE(block.has_value());
+        if (!block)
+            return 1;
+        std::string raw(
+            reinterpret_cast<char *>(sys.disk().rawBlock(*block)),
+            hw::Disk::blockSize);
+        EXPECT_EQ(raw.find(secret), std::string::npos);
         return 0;
     });
 }
@@ -88,12 +99,13 @@ TEST(GhostSwap, TamperedSwapPageRefused)
         api.ghostWrite(gva, "x", 1);
         sys.kernel().swapOutGhost(api.pid(), 1);
 
-        crypto::SealedBlob *blob =
-            sys.kernel().swappedBlob(api.pid(), gva);
-        EXPECT_NE(blob, nullptr);
-        if (!blob)
+        // Hostile OS flips a ciphertext bit directly on the platter
+        // (the swap slot is ordinary disk blocks it fully controls).
+        auto block = sys.kernel().swapSlotBlock(api.pid(), gva);
+        EXPECT_TRUE(block.has_value());
+        if (!block)
             return 1;
-        blob->ciphertext[17] ^= 0x40; // hostile OS edit
+        sys.disk().rawBlock(*block)[65] ^= 0x40;
 
         char c = 0;
         EXPECT_FALSE(api.ghostRead(gva, &c, 1));

@@ -125,6 +125,13 @@ usage()
         "                    in-flight descriptors, IRQ lines, the\n"
         "                    coalescing timer); takes no module\n"
         "\n"
+        "ghost swap:\n"
+        "  --dump-swap       boot a machine, push a ghost working set\n"
+        "                    through the batched eviction pipeline and\n"
+        "                    print the swap-slot table, the clock\n"
+        "                    hand, batch sizes and the seal-key\n"
+        "                    generation; takes no module\n"
+        "\n"
         "exit status: 0 clean, 1 findings, 2 usage/translate error\n");
     return 2;
 }
@@ -140,6 +147,7 @@ struct Options
     bool selfTest = false;
     bool dumpTraces = false;
     bool dumpRings = false;
+    bool dumpSwap = false;
     std::string input;
 };
 
@@ -420,6 +428,105 @@ dumpRings()
     return 0;
 }
 
+/**
+ * --dump-swap: boot a machine, drive a ghost working set through the
+ * eviction pipeline (swap everything eligible out in one batch, fault
+ * part of it back in), then print the swap-slot table, the clock hand,
+ * batch geometry and the seal-key generation — the state the paging
+ * tentpole keeps, none of which lets the OS read a page.
+ */
+int
+dumpSwap()
+{
+    kern::SystemConfig cfg;
+    cfg.memFrames = 4096;
+    cfg.diskBlocks = 4096;
+    cfg.rsaBits = 384;
+    kern::System sys(cfg);
+    sys.boot();
+
+    int rc = sys.runProcess("swapdump", [&](kern::UserApi &api) {
+        uint64_t pid = api.pid();
+        constexpr uint64_t kPages = 12;
+        hw::Vaddr base = api.allocGhost(kPages);
+        if (!base)
+            return 1;
+        std::vector<uint8_t> page(hw::pageSize, 0x6b);
+        for (uint64_t i = 0; i < kPages; i++) {
+            page[0] = uint8_t(i);
+            if (!api.ghostWrite(base + i * hw::pageSize, page.data(),
+                                page.size()))
+                return 1;
+        }
+        // Evict eight pages through the batched pipeline, then fault
+        // three back, so the dump shows used slots, a mid-ring clock
+        // hand and nonzero batch/cluster counters all at once. The
+        // clock evicts in ring order, so the faulted vas were swapped.
+        if (sys.kernel().swapOutGhost(pid, 8) != 8)
+            return 1;
+        uint64_t v = 0;
+        for (uint64_t i = 0; i < 3; i++)
+            if (!api.ghostRead(base + i * hw::pageSize, &v, sizeof(v)))
+                return 1;
+
+        const sim::VgConfig &vg = sys.ctx().config();
+        const kern::SwapArea *swap = sys.kernel().swapArea();
+        std::printf("vg_lint: ghost swap: fast-path %s, eviction "
+                    "batch %u page(s), read cluster %u slot(s), "
+                    "seal-key gen %llu\n",
+                    vg.swapFastPath ? "on" : "off", vg.swapBatchPages,
+                    kern::SwapArea::readaheadSlots,
+                    (unsigned long long)sys.vm().sealKeyGeneration());
+        std::printf("vg_lint: swap area: %llu slot(s) x %llu blocks "
+                    "at block %llu; used %llu free %llu; last batch "
+                    "%llu page(s)\n",
+                    (unsigned long long)swap->slotCount(),
+                    (unsigned long long)kern::SwapArea::blocksPerSlot,
+                    (unsigned long long)swap->firstBlock(),
+                    (unsigned long long)swap->usedSlots(),
+                    (unsigned long long)swap->freeSlots(),
+                    (unsigned long long)swap->lastBatchPages());
+        const std::vector<kern::SwapSlot> &slots = swap->slots();
+        for (uint32_t i = 0; i < slots.size(); i++) {
+            const kern::SwapSlot &s = slots[i];
+            if (!s.used)
+                continue;
+            std::printf("vg_lint:   slot %u: pid %llu va 0x%llx gen "
+                        "%llu len %u block %llu\n",
+                        i, (unsigned long long)s.pid,
+                        (unsigned long long)s.va,
+                        (unsigned long long)s.gen, s.len,
+                        (unsigned long long)(swap->firstBlock() +
+                                             uint64_t(i) *
+                                                 kern::SwapArea::
+                                                     blocksPerSlot));
+        }
+        const kern::GhostClock &clock = sys.kernel().ghostClock();
+        if (auto hand = clock.handPage())
+            std::printf("vg_lint: clock: %zu resident ghost page(s); "
+                        "hand at pid %llu va 0x%llx\n",
+                        clock.size(), (unsigned long long)hand->first,
+                        (unsigned long long)hand->second);
+        else
+            std::printf("vg_lint: clock: empty\n");
+        const sim::StatSet &st = sys.ctx().stats();
+        std::printf("vg_lint: stats: pages_stored %llu pages_loaded "
+                    "%llu write_batches %llu read_clusters %llu "
+                    "ghost_swapouts %llu ghost_swapins %llu\n",
+                    (unsigned long long)st.get("swap.pages_stored"),
+                    (unsigned long long)st.get("swap.pages_loaded"),
+                    (unsigned long long)st.get("swap.write_batches"),
+                    (unsigned long long)st.get("swap.read_clusters"),
+                    (unsigned long long)st.get("kernel.ghost_swapouts"),
+                    (unsigned long long)st.get("kernel.ghost_swapins"));
+        return 0;
+    });
+    if (rc != 0)
+        std::fprintf(stderr,
+                     "vg_lint: --dump-swap workload failed (%d)\n", rc);
+    return rc == 0 ? 0 : 2;
+}
+
 int
 selfTest()
 {
@@ -490,6 +597,8 @@ main(int argc, char **argv)
             opt.dumpTraces = true;
         else if (arg == "--dump-rings")
             opt.dumpRings = true;
+        else if (arg == "--dump-swap")
+            opt.dumpSwap = true;
         else if (arg == "--inject") {
             if (++i >= argc)
                 return usage();
@@ -523,6 +632,8 @@ main(int argc, char **argv)
         return selfTest();
     if (opt.dumpRings)
         return dumpRings();
+    if (opt.dumpSwap)
+        return dumpSwap();
     if (opt.input.empty())
         return usage();
 
