@@ -14,7 +14,7 @@ using namespace vg::bench;
 using namespace vg::apps;
 
 int
-main()
+main(int argc, char **argv)
 {
     struct Config
     {
@@ -42,7 +42,7 @@ main()
         {"full Virtual Ghost", sim::VgConfig::full()},
     };
 
-    bool smoke = smokeScale();
+    bool smoke = parseBenchOpts(argc, argv).smoke;
     uint64_t n1 = smoke ? 200 : 1000;
     uint64_t n2 = smoke ? 100 : 500;
     uint64_t nf = smoke ? 15 : 50;

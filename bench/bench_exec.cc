@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common.hh"
 #include "compiler/exec.hh"
 #include "compiler/translator.hh"
 #include "sim/config.hh"
@@ -158,13 +159,7 @@ measure(const std::string &name, const sim::VgConfig &vg,
 int
 main(int argc, char **argv)
 {
-    bool smoke = false;
-    for (int i = 1; i < argc; i++)
-        if (!std::strcmp(argv[i], "--smoke"))
-            smoke = true;
-    const char *env = std::getenv("VG_BENCH_SCALE");
-    if (env && !std::strcmp(env, "smoke"))
-        smoke = true;
+    bool smoke = bench::parseBenchOpts(argc, argv).smoke;
 
     const uint64_t iters = smoke ? 200 : 2000;
     const double minSeconds = smoke ? 0.05 : 0.5;

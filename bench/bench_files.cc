@@ -12,11 +12,12 @@ using namespace vg::bench;
 using namespace vg::apps;
 
 int
-main()
+main(int argc, char **argv)
 {
     bool paper = paperScale();
-    uint64_t count = paper ? 1000 : smokeScale() ? 60 : 300;
-    int runs = paper ? 10 : smokeScale() ? 1 : 3;
+    bool smoke = parseBenchOpts(argc, argv).smoke;
+    uint64_t count = paper ? 1000 : smoke ? 60 : 300;
+    int runs = paper ? 10 : smoke ? 1 : 3;
 
     BenchReport report("files");
     report.top().count("count", count).count("runs", uint64_t(runs));

@@ -164,12 +164,10 @@ int
 main(int argc, char **argv)
 {
     bool paper = paperScale();
-    bool smoke = smokeScale();
-    unsigned vcpus = parseVcpus(argc, argv);
-    bool ref_only = false;
-    for (int i = 1; i < argc; i++)
-        if (std::strcmp(argv[i], "--swap-ref") == 0)
-            ref_only = true;
+    BenchOpts opts = parseBenchOpts(argc, argv);
+    bool smoke = opts.smoke;
+    unsigned vcpus = opts.vcpus;
+    bool ref_only = opts.has("--swap-ref");
 
     uint64_t pages = paper ? 512 : smoke ? 48 : 192;
     unsigned rounds = paper ? 8 : smoke ? 2 : 4;

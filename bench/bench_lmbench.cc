@@ -27,10 +27,10 @@ struct Row
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bool paper = paperScale();
-    bool smoke = smokeScale();
+    bool smoke = parseBenchOpts(argc, argv).smoke;
     int runs = paper ? 10 : smoke ? 1 : 3;
     uint64_t scale = paper ? 1 : 1;
 

@@ -36,10 +36,11 @@ postmarkSeconds(sim::VgConfig vg, const PostmarkConfig &cfg,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bool paper = paperScale();
-    bool smoke = smokeScale();
+    BenchOpts opts = parseBenchOpts(argc, argv);
+    bool smoke = opts.smoke;
     PostmarkConfig cfg; // paper parameters by default
     cfg.transactions = paper ? 500000 : smoke ? 2000 : 20000;
     cfg.baseFiles = paper ? 500 : smoke ? 50 : 200;
@@ -60,7 +61,7 @@ main()
 
     double nat = 0, vgs = 0;
     for (int i = 0; i < runs; i++) {
-        cfg.seed = uint64_t(42 + i);
+        cfg.seed = opts.seed + uint64_t(i);
         nat += postmarkSeconds(sim::VgConfig::native(), cfg);
         vgs += postmarkSeconds(sim::VgConfig::full(), cfg,
                                &report.latency());

@@ -77,11 +77,13 @@ clientBandwidth(uint64_t file_size, bool ghosting,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bool paper = paperScale();
     uint64_t max_size =
-        paper ? (64ull << 20) : smokeScale() ? (1ull << 20) : (4ull << 20);
+        paper ? (64ull << 20)
+              : parseBenchOpts(argc, argv).smoke ? (1ull << 20)
+                                                 : (4ull << 20);
 
     BenchReport report("ssh_ghost");
     report.top().count("max_file_bytes", max_size);

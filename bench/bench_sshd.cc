@@ -7,7 +7,7 @@
  */
 
 #include "apps/ssh_common.hh"
-#include "common.hh"
+#include "scenario.hh"
 
 using namespace vg;
 using namespace vg::bench;
@@ -32,65 +32,37 @@ transferBandwidth(sim::VgConfig vg, uint64_t file_size, bool ghosting,
     sva::AppBinary bin =
         sys.vm().packageApp("openssh", "ssh-code", app_key);
 
-    kern::Ino ino = 0;
-    sys.kernel().fs().create("/payload", ino);
-    std::vector<uint8_t> chunk(64 * 1024, 0x7a);
-    for (uint64_t off = 0; off < file_size; off += chunk.size())
-        sys.kernel().fs().write(
-            ino, off, chunk.data(),
-            std::min<uint64_t>(chunk.size(), file_size - off));
+    plantFile(sys, "/payload", file_size, 0x7a);
 
-    unsigned sessions = vg.vcpus;
     uint64_t total_bytes = 0;
-    sim::Cycles elapsed = 0;
-    sys.runProcess("init", [&](kern::UserApi &api) {
-        uint64_t kg = api.fork([&](kern::UserApi &capi) {
-            return capi.execve(&bin, [](kern::UserApi &napi) {
-                return sshKeygen(napi);
-            });
+    ServeScenario scenario;
+    scenario.instances = vg.vcpus; // one sshd session per vCPU
+    scenario.setup = [&](kern::UserApi &capi) {
+        return capi.execve(&bin, [](kern::UserApi &napi) {
+            return sshKeygen(napi);
         });
-        int status = -1;
-        api.waitpid(kg, status);
-        if (status != 0)
-            return 1;
+    };
+    scenario.server = [](kern::UserApi &capi, unsigned s) {
+        SshdConfig cfg;
+        cfg.maxConnections = 1;
+        cfg.port = uint16_t(sshdPort + s);
+        return sshd(capi, cfg);
+    };
+    scenario.client = [&](kern::UserApi &capi, unsigned s, unsigned) {
+        return capi.execve(&bin, [&, s](kern::UserApi &napi) {
+            uint64_t s0 = napi.kernel().ctx().clock().now();
+            SshResult r = sshFetch(napi, "/payload", ghosting, false,
+                                   uint16_t(sshdPort + s));
+            if (lat)
+                lat->add(napi.kernel().ctx().clock().now() - s0);
+            if (r.ok)
+                total_bytes += r.bytes;
+            return r.ok ? 0 : 1;
+        });
+    };
 
-        std::vector<uint64_t> servers;
-        for (unsigned s = 0; s < sessions; s++)
-            servers.push_back(api.fork([s](kern::UserApi &capi) {
-                SshdConfig cfg;
-                cfg.maxConnections = 1;
-                cfg.port = uint16_t(sshdPort + s);
-                return sshd(capi, cfg);
-            }));
-        for (int i = 0; i < 4; i++)
-            api.yield();
-
-        sim::Cycles t0 = machineNow(sys);
-        std::vector<uint64_t> clients;
-        for (unsigned s = 0; s < sessions; s++)
-            clients.push_back(api.fork([&, s](kern::UserApi &capi) {
-                return capi.execve(&bin, [&, s](kern::UserApi &napi) {
-                    uint64_t s0 = napi.kernel().ctx().clock().now();
-                    SshResult r =
-                        sshFetch(napi, "/payload", ghosting, false,
-                                 uint16_t(sshdPort + s));
-                    if (lat)
-                        lat->add(napi.kernel().ctx().clock().now() -
-                                 s0);
-                    if (r.ok)
-                        total_bytes += r.bytes;
-                    return r.ok ? 0 : 1;
-                });
-            }));
-        for (uint64_t cli : clients)
-            api.waitpid(cli, status);
-        elapsed = machineNow(sys) - t0;
-        for (uint64_t srv : servers)
-            api.waitpid(srv, status);
-        return 0;
-    });
-    collectVerifierStats(sys);
-    double secs = sim::Clock::toSec(elapsed);
+    ScenarioResult r = runScenario(sys, scenario);
+    double secs = r.seconds();
     return secs > 0 ? double(total_bytes) / 1024.0 / secs : 0.0;
 }
 
@@ -100,17 +72,17 @@ int
 main(int argc, char **argv)
 {
     bool paper = paperScale();
-    unsigned vcpus = parseVcpus(argc, argv);
-    bool legacy_io = legacyIo(argc, argv);
+    BenchOpts opts = parseBenchOpts(argc, argv);
+    unsigned vcpus = opts.vcpus;
     uint64_t max_size =
-        paper ? (64ull << 20) : smokeScale() ? (1ull << 20) : (4ull << 20);
+        paper ? (64ull << 20) : opts.smoke ? (1ull << 20) : (4ull << 20);
 
     std::string name = vcpus > 1 ? "sshd_smp" : "sshd";
-    if (legacy_io)
+    if (opts.legacyIo)
         name += "_syncio";
     BenchReport report(name, vcpus);
     report.top().count("max_file_bytes", max_size);
-    report.top().flag("async_io", !legacy_io);
+    report.top().flag("async_io", !opts.legacyIo);
 
     banner("Figure 3. SSH server average transfer rate (KB/s)\n"
            "(non-ghosting client; paper: 23% mean reduction, 45% "
@@ -123,10 +95,8 @@ main(int argc, char **argv)
     double reductions = 0;
     int n = 0;
     for (uint64_t size = 1024; size <= max_size; size *= 4) {
-        sim::VgConfig nat_vg = sim::VgConfig::native();
-        sim::VgConfig full_vg = sim::VgConfig::full();
-        nat_vg.vcpus = full_vg.vcpus = vcpus;
-        nat_vg.asyncIo = full_vg.asyncIo = !legacy_io;
+        sim::VgConfig nat_vg = opts.apply(sim::VgConfig::native());
+        sim::VgConfig full_vg = opts.apply(sim::VgConfig::full());
         double nat = transferBandwidth(nat_vg, size, false);
         double vgb =
             transferBandwidth(full_vg, size, false, &report.latency());

@@ -6,7 +6,7 @@
  */
 
 #include "apps/thttpd.hh"
-#include "common.hh"
+#include "scenario.hh"
 
 using namespace vg;
 using namespace vg::bench;
@@ -24,10 +24,7 @@ bandwidthFor(sim::VgConfig vg, uint64_t file_size, uint64_t requests,
 
     // Plant the content file (generated from random data in the
     // paper; content doesn't affect timing here).
-    kern::Ino ino = 0;
-    sys.kernel().fs().create("/file.bin", ino);
-    std::vector<uint8_t> data(file_size, 0x42);
-    sys.kernel().fs().write(ino, 0, data.data(), data.size());
+    plantFile(sys, "/file.bin", file_size);
 
     // ApacheBench-style concurrency: several client processes issue
     // requests at once, so wire time and server compute overlap (the
@@ -36,63 +33,45 @@ bandwidthFor(sim::VgConfig vg, uint64_t file_size, uint64_t requests,
     // clients round-robin across them; with vcpus == 1 this is
     // exactly the single-server workload.
     unsigned instances = vg.vcpus;
-    int concurrency = std::max(4u, instances);
+    unsigned per = std::max(4u, instances) / instances;
+
+    // Per-instance request shares (clients of instance i serve share
+    // i together).
+    std::vector<uint64_t> srv_share(instances, 0);
+    for (unsigned i = 0; i < instances; i++)
+        srv_share[i] = requests / instances +
+                       (i < requests % instances ? 1 : 0);
+    auto client_share = [&](unsigned inst, unsigned j) {
+        return srv_share[inst] / per +
+               (j < srv_share[inst] % per ? 1 : 0);
+    };
+
     uint64_t total_bytes = 0;
-    sim::Cycles elapsed = 0;
-    sys.runProcess("init", [&](kern::UserApi &api) {
-        // Per-instance request shares (clients of instance i serve
-        // share i together).
-        std::vector<uint64_t> srv_share(instances, 0);
-        for (unsigned i = 0; i < instances; i++)
-            srv_share[i] = requests / instances +
-                           (i < requests % instances ? 1 : 0);
-
-        std::vector<uint64_t> servers;
-        for (unsigned i = 0; i < instances; i++) {
-            if (srv_share[i] == 0)
-                continue;
-            servers.push_back(api.fork([&, i](kern::UserApi &capi) {
-                ThttpdConfig cfg;
-                cfg.port = uint16_t(80 + i);
-                cfg.maxRequests = srv_share[i];
-                return thttpd(capi, cfg);
-            }));
-        }
-        for (int i = 0; i < 4; i++)
-            api.yield();
-
-        sim::Cycles t0 = machineNow(sys);
-        std::vector<uint64_t> clients;
-        unsigned per = unsigned(concurrency) / instances;
-        for (unsigned inst = 0; inst < instances; inst++) {
-            for (unsigned j = 0; j < per; j++) {
-                uint64_t share = srv_share[inst] / per +
-                                 (j < srv_share[inst] % per ? 1 : 0);
-                if (share == 0)
-                    continue;
-                clients.push_back(
-                    api.fork([&, share, inst](kern::UserApi &capi) {
-                        AbResult ab = apacheBench(capi, "/file.bin",
-                                                  share,
-                                                  uint16_t(80 + inst));
-                        total_bytes += ab.bytes;
-                        if (lat)
-                            for (uint64_t c : ab.requestCycles)
-                                lat->add(c);
-                        return 0;
-                    }));
-            }
-        }
-        int status;
-        for (uint64_t cli : clients)
-            api.waitpid(cli, status);
-        elapsed = machineNow(sys) - t0;
-        for (uint64_t srv : servers)
-            api.waitpid(srv, status);
+    ServeScenario scenario;
+    scenario.instances = instances;
+    scenario.clientsPerInstance = per;
+    scenario.server = [&](kern::UserApi &capi, unsigned i) {
+        ThttpdConfig cfg;
+        cfg.port = uint16_t(80 + i);
+        cfg.maxRequests = srv_share[i];
+        return srv_share[i] ? thttpd(capi, cfg) : 0;
+    };
+    scenario.client = [&](kern::UserApi &capi, unsigned inst,
+                          unsigned j) {
+        uint64_t share = client_share(inst, j);
+        if (share == 0)
+            return 0;
+        AbResult ab = apacheBench(capi, "/file.bin", share,
+                                  uint16_t(80 + inst));
+        total_bytes += ab.bytes;
+        if (lat)
+            for (uint64_t c : ab.requestCycles)
+                lat->add(c);
         return 0;
-    });
-    collectVerifierStats(sys);
-    double secs = sim::Clock::toSec(elapsed);
+    };
+
+    ScenarioResult r = runScenario(sys, scenario);
+    double secs = r.seconds();
     return secs > 0 ? double(total_bytes) / 1024.0 / secs : 0.0;
 }
 
@@ -102,18 +81,18 @@ int
 main(int argc, char **argv)
 {
     bool paper = paperScale();
-    unsigned vcpus = parseVcpus(argc, argv);
-    bool legacy_io = legacyIo(argc, argv);
-    uint64_t requests = paper ? 10000 : smokeScale() ? 12 : 50;
+    BenchOpts opts = parseBenchOpts(argc, argv);
+    unsigned vcpus = opts.vcpus;
+    uint64_t requests = paper ? 10000 : opts.smoke ? 12 : 50;
     // Keep per-server load meaningful when fanning out across vCPUs.
     requests *= vcpus;
 
     std::string name = vcpus > 1 ? "thttpd_smp" : "thttpd";
-    if (legacy_io)
+    if (opts.legacyIo)
         name += "_syncio";
     BenchReport report(name, vcpus);
     report.top().count("requests", requests);
-    report.top().flag("async_io", !legacy_io);
+    report.top().flag("async_io", !opts.legacyIo);
 
     banner("Figure 2. thttpd average bandwidth (KB/s) vs file size\n"
            "(ApacheBench workload; paper: VG impact negligible)");
@@ -123,10 +102,8 @@ main(int argc, char **argv)
                 "VGhost", "VG/Native");
 
     for (uint64_t size = 1024; size <= (1 << 20); size *= 4) {
-        sim::VgConfig nat_vg = sim::VgConfig::native();
-        sim::VgConfig full_vg = sim::VgConfig::full();
-        nat_vg.vcpus = full_vg.vcpus = vcpus;
-        nat_vg.asyncIo = full_vg.asyncIo = !legacy_io;
+        sim::VgConfig nat_vg = opts.apply(sim::VgConfig::native());
+        sim::VgConfig full_vg = opts.apply(sim::VgConfig::full());
         double nat = bandwidthFor(nat_vg, size, requests);
         double vgb =
             bandwidthFor(full_vg, size, requests, &report.latency());

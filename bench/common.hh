@@ -50,30 +50,73 @@ scaleName()
     return paperScale() ? "paper" : smokeScale() ? "smoke" : "default";
 }
 
-/** Parse "--vcpus N" from argv (default 1). */
-inline unsigned
-parseVcpus(int argc, char **argv)
+/**
+ * The one flag parser every bench binary shares. Recognized flags:
+ *
+ *   --vcpus N      simulated vCPUs (1-64, default 1)
+ *   --legacy-io    synchronous device paths (VgConfig::asyncIo off;
+ *                  VG_ASYNC_IO=0 in the environment does the same)
+ *   --seed N       deterministic-schedule seed (default VgConfig's)
+ *   --smoke        CI-sized run (same as VG_BENCH_SCALE=smoke)
+ *
+ * Unrecognized arguments are collected in `extra` for
+ * binary-specific flags (--swap-ref, ...). apply() stamps the parsed
+ * protection-independent knobs onto a VgConfig, so the
+ * native-vs-full A/B pairs every harness builds stay identical in
+ * everything but the protection toggles.
+ */
+struct BenchOpts
 {
-    for (int i = 1; i + 1 < argc; i++)
-        if (std::strcmp(argv[i], "--vcpus") == 0) {
-            long n = std::strtol(argv[i + 1], nullptr, 10);
-            if (n >= 1 && n <= 64)
-                return unsigned(n);
-        }
-    return 1;
-}
+    unsigned vcpus = 1;
+    bool legacyIo = false;
+    uint64_t seed = sim::VgConfig{}.seed;
+    bool smoke = false;
+    std::vector<std::string> extra;
 
-/** Parse "--legacy-io" from argv, or VG_ASYNC_IO=0 from the
- *  environment: run with the synchronous device paths
- *  (VgConfig::asyncIo = false) for A/B comparison in CI. */
-inline bool
-legacyIo(int argc, char **argv)
+    bool
+    has(const char *flag) const
+    {
+        for (const std::string &a : extra)
+            if (a == flag)
+                return true;
+        return false;
+    }
+
+    sim::VgConfig
+    apply(sim::VgConfig vg) const
+    {
+        vg.vcpus = vcpus;
+        vg.asyncIo = !legacyIo;
+        vg.seed = seed;
+        return vg;
+    }
+};
+
+inline BenchOpts
+parseBenchOpts(int argc, char **argv)
 {
-    for (int i = 1; i < argc; i++)
-        if (std::strcmp(argv[i], "--legacy-io") == 0)
-            return true;
+    BenchOpts opts;
+    opts.smoke = smokeScale();
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--vcpus") == 0 && i + 1 < argc) {
+            long n = std::strtol(argv[++i], nullptr, 10);
+            if (n >= 1 && n <= 64)
+                opts.vcpus = unsigned(n);
+        } else if (std::strcmp(argv[i], "--legacy-io") == 0) {
+            opts.legacyIo = true;
+        } else if (std::strcmp(argv[i], "--seed") == 0 &&
+                   i + 1 < argc) {
+            opts.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--smoke") == 0) {
+            opts.smoke = true;
+        } else {
+            opts.extra.push_back(argv[i]);
+        }
+    }
     const char *env = std::getenv("VG_ASYNC_IO");
-    return env && std::strcmp(env, "0") == 0;
+    if (env && std::strcmp(env, "0") == 0)
+        opts.legacyIo = true;
+    return opts;
 }
 
 /** Machine-wide simulated time: the furthest-ahead vCPU clock.

@@ -26,6 +26,31 @@ struct ThttpdConfig
 /** Serve files from the filesystem over HTTP/1.0. */
 int thttpd(kern::UserApi &api, const ThttpdConfig &config);
 
+/** thttpdMulti configuration. */
+struct ThttpdMultiConfig
+{
+    uint16_t port = 80;
+    /** Serve this many requests, then exit (0 = forever). */
+    uint64_t maxRequests = 0;
+    /** Connection-slot cap: above this, new connections wait in the
+     *  listen queue until a slot frees. */
+    unsigned maxConcurrent = 512;
+    /** Exit when idle this long with no open connections (covers
+     *  clients that die without issuing maxRequests). */
+    uint64_t idleTimeoutUs = 200000;
+};
+
+/**
+ * Event-driven thttpd: one process multiplexing many connections over
+ * select(), the fleet-serving variant. Connection state lives in a
+ * slot table recycled through a LIFO free-list with an fd -> slot
+ * index, so accepting, servicing and retiring a connection are all
+ * O(1) in the number of live connections — no per-accept scan.
+ * Adoption of each new connection in the kernel is likewise an O(1)
+ * conn-table id lookup (kernel.conn_table_* stats).
+ */
+int thttpdMulti(kern::UserApi &api, const ThttpdMultiConfig &config);
+
 /** ApacheBench-style results. */
 struct AbResult
 {
@@ -50,6 +75,19 @@ struct AbResult
 /** Issue @p requests GETs for @p path against @p port. */
 AbResult apacheBench(kern::UserApi &api, const std::string &path,
                      uint64_t requests, uint16_t port = 80);
+
+/**
+ * Closed-loop concurrent ApacheBench: keep up to @p concurrency
+ * connections open simultaneously (connect + send the GET up front,
+ * then reap responses in FIFO order, replacing each retired
+ * connection with a fresh one until @p requests have been issued).
+ * Per-request latency spans connect() to last response byte, so
+ * server-side queueing under load shows up in the tail.
+ */
+AbResult apacheBenchConcurrent(kern::UserApi &api,
+                               const std::string &path,
+                               uint64_t requests, unsigned concurrency,
+                               uint16_t port = 80);
 
 } // namespace vg::apps
 

@@ -1,0 +1,280 @@
+#include "fleet/fleet.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/clock.hh"
+
+namespace vg::fleet
+{
+
+namespace
+{
+
+/** Cycles -> whole microseconds, rounding up (a request is not done
+ *  until its last cycle has run). */
+uint64_t
+ceilUs(uint64_t cycles)
+{
+    double us = double(cycles) / sim::Clock::cyclesPerUsec;
+    uint64_t w = uint64_t(us);
+    return double(w) < us ? w + 1 : w;
+}
+
+/** Wire encoding of a dispatch batch (64 bytes per request models an
+ *  L4 forwarding header; content does not matter to the fabric). */
+std::vector<uint8_t>
+batchFrame(size_t requests)
+{
+    return std::vector<uint8_t>(std::max<size_t>(1, requests) * 64,
+                                0xd1);
+}
+
+} // namespace
+
+Fleet::Fleet(const FleetConfig &config) : _config(config)
+{
+    _fabric = std::make_unique<Fabric>(_config.machines,
+                                       _config.system);
+    _lb = std::make_unique<LoadBalancer>(_config.policy,
+                                         _config.machines,
+                                         _config.system.vg.seed);
+
+    // Master key from the seeded stream: the whole key hierarchy —
+    // master, per-tenant, per-generation — replays with the run.
+    sim::SplitMix64 krng(_config.system.vg.seed ^ 0x6d61737465726bull);
+    crypto::AesKey master;
+    for (size_t i = 0; i < master.size(); i += 8) {
+        uint64_t w = krng.next();
+        for (size_t j = 0; j < 8 && i + j < master.size(); j++)
+            master[i + j] = uint8_t(w >> (8 * j));
+    }
+    _tenants = std::make_unique<TenantDirectory>(master,
+                                                 _config.tenants);
+    for (Tenant &t : _tenants->all())
+        t.primary = t.id % _config.machines;
+
+    _traffic = std::make_unique<TrafficGen>(
+        _config.mode, _config.requests, _config.tenants,
+        _fabric->interleaver().machineSeed(0xffffu),
+        _config.openLoopRps, _config.closedLoopUsers,
+        _config.thinkTimeUs);
+}
+
+void
+Fleet::provision()
+{
+    if (_provisioned)
+        return;
+    _provisioned = true;
+    _fabric->bootAll();
+    // Replicated serving model: every machine carries every tenant's
+    // static content and a binary packaged (on that machine's SvaVm)
+    // with the tenant's current key. Ghost state is never replicated
+    // — it exists only where the tenant's processes ran.
+    for (unsigned m = 0; m < _fabric->machineCount(); m++) {
+        Machine &mach = _fabric->machine(m);
+        for (const Tenant &t : _tenants->all()) {
+            mach.plantContent(t, _config.fileBytes);
+            mach.provisionTenant(t);
+        }
+    }
+}
+
+void
+Fleet::scheduleFailure(unsigned machine, uint64_t at_epoch)
+{
+    _failMachine = machine;
+    _failEpoch = at_epoch;
+}
+
+void
+Fleet::handleEjection(
+    unsigned m, std::vector<std::deque<MachineRequest>> &queues,
+    std::deque<MachineRequest> &backlog)
+{
+    // Drain: connections die with the machine; queued requests are
+    // requeued for re-routing next epoch.
+    _lb->drain(m);
+    while (!queues[m].empty()) {
+        backlog.push_back(queues[m].front());
+        queues[m].pop_front();
+    }
+    // Tenant failover: every tenant whose primary was the lost
+    // machine migrates — key-chain advance, so any key the lost
+    // machine ever held is dead — and every surviving machine is
+    // re-provisioned at the new generation.
+    for (Tenant &t : _tenants->all()) {
+        if (t.primary != m)
+            continue;
+        unsigned to = m;
+        for (unsigned step = 1; step <= _fabric->machineCount();
+             step++) {
+            unsigned cand = (m + step) % _fabric->machineCount();
+            if (_lb->healthy(cand)) {
+                to = cand;
+                break;
+            }
+        }
+        _tenants->migrate(t.id, to);
+        for (unsigned s = 0; s < _fabric->machineCount(); s++) {
+            if (!_lb->healthy(s))
+                continue;
+            _fabric->machine(s).provisionTenant(_tenants->tenant(t.id));
+        }
+    }
+}
+
+FleetResult
+Fleet::run()
+{
+    provision();
+
+    const unsigned M = _fabric->machineCount();
+    FleetResult res;
+    res.machineServed.assign(M, 0);
+
+    std::vector<std::deque<MachineRequest>> queues(M);
+    std::deque<MachineRequest> backlog;
+    std::vector<uint64_t> busyUntil(M, 0);
+    uint64_t now = 0;
+
+    auto flowKey = [&](const MachineRequest &r) {
+        // Consistent hash keys on the tenant (cache/ghost affinity);
+        // least-conn keys per request (the key is ignored anyway).
+        return _config.policy == LbPolicy::ConsistentHash
+                   ? uint64_t(r.tenant) + 1
+                   : r.id;
+    };
+
+    for (uint64_t epoch = 0; epoch < _config.maxEpochs; epoch++) {
+        res.epochs = epoch + 1;
+        if (epoch == _failEpoch)
+            _fabric->injectLinkFailure(_failMachine);
+
+        // Health checks: probe over the fabric, eject on failure.
+        for (unsigned m = 0; m < M; m++) {
+            if (_lb->healthy(m) && !_fabric->pingMachine(m)) {
+                _lb->eject(m);
+                handleEjection(m, queues, backlog);
+            }
+        }
+
+        uint64_t epoch_end = now + _config.epochUs;
+
+        // Route this epoch's work: drained/requeued requests first,
+        // then fresh arrivals.
+        auto routeOne = [&](const MachineRequest &r) {
+            int m = _lb->route(flowKey(r));
+            if (m < 0) {
+                res.dropped++;
+                _traffic->completed(r.id, epoch_end);
+                return;
+            }
+            queues[unsigned(m)].push_back(r);
+            _lb->connOpened(unsigned(m));
+        };
+        while (!backlog.empty()) {
+            MachineRequest r = backlog.front();
+            backlog.pop_front();
+            routeOne(r);
+        }
+        for (const FleetRequest &fr :
+             _traffic->arrivalsUntil(epoch_end))
+            routeOne({fr.id, fr.tenant, fr.arrivalUs});
+
+        // Step machines with work in the seeded cross-machine order.
+        std::vector<uint8_t> has_work(M, 0);
+        for (unsigned m = 0; m < M; m++)
+            has_work[m] = queues[m].empty() ? 0 : 1;
+        std::vector<unsigned> order =
+            _fabric->interleaver().schedule(has_work);
+
+        for (unsigned m : order) {
+            std::vector<MachineRequest> batch(queues[m].begin(),
+                                              queues[m].end());
+            queues[m].clear();
+
+            // Dispatch hop over the fabric rings.
+            double hop_us =
+                _fabric->sendToMachine(m, batchFrame(batch.size()));
+            if (hop_us < 0) {
+                // Link died between probe and dispatch: requeue.
+                for (const MachineRequest &r : batch) {
+                    _lb->connClosed(m);
+                    backlog.push_back(r);
+                }
+                continue;
+            }
+            _fabric->receiveAtMachine(m);
+
+            uint64_t start = std::max(now, busyUntil[m]);
+            EpochResult er = _fabric->machine(m).serveEpoch(
+                batch, *_tenants, _config.knobs);
+            uint64_t elapsed_us = ceilUs(er.elapsedCycles);
+            busyUntil[m] = start + elapsed_us;
+            res.tenantFailures += er.tenantFailures;
+
+            // Completion notification back to the LB node.
+            _fabric->sendToLb(m, batchFrame(1));
+            _fabric->receiveAtLb(m);
+
+            uint64_t completion_us = start + elapsed_us;
+            for (const ServedRequest &sr : er.served) {
+                // Queue wait: fleet-time arrival to service start.
+                // (Arrivals mid-epoch can postdate the start stamp.)
+                uint64_t wait_us = start > sr.arrivalUs
+                                       ? start - sr.arrivalUs
+                                       : 0;
+                uint64_t lat_us = wait_us + uint64_t(hop_us) +
+                                  ceilUs(sr.serviceCycles);
+                res.latencyUs.push_back(lat_us);
+                char line[128];
+                std::snprintf(line, sizeof(line),
+                              "req=%llu tenant=%u mach=%u lat_us=%llu "
+                              "bytes=%llu ok=%d",
+                              (unsigned long long)sr.id, sr.tenant, m,
+                              (unsigned long long)lat_us,
+                              (unsigned long long)sr.bytes,
+                              sr.ok ? 1 : 0);
+                res.requestLog.push_back(line);
+                if (sr.ok) {
+                    res.served++;
+                    res.bytes += sr.bytes;
+                    res.machineServed[m]++;
+                    Tenant &t = _tenants->tenant(sr.tenant);
+                    t.requestsServed++;
+                    t.bytesServed += sr.bytes;
+                } else {
+                    res.failures++;
+                }
+                _lb->connClosed(m);
+                _traffic->completed(sr.id, completion_us);
+            }
+        }
+
+        now = epoch_end;
+
+        bool queues_empty = backlog.empty();
+        for (unsigned m = 0; m < M && queues_empty; m++)
+            queues_empty = queues[m].empty();
+        if (_traffic->done() && queues_empty)
+            break;
+        // Nothing routable left and none healthy: bail out.
+        if (_lb->healthyCount() == 0 && _traffic->done())
+            break;
+    }
+
+    uint64_t busiest = now;
+    for (unsigned m = 0; m < M; m++)
+        busiest = std::max(busiest, busyUntil[m]);
+    res.fleetTimeUs = busiest;
+
+    res.machineStats.reserve(M);
+    for (unsigned m = 0; m < M; m++)
+        res.machineStats.push_back(
+            _fabric->machine(m).statsSnapshot());
+    return res;
+}
+
+} // namespace vg::fleet

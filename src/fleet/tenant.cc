@@ -1,0 +1,57 @@
+#include "fleet/tenant.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "crypto/hmac.hh"
+
+namespace vg::fleet
+{
+
+TenantDirectory::TenantDirectory(const crypto::AesKey &master,
+                                 unsigned tenants)
+    : _master(master.begin(), master.end())
+{
+    _tenants.resize(tenants);
+    for (unsigned i = 0; i < tenants; i++) {
+        Tenant &t = _tenants[i];
+        t.id = i;
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "tenant-%03u", i);
+        t.name = buf;
+        std::snprintf(buf, sizeof(buf), "/t/%03u.bin", i);
+        t.path = buf;
+        t.key = deriveKey(i, t.keyGeneration);
+    }
+}
+
+crypto::AesKey
+TenantDirectory::deriveKey(unsigned id, uint64_t generation) const
+{
+    // HKDF-style expand: domain label || tenant id || generation,
+    // MACed under the master. Truncation of HMAC-SHA256 to 128 bits
+    // is the standard KDF output cut.
+    uint8_t info[13 + 8 + 8];
+    std::memcpy(info, "vg-tenant-key", 13);
+    uint64_t id64 = id;
+    for (int i = 0; i < 8; i++) {
+        info[13 + i] = uint8_t(id64 >> (8 * i));
+        info[21 + i] = uint8_t(generation >> (8 * i));
+    }
+    crypto::Digest d = crypto::hmacSha256(_master, info, sizeof(info));
+    crypto::AesKey key;
+    std::memcpy(key.data(), d.data(), key.size());
+    return key;
+}
+
+void
+TenantDirectory::migrate(unsigned id, unsigned new_machine)
+{
+    Tenant &t = _tenants[id];
+    t.primary = new_machine;
+    t.keyGeneration++;
+    t.key = deriveKey(id, t.keyGeneration);
+    t.migrations++;
+}
+
+} // namespace vg::fleet

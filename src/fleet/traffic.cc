@@ -1,0 +1,81 @@
+#include "fleet/traffic.hh"
+
+#include <algorithm>
+
+namespace vg::fleet
+{
+
+const char *
+trafficModeName(TrafficMode mode)
+{
+    return mode == TrafficMode::OpenLoop ? "open-loop" : "closed-loop";
+}
+
+TrafficGen::TrafficGen(TrafficMode mode, uint64_t requests,
+                       unsigned tenants, uint64_t seed, double rps,
+                       unsigned users, uint64_t think_us)
+    : _mode(mode), _requests(requests), _tenants(std::max(1u, tenants)),
+      _rng(seed), _gapMeanUs(rps > 0 ? 1e6 / rps : 1000.0),
+      _thinkUs(think_us)
+{
+    if (_mode == TrafficMode::ClosedLoop) {
+        // Stagger user start times across one mean think interval so
+        // the first wave is not one synchronized burst.
+        _userReadyUs.resize(std::max(1u, users));
+        for (auto &t : _userReadyUs)
+            t = _rng.below(_thinkUs + 1);
+    } else {
+        _nextArrivalUs = uint64_t(_rng.exponential(_gapMeanUs));
+    }
+}
+
+FleetRequest
+TrafficGen::makeRequest(uint64_t arrival_us)
+{
+    FleetRequest r;
+    r.id = ++_issued;
+    r.tenant = unsigned(_rng.below(_tenants));
+    r.arrivalUs = arrival_us;
+    return r;
+}
+
+std::vector<FleetRequest>
+TrafficGen::arrivalsUntil(uint64_t until_us)
+{
+    std::vector<FleetRequest> out;
+    if (_mode == TrafficMode::OpenLoop) {
+        while (_issued < _requests && _nextArrivalUs < until_us) {
+            out.push_back(makeRequest(_nextArrivalUs));
+            _nextArrivalUs += uint64_t(_rng.exponential(_gapMeanUs));
+        }
+        return out;
+    }
+
+    // Closed loop: every user whose ready time has come issues one
+    // request; it will not be ready again until completed() is fed.
+    for (unsigned u = 0;
+         u < _userReadyUs.size() && _issued < _requests; u++) {
+        if (_userReadyUs[u] >= until_us)
+            continue;
+        FleetRequest r = makeRequest(_userReadyUs[u]);
+        _reqUser[r.id] = u;
+        // Parked until the response comes back.
+        _userReadyUs[u] = UINT64_MAX;
+        out.push_back(r);
+    }
+    return out;
+}
+
+void
+TrafficGen::completed(uint64_t id, uint64_t completion_us)
+{
+    if (_mode != TrafficMode::ClosedLoop)
+        return;
+    auto it = _reqUser.find(id);
+    if (it == _reqUser.end())
+        return;
+    _userReadyUs[it->second] = completion_us + _thinkUs;
+    _reqUser.erase(it);
+}
+
+} // namespace vg::fleet

@@ -31,7 +31,11 @@ Kernel::Kernel(sim::SimContext &ctx, hw::PhysMem &mem, hw::CpuSet &cpus,
       _hSoftirqWakes(ctx.stats().handle("kernel.softirq_wakes")),
       _hZeroCopySends(ctx.stats().handle("kernel.zero_copy_sends")),
       _hGhostFaults(ctx.stats().handle("kernel.ghost_faults")),
-      _hGhostReclaimed(ctx.stats().handle("kernel.ghost_reclaimed"))
+      _hGhostReclaimed(ctx.stats().handle("kernel.ghost_reclaimed")),
+      _hConnInserts(ctx.stats().handle("kernel.conn_table_inserts")),
+      _hConnErases(ctx.stats().handle("kernel.conn_table_erases")),
+      _hConnLookups(ctx.stats().handle("kernel.conn_table_lookups")),
+      _hConnPeak(ctx.stats().handle("kernel.conn_table_peak"))
 {
     _softirq.resize(ctx.vcpuCount());
     _lastIrqAt.assign(ctx.vcpuCount(), 0);
@@ -94,6 +98,68 @@ Kernel::process(uint64_t pid)
 {
     auto it = _procs.find(pid);
     return it == _procs.end() ? nullptr : it->second.get();
+}
+
+// --------------------------------------------------------------------
+// Connection table
+// --------------------------------------------------------------------
+
+uint64_t
+Kernel::connRegister(const std::shared_ptr<Socket> &server_sock)
+{
+    // Hash insert + free-list pop: O(1) regardless of how many
+    // connections the machine is carrying.
+    _ctx.chargeKernelWork(30, 12, 2);
+    uint64_t id;
+    if (!_connTable.freeIds.empty()) {
+        id = _connTable.freeIds.back();
+        _connTable.freeIds.pop_back();
+    } else {
+        id = _connTable.nextId++;
+    }
+    server_sock->connId = id;
+    _connTable.conns.emplace(id, server_sock);
+    sim::StatSet::add(_hConnInserts);
+    if (_connTable.conns.size() > _connTable.peak) {
+        _connTable.peak = _connTable.conns.size();
+        *_hConnPeak = _connTable.peak;
+    }
+    return id;
+}
+
+void
+Kernel::connUnregister(Socket &sock)
+{
+    if (sock.connId == 0)
+        return;
+    _ctx.chargeKernelWork(25, 10, 2);
+    auto it = _connTable.conns.find(sock.connId);
+    // Erase only the entry this endpoint owns: ids are recycled, so a
+    // stale id could otherwise tear down someone else's registration.
+    if (it != _connTable.conns.end() &&
+        it->second.lock().get() == &sock) {
+        _connTable.conns.erase(it);
+        _connTable.freeIds.push_back(sock.connId);
+        sim::StatSet::add(_hConnErases);
+    }
+    sock.connId = 0;
+}
+
+std::shared_ptr<Socket>
+Kernel::connLookup(uint64_t conn_id)
+{
+    _ctx.chargeKernelWork(20, 8, 1);
+    sim::StatSet::add(_hConnLookups);
+    auto it = _connTable.conns.find(conn_id);
+    return it == _connTable.conns.end() ? nullptr : it->second.lock();
+}
+
+void
+Kernel::connReapProcess(Process &proc)
+{
+    for (auto &[fd, of] : proc.fds)
+        if (of && of->kind == OpenFile::Kind::Socket && of->sock)
+            connUnregister(*of->sock);
 }
 
 // --------------------------------------------------------------------
@@ -354,6 +420,7 @@ Kernel::spawn(const std::string &name,
         teardownAddressSpace(p);
         _vm.unbindProcess(p.pid);
         _vm.destroyThread(p.tid);
+        connReapProcess(p);
         p.fds.clear();
         p.state = ProcState::Zombie;
         _exitCodes[p.pid] = code;

@@ -19,6 +19,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "hw/cpu.hh"
 #include "hw/nic.hh"
@@ -76,6 +77,30 @@ struct Softirq
 {
     uint64_t dueAt = 0;
     const void *channel = nullptr;
+};
+
+/**
+ * Established-connection registry. Every connected socket pair gets a
+ * connection id at handshake time; the id indexes an O(1) hash table
+ * (accept adopts by id, close erases by id) and ids are recycled
+ * through a LIFO free-list so the id space — and the table — stay
+ * dense under thousands of churn-heavy connections. No per-accept or
+ * per-close scan of the connection population ever happens.
+ */
+struct ConnTable
+{
+    /** id -> server-side endpoint of the established connection. */
+    std::unordered_map<uint64_t, std::weak_ptr<Socket>> conns;
+
+    /** Recycled ids, reused LIFO before nextId grows. */
+    std::vector<uint64_t> freeIds;
+
+    uint64_t nextId = 1;
+
+    /** High-water mark of concurrently established connections. */
+    uint64_t peak = 0;
+
+    uint64_t size() const { return conns.size(); }
 };
 
 /** Loaded kernel module state. */
@@ -345,6 +370,27 @@ class Kernel
     bool handleUserAccess(Process &proc, hw::Vaddr va,
                           hw::Access access, hw::Paddr &pa);
 
+    // --- connection table ----------------------------------------------
+    /** Register an established connection: assign @p server_sock a
+     *  connection id (recycled from the free-list when possible) and
+     *  insert it into the hash table. Returns the id. */
+    uint64_t connRegister(const std::shared_ptr<Socket> &server_sock);
+
+    /** Drop @p sock's registration (no-op if it was never registered
+     *  or its peer already tore the connection down). */
+    void connUnregister(Socket &sock);
+
+    /** O(1) lookup of a registered connection by id. */
+    std::shared_ptr<Socket> connLookup(uint64_t conn_id);
+
+    /** Exit-path reap: unregister every still-registered socket in
+     *  @p proc's fd table (close() normally does this; exit without
+     *  close must not leak registry slots). */
+    void connReapProcess(Process &proc);
+
+    /** The live registry (vg_lint --dump-fleet, fleet LB telemetry). */
+    const ConnTable &connTable() const { return _connTable; }
+
     /** Enqueue a bottom-half wakeup on @p cpu's completion queue. */
     void postSoftirq(unsigned cpu, uint64_t due_at, const void *channel);
 
@@ -466,6 +512,9 @@ class Kernel
 
     std::map<uint16_t, std::shared_ptr<Socket>> _listeners;
 
+    /** Established-connection registry (O(1) accept/close). */
+    ConnTable _connTable;
+
     /** Per-CPU softirq completion queues (asyncIo) and the cycle each
      *  CPU last took a device interrupt (coalescing anchor). */
     std::vector<std::deque<Softirq>> _softirq;
@@ -516,6 +565,10 @@ class Kernel
     sim::StatHandle _hZeroCopySends;
     sim::StatHandle _hGhostFaults;
     sim::StatHandle _hGhostReclaimed;
+    sim::StatHandle _hConnInserts;
+    sim::StatHandle _hConnErases;
+    sim::StatHandle _hConnLookups;
+    sim::StatHandle _hConnPeak;
 
     friend struct ModuleExternBinder;
 };

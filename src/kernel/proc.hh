@@ -61,6 +61,11 @@ struct Socket
     State state = State::Closed;
     uint16_t localPort = 0;
 
+    /** Connection-table id (nonzero once the established connection is
+     *  registered; ids are recycled through a free-list so the table
+     *  stays dense under thousands of churn-heavy connections). */
+    uint64_t connId = 0;
+
     /** Pending connections on a listening socket. */
     std::deque<std::shared_ptr<Socket>> acceptQueue;
 

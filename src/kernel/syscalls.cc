@@ -233,6 +233,7 @@ UserApi::close(int fd)
             }
             if (of->sock->state == Socket::State::Listening)
                 _kernel._listeners.erase(of->sock->localPort);
+            _kernel.connUnregister(*of->sock);
             of->sock->state = Socket::State::Closed;
         }
         _proc.fds.erase(it);
@@ -702,6 +703,7 @@ UserApi::fork(std::function<int(UserApi &)> child_main)
         k.teardownAddressSpace(*cp);
         k._vm.unbindProcess(cp->pid);
         k._vm.destroyThread(cp->tid);
+        k.connReapProcess(*cp);
         cp->fds.clear();
         cp->state = ProcState::Zombie;
         k._exitCodes[cp->pid] = code;
@@ -945,6 +947,12 @@ UserApi::accept(int fd)
             k.blockCurrent(_proc, &lsock);
         auto conn = lsock.acceptQueue.front();
         lsock.acceptQueue.pop_front();
+        // Adopt the established connection by id — an O(1) hash
+        // lookup, independent of how many connections are live.
+        if (conn->connId != 0) {
+            if (auto adopted = k.connLookup(conn->connId))
+                conn = adopted;
+        }
         auto conn_of = std::make_shared<OpenFile>();
         conn_of->kind = OpenFile::Kind::Socket;
         conn_of->sock = conn;
@@ -984,6 +992,10 @@ UserApi::connect(uint16_t port)
         client->peer = server;
         server->peer = client;
         server->localPort = port;
+        // Register the established connection: O(1) hash insert with a
+        // free-listed id, no scan of the connection population.
+        k.connRegister(server);
+        client->connId = server->connId;
         it->second->acceptQueue.push_back(server);
         k.wakeup(it->second.get());
 

@@ -147,6 +147,16 @@ struct VgConfig
     unsigned swapBatchPages = 32;
 
     /**
+     * Deterministic-schedule seed. Everything in the simulator that
+     * draws a "random" decision (fleet machine-step order, traffic
+     * arrival times, tenant placement, bench workload shuffles) forks
+     * its PRNG stream from this value, so a whole run — including a
+     * whole-fleet run across many machines — is a pure function of
+     * (workload, config, seed) and replays bit-identically.
+     */
+    uint64_t seed = 42;
+
+    /**
      * Number of simulated vCPUs. Each vCPU owns a TLB, a timer, and a
      * cycle clock; a deterministic interleaver in the scheduler decides
      * which vCPU runs next. With vcpus == 1 the machine is stat- and

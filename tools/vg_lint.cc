@@ -31,6 +31,7 @@
 #include "compiler/minject.hh"
 #include "compiler/mverify.hh"
 #include "compiler/translator.hh"
+#include "fleet/fleet.hh"
 #include "kernel/system.hh"
 #include "sim/context.hh"
 
@@ -132,6 +133,13 @@ usage()
         "                    hand, batch sizes and the seal-key\n"
         "                    generation; takes no module\n"
         "\n"
+        "fleet serving:\n"
+        "  --dump-fleet      run a small fleet (with one injected\n"
+        "                    machine failure) and print the fabric\n"
+        "                    topology, per-machine LB connection\n"
+        "                    counts and per-tenant key-chain state;\n"
+        "                    takes no module\n"
+        "\n"
         "exit status: 0 clean, 1 findings, 2 usage/translate error\n");
     return 2;
 }
@@ -148,6 +156,7 @@ struct Options
     bool dumpTraces = false;
     bool dumpRings = false;
     bool dumpSwap = false;
+    bool dumpFleet = false;
     std::string input;
 };
 
@@ -527,6 +536,86 @@ dumpSwap()
     return rc == 0 ? 0 : 2;
 }
 
+/**
+ * --dump-fleet: run a small fleet with one injected machine failure,
+ * then print the control-plane state the fleet subsystem keeps — the
+ * fabric topology (link state, frame counters), the balancer's
+ * per-machine health and connection accounting, and every tenant's
+ * key-chain position. Keys themselves are never printed: the dump
+ * shows generations, the only thing the control plane holds.
+ */
+int
+dumpFleet()
+{
+    fleet::FleetConfig cfg;
+    cfg.machines = 3;
+    cfg.tenants = 8;
+    cfg.system.memFrames = 4096;
+    cfg.system.diskBlocks = 4096;
+    cfg.system.rsaBits = 384;
+    cfg.policy = fleet::LbPolicy::ConsistentHash;
+    cfg.mode = fleet::TrafficMode::OpenLoop;
+    cfg.requests = 48;
+    // Slow arrivals: the run spans several epochs, so the epoch-2
+    // failure injection lands mid-workload.
+    cfg.openLoopRps = 4000.0;
+    cfg.knobs.concurrency = 6;
+    cfg.knobs.ghostPagesPerTenant = 4;
+
+    fleet::Fleet fl(cfg);
+    fl.scheduleFailure(1, 2);
+    fleet::FleetResult res = fl.run();
+
+    std::printf("vg_lint: fleet: %u machine(s), %u tenant(s), seed "
+                "%llu, policy %s; %llu served %llu failed %llu "
+                "dropped in %llu epoch(s)\n",
+                cfg.machines, cfg.tenants,
+                (unsigned long long)cfg.system.vg.seed,
+                fleet::lbPolicyName(cfg.policy),
+                (unsigned long long)res.served,
+                (unsigned long long)res.failures,
+                (unsigned long long)res.dropped,
+                (unsigned long long)res.epochs);
+
+    fleet::Fabric &fab = fl.fabric();
+    fleet::LoadBalancer &lb = fl.lb();
+    std::printf("vg_lint: fabric: %u point-to-point DescRing pair(s), "
+                "LB node is its own clock domain\n",
+                fab.machineCount());
+    for (unsigned m = 0; m < fab.machineCount(); m++)
+        std::printf("vg_lint:   link %u: %s, %llu frame(s) to machine, "
+                    "%llu to LB; lb %s, active conns %llu, routed "
+                    "%llu, served %llu\n",
+                    m, fab.linkDown(m) ? "DOWN" : "up",
+                    (unsigned long long)fab.framesToMachine(m),
+                    (unsigned long long)fab.framesToLb(m),
+                    lb.healthy(m) ? "healthy" : "EJECTED",
+                    (unsigned long long)lb.activeConns(m),
+                    (unsigned long long)lb.routedTotal(m),
+                    (unsigned long long)res.machineServed[m]);
+
+    for (const fleet::Tenant &t : fl.tenants().all())
+        std::printf("vg_lint:   tenant %u (%s): primary %u, key gen "
+                    "%llu, %llu migration(s), %llu request(s) "
+                    "%llu byte(s)\n",
+                    t.id, t.name.c_str(), t.primary,
+                    (unsigned long long)t.keyGeneration,
+                    (unsigned long long)t.migrations,
+                    (unsigned long long)t.requestsServed,
+                    (unsigned long long)t.bytesServed);
+
+    bool ok = res.served > 0 && res.tenantFailures == 0 &&
+              !lb.healthy(1);
+    if (!ok)
+        std::fprintf(stderr,
+                     "vg_lint: --dump-fleet workload failed (served "
+                     "%llu, tenant failures %llu, machine 1 %s)\n",
+                     (unsigned long long)res.served,
+                     (unsigned long long)res.tenantFailures,
+                     lb.healthy(1) ? "not ejected" : "ejected");
+    return ok ? 0 : 2;
+}
+
 int
 selfTest()
 {
@@ -599,6 +688,8 @@ main(int argc, char **argv)
             opt.dumpRings = true;
         else if (arg == "--dump-swap")
             opt.dumpSwap = true;
+        else if (arg == "--dump-fleet")
+            opt.dumpFleet = true;
         else if (arg == "--inject") {
             if (++i >= argc)
                 return usage();
@@ -634,6 +725,8 @@ main(int argc, char **argv)
         return dumpRings();
     if (opt.dumpSwap)
         return dumpSwap();
+    if (opt.dumpFleet)
+        return dumpFleet();
     if (opt.input.empty())
         return usage();
 
