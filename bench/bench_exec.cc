@@ -83,6 +83,10 @@ struct Result {
     uint64_t mverifyInsts = 0;
     uint64_t mverifyFindings = 0;
     double mverifyWallUs = 0;
+    // Information-flow verifier work (zero when the gate is off).
+    uint64_t iflowInsts = 0;
+    uint64_t iflowFindings = 0;
+    double iflowWallUs = 0;
     // Trace-tier counters (zero for interpreter-only rows).
     bool traceTier = false;
     uint64_t tracesFormed = 0;
@@ -146,6 +150,10 @@ measure(const std::string &name, const sim::VgConfig &vg,
     out.mverifyFindings = ctx.stats().get("mverify.findings");
     out.mverifyWallUs =
         double(ctx.stats().get("mverify.wall_ns")) / 1e3;
+    out.iflowInsts = ctx.stats().get("iflow.insts");
+    out.iflowFindings = ctx.stats().get("iflow.findings");
+    out.iflowWallUs =
+        double(ctx.stats().get("iflow.wall_ns")) / 1e3;
     out.traceTier = traceTier;
     out.tracesFormed = exec.tracesFormed();
     out.traceExecuted = ctx.stats().get("trace.executed");
@@ -226,6 +234,9 @@ main(int argc, char **argv)
                      " \"mverify_insts\": %llu,"
                      " \"mverify_findings\": %llu,"
                      " \"mverify_wall_us\": %.3f,"
+                     " \"iflow_insts\": %llu,"
+                     " \"iflow_findings\": %llu,"
+                     " \"iflow_wall_us\": %.3f,"
                      " \"trace_tier\": %s,"
                      " \"trace\": {\"formed\": %llu,"
                      " \"executed\": %llu, \"side_exits\": %llu,"
@@ -236,6 +247,9 @@ main(int argc, char **argv)
                      (unsigned long long)r.mverifyInsts,
                      (unsigned long long)r.mverifyFindings,
                      r.mverifyWallUs,
+                     (unsigned long long)r.iflowInsts,
+                     (unsigned long long)r.iflowFindings,
+                     r.iflowWallUs,
                      r.traceTier ? "true" : "false",
                      (unsigned long long)r.tracesFormed,
                      (unsigned long long)r.traceExecuted,

@@ -368,12 +368,15 @@ verifierStatAccum()
     return accum;
 }
 
-/** Fold @p sys's mverify.* counters into the process accumulator. */
+/** Fold @p sys's mverify.* and iflow.* counters into the process
+ *  accumulator. */
 inline void
 collectVerifierStats(kern::System &sys)
 {
     static const char *keys[] = {"mverify.functions", "mverify.insts",
-                                 "mverify.findings", "mverify.wall_ns"};
+                                 "mverify.findings", "mverify.wall_ns",
+                                 "iflow.functions", "iflow.insts",
+                                 "iflow.findings", "iflow.wall_ns"};
     for (const char *k : keys)
         verifierStatAccum().add(k, sys.ctx().stats().get(k));
 }
@@ -387,7 +390,11 @@ emitVerifierStats(BenchReport &report)
         .count("mverify_functions", s.get("mverify.functions"))
         .count("mverify_insts", s.get("mverify.insts"))
         .count("mverify_findings", s.get("mverify.findings"))
-        .num("mverify_wall_ms", double(s.get("mverify.wall_ns")) / 1e6);
+        .num("mverify_wall_ms", double(s.get("mverify.wall_ns")) / 1e6)
+        .count("iflow_functions", s.get("iflow.functions"))
+        .count("iflow_insts", s.get("iflow.insts"))
+        .count("iflow_findings", s.get("iflow.findings"))
+        .num("iflow_wall_ms", double(s.get("iflow.wall_ns")) / 1e6);
 }
 
 /** Standard machine sizing for benchmarks. */

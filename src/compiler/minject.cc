@@ -13,7 +13,9 @@
 
 #include <algorithm>
 
+#include "compiler/iflow.hh"
 #include "compiler/passes.hh"
+#include "sva/iflow_meta.hh"
 
 namespace vg::cc
 {
@@ -155,6 +157,83 @@ traceSideExitSites(const MachineImage &image)
     return out;
 }
 
+/** Taint facts of the pre-injection image; the iflow kinds pick their
+ *  sites from the verifier's own fixpoint so every site is detectable
+ *  by construction. */
+IflowFacts
+iflowFactsFor(const MachineImage &image)
+{
+    IflowFacts facts;
+    IflowVerifier verifier;
+    verifier.verify(image, &facts);
+    return facts;
+}
+
+bool
+taintedAt(const IflowFacts &facts, size_t i, int reg)
+{
+    if (i >= facts.taintedRegsAt.size())
+        return false;
+    const std::vector<int> &list = facts.taintedRegsAt[i];
+    return std::find(list.begin(), list.end(), reg) != list.end();
+}
+
+/** Lowest-numbered tainted register at @p i other than @p exclude,
+ *  or -1. */
+int
+taintedOtherAt(const IflowFacts &facts, size_t i, int exclude)
+{
+    if (i >= facts.taintedRegsAt.size())
+        return -1;
+    for (int r : facts.taintedRegsAt[i])
+        if (r != exclude)
+            return r;
+    return -1;
+}
+
+bool
+isDeclassifierCall(const MInst &m)
+{
+    if (m.op != MOp::CallExt)
+        return false;
+    const sva::IfExternInfo *info = sva::iflowExternInfo(m.callee);
+    return info && info->role == sva::IfRole::Declassifier;
+}
+
+/** For a Store at @p i, the index of the declassifier call that most
+ *  recently defined its value register (with the call's raw input
+ *  register still tainted at the store), or SIZE_MAX. */
+size_t
+sealedStoreSource(const MachineImage &image, const IflowFacts &facts,
+                  const std::vector<Range> &ranges, size_t i)
+{
+    const MInst &st = image.code[i];
+    if (st.op != MOp::Store)
+        return SIZE_MAX;
+    if (i >= facts.visibleStoreAt.size() || !facts.visibleStoreAt[i])
+        return SIZE_MAX;
+    const Range *r = rangeOf(ranges, i);
+    if (!r)
+        return SIZE_MAX;
+    for (size_t j = i; j-- > r->begin;) {
+        const MInst &m = image.code[j];
+        bool defsValue = m.dst == st.b &&
+                         (m.op == MOp::ConstI || m.op == MOp::Mov ||
+                          m.op == MOp::FrameAddr ||
+                          m.op == MOp::Load ||
+                          m.op == MOp::SandboxAddr ||
+                          isCallOp(m.op) ||
+                          (m.op >= MOp::Add && m.op <= MOp::ICmp));
+        if (!defsValue)
+            continue;
+        if (isDeclassifierCall(m) && !m.args.empty() &&
+            taintedAt(facts, i, m.args[0]))
+            return j;
+        return SIZE_MAX; // most recent def is not a sanctioned seal
+    }
+    return SIZE_MAX;
+}
+
 } // namespace
 
 const std::vector<Miscompile> &
@@ -167,6 +246,8 @@ allMiscompiles()
         Miscompile::BadJumpTarget,    Miscompile::ForgeLabel,
         Miscompile::TraceExitHijack,  Miscompile::TraceDropMask,
         Miscompile::TraceStripHeadLabel,
+        Miscompile::IflowDropSeal,    Miscompile::IflowRawStore,
+        Miscompile::IflowStatLeak,    Miscompile::IflowTraceSmuggle,
     };
     return kinds;
 }
@@ -186,6 +267,10 @@ miscompileName(Miscompile kind)
     case Miscompile::TraceExitHijack: return "trace-exit-hijack";
     case Miscompile::TraceDropMask: return "trace-drop-mask";
     case Miscompile::TraceStripHeadLabel: return "trace-strip-head-label";
+    case Miscompile::IflowDropSeal: return "iflow-drop-seal";
+    case Miscompile::IflowRawStore: return "iflow-raw-store";
+    case Miscompile::IflowStatLeak: return "iflow-stat-leak";
+    case Miscompile::IflowTraceSmuggle: return "iflow-trace-smuggle";
     }
     return "?";
 }
@@ -290,6 +375,62 @@ miscompileSites(const MachineImage &image, Miscompile kind)
                 out.push_back(b);
         }
         return out;
+
+    case Miscompile::IflowDropSeal: {
+        const IflowFacts facts = iflowFactsFor(image);
+        for (size_t i = 0; i < image.code.size(); i++) {
+            const MInst &m = image.code[i];
+            if (isDeclassifierCall(m) && m.dst >= 0 &&
+                !m.args.empty() && taintedAt(facts, i, m.args[0]))
+                out.push_back(i);
+        }
+        return out;
+    }
+
+    case Miscompile::IflowRawStore: {
+        const IflowFacts facts = iflowFactsFor(image);
+        for (size_t i = 0; i < image.code.size(); i++)
+            if (sealedStoreSource(image, facts, ranges, i) !=
+                SIZE_MAX)
+                out.push_back(i);
+        return out;
+    }
+
+    case Miscompile::IflowStatLeak: {
+        const IflowFacts facts = iflowFactsFor(image);
+        for (size_t i = 0; i < image.code.size(); i++) {
+            const MInst &m = image.code[i];
+            if (m.op != MOp::CallExt || m.args.empty())
+                continue;
+            const sva::IfExternInfo *info =
+                sva::iflowExternInfo(m.callee);
+            if (!info || info->role != sva::IfRole::Sink ||
+                info->channel != sva::IfChannel::Stat)
+                continue;
+            if (taintedOtherAt(facts, i, m.args[0]) >= 0)
+                out.push_back(i);
+        }
+        return out;
+    }
+
+    case Miscompile::IflowTraceSmuggle: {
+        const IflowFacts facts = iflowFactsFor(image);
+        for (const TraceInfo &t : image.traces) {
+            auto [b, e] = traceRange(image, t);
+            for (size_t i = b; i < e; i++) {
+                const MInst &m = image.code[i];
+                if (m.op != MOp::Store)
+                    continue;
+                if (i >= facts.visibleStoreAt.size() ||
+                    !facts.visibleStoreAt[i])
+                    continue;
+                if (!taintedAt(facts, i, m.b) &&
+                    taintedOtherAt(facts, i, m.b) >= 0)
+                    out.push_back(i);
+            }
+        }
+        return out;
+    }
     }
     return out;
 }
@@ -392,6 +533,53 @@ injectMiscompile(MachineImage &image, Miscompile kind, size_t siteIdx)
     case Miscompile::TraceStripHeadLabel:
         overwriteWithNop(image, i);
         return true;
+
+    case Miscompile::IflowDropSeal: {
+        // The "seal" becomes an identity move: the raw ghost value
+        // flows onward under the name the sealed result would have
+        // had. Sandboxing and CFI are untouched.
+        MInst mov;
+        mov.op = MOp::Mov;
+        mov.dst = m.dst;
+        mov.a = m.args.empty() ? m.a : m.args[0];
+        image.code[i] = std::move(mov);
+        return true;
+    }
+
+    case Miscompile::IflowRawStore: {
+        const IflowFacts facts = iflowFactsFor(image);
+        const std::vector<Range> ranges = funcRanges(image);
+        size_t d = sealedStoreSource(image, facts, ranges, i);
+        if (d == SIZE_MAX)
+            return false;
+        // The store keeps its (masked) address but writes the seal
+        // call's raw input instead of its ciphertext output.
+        m.b = image.code[d].args[0];
+        return true;
+    }
+
+    case Miscompile::IflowStatLeak: {
+        const IflowFacts facts = iflowFactsFor(image);
+        int reg = taintedOtherAt(facts, i, m.args[0]);
+        if (reg < 0)
+            return false;
+        // The stat counter is fed a live ghost-derived register
+        // instead of the innocuous value the source asked for.
+        m.args[0] = reg;
+        return true;
+    }
+
+    case Miscompile::IflowTraceSmuggle: {
+        const IflowFacts facts = iflowFactsFor(image);
+        int reg = taintedOtherAt(facts, i, m.b);
+        if (reg < 0)
+            return false;
+        // Inside the fused superinstruction block, the store's value
+        // operand is swapped for a register carrying ghost taint the
+        // interpreter path never writes here.
+        m.b = reg;
+        return true;
+    }
     }
     return false;
 }

@@ -45,6 +45,15 @@ enum class Miscompile : uint8_t
     TraceExitHijack,    ///< side exit retargeted outside trace + home
     TraceDropMask,      ///< mask inside a trace degraded to a plain Mov
     TraceStripHeadLabel,///< trace head CfiLabel removed
+
+    // Information-flow miscompiles: ways a buggy pipeline could leak
+    // ghost data while still emitting perfectly sandboxed, CFI-clean
+    // code (invisible to the McodeVerifier; caught by IflowVerifier).
+    // Sites exist only on images that actually carry ghost taint.
+    IflowDropSeal,     ///< a seal/HMAC call degraded to a plain Mov
+    IflowRawStore,     ///< sealed store redirected to the raw payload
+    IflowStatLeak,     ///< ghost bytes copied into a stat-counter sink
+    IflowTraceSmuggle, ///< taint smuggled through a superinstruction
 };
 
 /** All kinds, for sweeping. */

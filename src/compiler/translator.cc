@@ -143,6 +143,33 @@ Translator::spliceTrace(const MachineImage &base, const TraceRequest &req)
         }
     }
 
+    // Trace adoption re-runs the information-flow verifier over the
+    // whole spliced image: a superinstruction block that smuggles
+    // ghost taint past a sink (or carries taint out a side exit the
+    // interpreter path never saw) is refused, never signed and never
+    // cached.
+    if (_ctx.config().verifyIflow) {
+        auto t0 = std::chrono::steady_clock::now();
+        IflowVerifier verifier;
+        result.iflow = verifier.verify(*image);
+        auto wall = std::chrono::steady_clock::now() - t0;
+        sim::StatSet &stats = _ctx.stats();
+        stats.add("iflow.functions", result.iflow.functionsChecked);
+        stats.add("iflow.insts", result.iflow.instsChecked);
+        stats.add("iflow.findings", result.iflow.findings.size());
+        stats.add("iflow.wall_ns",
+                  (uint64_t)std::chrono::duration_cast<
+                      std::chrono::nanoseconds>(wall)
+                      .count());
+        if (!result.iflow.ok()) {
+            result.error = "iflow verifier rejected spliced image '" +
+                           image->moduleName + "':\n" +
+                           result.iflow.message();
+            stats.add("translator.iflow_rejected");
+            return result;
+        }
+    }
+
     image->signature = sign(*image);
     _cache[key] = image;
 
@@ -216,6 +243,31 @@ Translator::translateModule(vir::Module mod, uint64_t code_base)
                            image->moduleName + "':\n" +
                            result.mverify.message();
             stats.add("translator.mverify_rejected");
+            return result;
+        }
+    }
+
+    // The confidentiality gate: prove ghost-derived data cannot reach
+    // an OS-visible channel unsealed. Same contract as verifyMcode —
+    // findings mean no signature, no cache entry, no install.
+    if (_ctx.config().verifyIflow) {
+        auto t0 = std::chrono::steady_clock::now();
+        IflowVerifier verifier;
+        result.iflow = verifier.verify(*image);
+        auto wall = std::chrono::steady_clock::now() - t0;
+        sim::StatSet &stats = _ctx.stats();
+        stats.add("iflow.functions", result.iflow.functionsChecked);
+        stats.add("iflow.insts", result.iflow.instsChecked);
+        stats.add("iflow.findings", result.iflow.findings.size());
+        stats.add("iflow.wall_ns",
+                  (uint64_t)std::chrono::duration_cast<
+                      std::chrono::nanoseconds>(wall)
+                      .count());
+        if (!result.iflow.ok()) {
+            result.error = "iflow verifier rejected module '" +
+                           image->moduleName + "':\n" +
+                           result.iflow.message();
+            stats.add("translator.iflow_rejected");
             return result;
         }
     }

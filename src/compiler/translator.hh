@@ -6,8 +6,10 @@
  * -> lower to machine code -> sandbox-mask fusion peephole (machine)
  * -> CFI pass (machine) -> layout -> machine-code safety verifier
  * (McodeVerifier: refuse images whose sandbox/CFI instrumentation
- * cannot be statically proven; VgConfig::verifyMcode) -> sign the
- * translation with the VM's HMAC key -> cache. Translations are looked
+ * cannot be statically proven; VgConfig::verifyMcode) -> information
+ * flow verifier (IflowVerifier: refuse images that can carry ghost
+ * data to an OS-visible channel unsealed; VgConfig::verifyIflow) ->
+ * sign the translation with the VM's HMAC key -> cache. Translations are looked
  * up by the SHA-256 of their source, so recompilation of unchanged
  * modules is free and tampered caches are detected via the signature.
  * Rejected translations are never signed and never cached.
@@ -23,6 +25,7 @@
 #include <vector>
 
 #include "compiler/codegen.hh"
+#include "compiler/iflow.hh"
 #include "compiler/mcode.hh"
 #include "compiler/mverify.hh"
 #include "compiler/passes.hh"
@@ -48,6 +51,10 @@ struct TranslateResult
     /** Machine-code verifier report (populated when verifyMcode is on
      *  and the translation was not served from cache). */
     McodeVerifyResult mverify;
+
+    /** Information-flow verifier report (populated when verifyIflow is
+     *  on and the translation was not served from cache). */
+    IflowResult iflow;
 };
 
 /** Ahead-of-time translator with a signed translation cache. */

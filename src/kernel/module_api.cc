@@ -157,6 +157,94 @@ Kernel::setupModuleExterns()
             return uint64_t(
                 doWrite(*proc, int(args[1]), args[2], args[3]));
         };
+
+    // ---- Information-flow surface (sva/iflow_meta.hh) ----
+    //
+    // Deterministic models of the ghost-data intrinsics and the
+    // OS-visible channels the IflowVerifier reasons about. The values
+    // only need to be stable and data-dependent — modules built on
+    // them run under the executor in tests and fixtures.
+
+    // SplitMix64-style mixer shared by the models below.
+    auto mix = [](uint64_t x) {
+        x += 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    };
+
+    // sva_ghost_read(va): a 64-bit word of the caller's ghost memory
+    // (modeled as a keyed mix of the address).
+    _moduleExterns.fns["sva_ghost_read"] =
+        [this, mix](const std::vector<uint64_t> &args) {
+            _ctx.stats().add("kernel.module_ghost_reads");
+            return mix(args.empty() ? 0 : args[0]);
+        };
+
+    // sva_ghost_ptr(): a pointer into the caller's ghost region.
+    _moduleExterns.fns["sva_ghost_ptr"] =
+        [this](const std::vector<uint64_t> &args) {
+            (void)args;
+            _ctx.stats().add("kernel.module_ghost_ptrs");
+            return hw::ghostBase + 0x1000;
+        };
+
+    // sva_seal(w) / sva_hmac(w): the sanctioned declassifiers. The
+    // model is a keyed mix — what matters to the verifier is the
+    // annotation, not the cipher.
+    _moduleExterns.fns["sva_seal"] =
+        [this, mix](const std::vector<uint64_t> &args) {
+            _ctx.stats().add("kernel.module_seals");
+            return mix((args.empty() ? 0 : args[0]) ^
+                       0x5ea15ea15ea15ea1ull);
+        };
+    _moduleExterns.fns["sva_hmac"] =
+        [this, mix](const std::vector<uint64_t> &args) {
+            _ctx.stats().add("kernel.module_hmacs");
+            return mix((args.empty() ? 0 : args[0]) ^
+                       0x4d4143004d414300ull);
+        };
+
+    // k_nic_tx(w): queue a word as a NIC descriptor payload.
+    _moduleExterns.fns["k_nic_tx"] =
+        [this](const std::vector<uint64_t> &args) {
+            (void)args;
+            _ctx.stats().add("kernel.module_nic_tx_words");
+            return uint64_t(0);
+        };
+
+    // k_disk_write(block, w): write a word to a raw disk block.
+    _moduleExterns.fns["k_disk_write"] =
+        [this](const std::vector<uint64_t> &args) {
+            (void)args;
+            _ctx.stats().add("kernel.module_disk_writes");
+            return uint64_t(0);
+        };
+
+    // k_swap_store(slot, w): store a word into a swap slot.
+    _moduleExterns.fns["k_swap_store"] =
+        [this](const std::vector<uint64_t> &args) {
+            (void)args;
+            _ctx.stats().add("kernel.module_swap_stores");
+            return uint64_t(0);
+        };
+
+    // k_swap_slot_ptr(slot): a pointer into the swap staging window.
+    _moduleExterns.fns["k_swap_slot_ptr"] =
+        [this](const std::vector<uint64_t> &args) {
+            _ctx.stats().add("kernel.module_swap_slot_ptrs");
+            return hw::kernelBase + 0x200000 +
+                   ((args.empty() ? 0 : args[0]) & 0xff) *
+                       hw::pageSize;
+        };
+
+    // k_stat_add(v): bump a kernel stat counter by v.
+    _moduleExterns.fns["k_stat_add"] =
+        [this](const std::vector<uint64_t> &args) {
+            _ctx.stats().add("kernel.module_stat_adds",
+                             args.empty() ? 0 : args[0]);
+            return uint64_t(0);
+        };
 }
 
 } // namespace vg::kern

@@ -45,6 +45,17 @@ struct VgConfig
     bool verifyMcode = true;
 
     /**
+     * Load-time information-flow verifier: interprocedural taint
+     * analysis over laid-out MCode proving that ghost-derived values
+     * (loads through ghost pointers, ghost-reading intrinsics) only
+     * reach OS-visible channels (NIC/disk/swap/stat/log externs, raw
+     * stores into kernel-visible memory) after passing through a
+     * seal/HMAC declassifier. Rules VG-IF-01..05; images with findings
+     * are refused before signing/caching, same as verifyMcode.
+     */
+    bool verifyIflow = true;
+
+    /**
      * Use the Kmem fast path: a last-translation cache in front of the
      * MMU plus page-chunked bulk copies. Semantics, simulated cost, and
      * every stat are identical to the reference per-access path;

@@ -1,0 +1,138 @@
+#pragma once
+/**
+ * @file
+ * Information-flow roles of the extern/intrinsic surface, shared by
+ * the compiler-side IflowVerifier and the kernel-side implementations
+ * (module_api.cc). Header-only so the compiler layer can consume it
+ * without a link dependency on the sva subsystem.
+ *
+ * The lattice is deliberately small:
+ *
+ *   sources       — produce ghost-derived data (sva_ghost_read) or
+ *                   pointers into the ghost region (sva_ghost_ptr).
+ *   declassifiers — the seal/HMAC crypto intrinsics; their result is
+ *                   ciphertext/MAC output and is clean by fiat.
+ *   sinks         — OS-visible channels. Any tainted argument reaching
+ *                   one is a leak. Externs NOT listed here are treated
+ *                   as sinks on the Extern channel (default deny): an
+ *                   unknown kernel entry point must be assumed to
+ *                   publish its arguments.
+ */
+
+#include <cstddef>
+#include <string>
+
+namespace vg::sva
+{
+
+enum class IfRole : unsigned char {
+    SourceData,   ///< returns a ghost-derived 64-bit value
+    SourcePtr,    ///< returns a pointer into the ghost region
+    Declassifier, ///< seal/HMAC: result is sanctioned ciphertext
+    Sink,         ///< OS-visible channel; tainted args are leaks
+    SinkPtr,      ///< returns a pointer into an OS-visible window
+};
+
+enum class IfChannel : unsigned char {
+    None, ///< not a channel (sources/declassifiers)
+    Nic,  ///< NIC descriptor payloads
+    Disk, ///< raw disk writes / exfil files
+    Swap, ///< swap-slot stores (must carry sealed bytes only)
+    Stat, ///< kernel stat counters
+    Log,  ///< console/klog output
+    Kmem, ///< plain stores into kernel-visible memory
+    Extern, ///< unknown extern (default-deny sink)
+};
+
+struct IfExternInfo {
+    IfRole role;
+    IfChannel channel;
+};
+
+struct IfExternEntry {
+    const char *name;
+    IfExternInfo info;
+    const char *desc;
+};
+
+/** The annotated extern table, in dump order. */
+inline const IfExternEntry *
+iflowExternTable(size_t &count)
+{
+    static const IfExternEntry table[] = {
+        {"sva_ghost_read",
+         {IfRole::SourceData, IfChannel::None},
+         "read a 64-bit word from the caller's ghost memory"},
+        {"sva_ghost_ptr",
+         {IfRole::SourcePtr, IfChannel::None},
+         "return a pointer into the caller's ghost region"},
+        {"sva_seal",
+         {IfRole::Declassifier, IfChannel::None},
+         "seal a word under the app's ghost key (AES-CTR model)"},
+        {"sva_hmac",
+         {IfRole::Declassifier, IfChannel::None},
+         "MAC a word under the app's ghost key"},
+        {"k_nic_tx",
+         {IfRole::Sink, IfChannel::Nic},
+         "queue a word as a NIC descriptor payload"},
+        {"k_disk_write",
+         {IfRole::Sink, IfChannel::Disk},
+         "write a word to a raw disk block"},
+        {"k_swap_store",
+         {IfRole::Sink, IfChannel::Swap},
+         "store a word into a swap slot (sealed bytes only)"},
+        {"k_swap_slot_ptr",
+         {IfRole::SinkPtr, IfChannel::Swap},
+         "return a pointer into the swap staging window"},
+        {"k_stat_add",
+         {IfRole::Sink, IfChannel::Stat},
+         "add a value to a kernel stat counter"},
+        {"klog",
+         {IfRole::Sink, IfChannel::Log},
+         "log a 64-bit value to the console"},
+        {"klog_bytes",
+         {IfRole::Sink, IfChannel::Log},
+         "hex-dump kernel-visible memory to the console"},
+        {"k_exfil",
+         {IfRole::Sink, IfChannel::Disk},
+         "append kernel-visible bytes to the attacker's file"},
+        {"k_exfil_fd",
+         {IfRole::Sink, IfChannel::Disk},
+         "write victim-side data to a process fd"},
+    };
+    count = sizeof(table) / sizeof(table[0]);
+    return table;
+}
+
+/**
+ * Look up an extern's information-flow role. Returns nullptr for
+ * unknown externs — callers must treat those as Sink/Extern.
+ */
+inline const IfExternInfo *
+iflowExternInfo(const std::string &name)
+{
+    size_t n = 0;
+    const IfExternEntry *table = iflowExternTable(n);
+    for (size_t i = 0; i < n; i++)
+        if (name == table[i].name)
+            return &table[i].info;
+    return nullptr;
+}
+
+inline const char *
+iflowChannelName(IfChannel c)
+{
+    switch (c) {
+      case IfChannel::None: return "none";
+      case IfChannel::Nic: return "nic";
+      case IfChannel::Disk: return "disk";
+      case IfChannel::Swap: return "swap";
+      case IfChannel::Stat: return "stat";
+      case IfChannel::Log: return "log";
+      case IfChannel::Kmem: return "kmem";
+      case IfChannel::Extern: return "extern";
+    }
+    return "?";
+}
+
+} // namespace vg::sva

@@ -28,12 +28,14 @@
 #include <string>
 
 #include "compiler/exec.hh"
+#include "compiler/iflow.hh"
 #include "compiler/minject.hh"
 #include "compiler/mverify.hh"
 #include "compiler/translator.hh"
 #include "fleet/fleet.hh"
 #include "kernel/system.hh"
 #include "sim/context.hh"
+#include "sva/iflow_meta.hh"
 
 namespace
 {
@@ -82,11 +84,36 @@ entry:
 }
 )";
 
-int
-usage()
+/** Built-in ghost-handling module for the iflow leg of --self-test:
+ *  sealed flows to every channel class, so all three static injection
+ *  kinds (drop-seal, raw-store, stat-leak) have sites. The trace-only
+ *  smuggle kind needs a spliced image and is covered by test_iflow. */
+const char *kIflowSelfTestSrc = R"(
+func @beacon(1) {
+entry:
+  %1 = call @sva_ghost_read(%0)
+  %2 = call @sva_seal(%1)
+  %3 = call @k_nic_tx(%2)
+  ret %3
+}
+
+func @swap_out(2) {
+entry:
+  %2 = call @sva_ghost_read(%0)
+  %3 = call @sva_seal(%2)
+  %4 = call @k_swap_slot_ptr(%1)
+  store.i64 %4, %3
+  %5 = call @k_swap_store(%1, %3)
+  %6 = call @k_stat_add(%1)
+  ret %5
+}
+)";
+
+void
+printUsage(std::FILE *out)
 {
     std::fprintf(
-        stderr,
+        out,
         "usage: vg_lint [options] <module.vir | ->\n"
         "       vg_lint --self-test\n"
         "\n"
@@ -102,22 +129,39 @@ usage()
         "verification policy (defaults follow the compilation flags):\n"
         "  --require-sandbox enforce VG-SB rules regardless of flags\n"
         "  --require-cfi     enforce VG-CFI rules regardless of flags\n"
+        "  --iflow           also run the information-flow verifier\n"
+        "                    (rules VG-IF-01..05) and count its\n"
+        "                    findings in the exit status\n"
         "\n"
         "fault injection:\n"
         "  --inject KIND[:SITE]  apply one miscompile after layout\n"
         "                        (drop-mask, clobber-mask,\n"
         "                        strip-entry-label, strip-return-label,\n"
         "                        raw-ret, raw-callind, bad-jump-target,\n"
-        "                        forge-label); SITE defaults to 0\n"
+        "                        forge-label, iflow-drop-seal,\n"
+        "                        iflow-raw-store, iflow-stat-leak,\n"
+        "                        iflow-trace-smuggle); SITE defaults\n"
+        "                        to 0\n"
         "\n"
-        "  --self-test       sweep every kind x site on a built-in\n"
-        "                    module; exit 0 iff the verifier detects\n"
-        "                    100%% and reports 0 findings when clean\n"
+        "  --self-test       sweep every kind x site on built-in\n"
+        "                    modules (mcode kinds against the safety\n"
+        "                    verifier, iflow kinds against the\n"
+        "                    information-flow verifier); exit 0 iff\n"
+        "                    detection is 100%% and both report 0\n"
+        "                    findings when clean\n"
+        "\n"
+        "information flow:\n"
+        "  --dump-iflow      print the extern information-flow\n"
+        "                    lattice (sources, declassifiers, sinks\n"
+        "                    and their channels) followed by the\n"
+        "                    module's iflow findings; exit 1 if any\n"
         "\n"
         "trace tier:\n"
         "  --dump-traces     execute the module's functions under the\n"
-        "                    trace tier and print each formed trace\n"
+        "                    trace tier, print each formed trace\n"
         "                    (anchor PC, length, guards, fold savings)\n"
+        "                    and re-verify the spliced image; exit 1\n"
+        "                    on findings\n"
         "\n"
         "async I/O:\n"
         "  --dump-rings      boot a machine, run a small disk+net\n"
@@ -141,6 +185,12 @@ usage()
         "                    takes no module\n"
         "\n"
         "exit status: 0 clean, 1 findings, 2 usage/translate error\n");
+}
+
+int
+usage()
+{
+    printUsage(stderr);
     return 2;
 }
 
@@ -153,6 +203,8 @@ struct Options
     cc::Miscompile injectKind = cc::Miscompile::DropMask;
     size_t injectSite = 0;
     bool selfTest = false;
+    bool iflow = false;
+    bool dumpIflow = false;
     bool dumpTraces = false;
     bool dumpRings = false;
     bool dumpSwap = false;
@@ -169,13 +221,14 @@ policyFor(const Options &opt)
     return policy;
 }
 
-/** Translate with the verifier gate off: vg_lint runs the verifier
+/** Translate with both verifier gates off: vg_lint runs the verifiers
  *  itself so it can report findings instead of a refusal. */
 cc::TranslateResult
 compile(const Options &opt, const std::string &text)
 {
     sim::VgConfig cfg = opt.config;
     cfg.verifyMcode = false;
+    cfg.verifyIflow = false;
     sim::SimContext ctx(cfg);
     std::vector<uint8_t> key(32, 0x42);
     cc::Translator translator(key, ctx);
@@ -210,8 +263,81 @@ lint(const Options &opt, const std::string &text)
     cc::McodeVerifyResult res = verifier.verify(image);
     for (const cc::McodeFinding &f : res.findings)
         std::printf("vg_lint: %s\n", f.render().c_str());
+    size_t findings = res.findings.size();
+    if (opt.iflow) {
+        cc::IflowResult ires = cc::IflowVerifier{}.verify(image);
+        for (const cc::IflowFinding &f : ires.findings)
+            std::printf("vg_lint: %s\n", f.render().c_str());
+        findings += ires.findings.size();
+    }
     std::printf("vg_lint: %s: %llu function(s), %llu instruction(s), "
                 "%zu finding(s)\n",
+                image.moduleName.empty() ? "<module>"
+                                         : image.moduleName.c_str(),
+                (unsigned long long)res.functionsChecked,
+                (unsigned long long)res.instsChecked, findings);
+    return findings == 0 ? 0 : 1;
+}
+
+/**
+ * --dump-iflow: print the extern information-flow lattice the verifier
+ * trusts (the only policy input it has), then the module's findings.
+ * The lattice dump doubles as documentation: it is generated from
+ * sva/iflow_meta.hh, so it cannot drift from what is enforced.
+ */
+int
+dumpIflow(const Options &opt, const std::string &text)
+{
+    std::printf("vg_lint: extern information-flow lattice:\n");
+    size_t count = 0;
+    const sva::IfExternEntry *table = sva::iflowExternTable(count);
+    for (size_t i = 0; i < count; i++) {
+        const sva::IfExternEntry &e = table[i];
+        const char *role = "?";
+        switch (e.info.role) {
+        case sva::IfRole::SourceData:
+            role = "source";
+            break;
+        case sva::IfRole::SourcePtr:
+            role = "source-ptr";
+            break;
+        case sva::IfRole::Declassifier:
+            role = "declassifier";
+            break;
+        case sva::IfRole::Sink:
+            role = "sink";
+            break;
+        case sva::IfRole::SinkPtr:
+            role = "sink-ptr";
+            break;
+        }
+        std::printf("vg_lint:   %-16s %-12s channel=%-6s %s\n", e.name,
+                    role, sva::iflowChannelName(e.info.channel),
+                    e.desc);
+    }
+    std::printf("vg_lint:   <unknown extern>  sink         "
+                "channel=extern default-deny\n");
+
+    cc::TranslateResult tr = compile(opt, text);
+    if (!tr.ok) {
+        std::fprintf(stderr, "vg_lint: translation failed: %s\n",
+                     tr.error.c_str());
+        return 2;
+    }
+    cc::MachineImage image = *tr.image;
+    if (opt.haveInject &&
+        !cc::injectMiscompile(image, opt.injectKind, opt.injectSite)) {
+        std::fprintf(stderr, "vg_lint: --inject %s: site %zu out of "
+                             "range\n",
+                     cc::miscompileName(opt.injectKind),
+                     opt.injectSite);
+        return 2;
+    }
+    cc::IflowResult res = cc::IflowVerifier{}.verify(image);
+    for (const cc::IflowFinding &f : res.findings)
+        std::printf("vg_lint: %s\n", f.render().c_str());
+    std::printf("vg_lint: %s: %llu function(s), %llu instruction(s), "
+                "%zu iflow finding(s)\n",
                 image.moduleName.empty() ? "<module>"
                                          : image.moduleName.c_str(),
                 (unsigned long long)res.functionsChecked,
@@ -276,7 +402,23 @@ dumpTraces(const Options &opt, const std::string &text)
                 img.moduleName.empty() ? "<module>"
                                        : img.moduleName.c_str(),
                 img.traces.size());
-    return 0;
+
+    // Exit-code contract: like plain linting, a spliced image with
+    // findings exits 1 (the adoption gate should make this
+    // unreachable, which is exactly why it's worth checking).
+    size_t findings = 0;
+    cc::McodeVerifyResult res =
+        cc::McodeVerifier(policyFor(opt)).verify(img);
+    for (const cc::McodeFinding &f : res.findings)
+        std::printf("vg_lint: %s\n", f.render().c_str());
+    findings += res.findings.size();
+    if (opt.iflow) {
+        cc::IflowResult ires = cc::IflowVerifier{}.verify(img);
+        for (const cc::IflowFinding &f : ires.findings)
+            std::printf("vg_lint: %s\n", f.render().c_str());
+        findings += ires.findings.size();
+    }
+    return findings == 0 ? 0 : 1;
 }
 
 const char *
@@ -657,7 +799,58 @@ selfTest()
     std::printf("vg_lint: self-test: 0 findings clean, %zu/%zu "
                 "injected miscompiles detected\n",
                 detected, injected);
-    return detected == injected && injected > 0 ? 0 : 1;
+    if (detected != injected || injected == 0)
+        return 1;
+
+    // Iflow leg: the ghost-handling module compiles clean, and every
+    // information-flow miscompile site is caught by the IflowVerifier
+    // while remaining invisible to the safety verifier.
+    cc::TranslateResult gtr = compile(opt, kIflowSelfTestSrc);
+    if (!gtr.ok) {
+        std::fprintf(stderr,
+                     "vg_lint: self-test translate failed: %s\n",
+                     gtr.error.c_str());
+        return 1;
+    }
+    cc::IflowVerifier iverifier;
+    cc::IflowResult iclean = iverifier.verify(*gtr.image);
+    if (!iclean.ok()) {
+        std::fprintf(stderr,
+                     "vg_lint: self-test FAILED: %zu iflow finding(s) "
+                     "on the clean compile:\n%s\n",
+                     iclean.findings.size(),
+                     iclean.message().c_str());
+        return 1;
+    }
+    size_t iinjected = 0, idetected = 0;
+    const cc::Miscompile iflowKinds[] = {
+        cc::Miscompile::IflowDropSeal,
+        cc::Miscompile::IflowRawStore,
+        cc::Miscompile::IflowStatLeak,
+    };
+    for (cc::Miscompile kind : iflowKinds) {
+        size_t sites = cc::miscompileSites(*gtr.image, kind).size();
+        for (size_t s = 0; s < sites; s++) {
+            cc::MachineImage bad = *gtr.image;
+            cc::injectMiscompile(bad, kind, s);
+            iinjected++;
+            bool caught = !iverifier.verify(bad).ok();
+            bool invisible = verifier.verify(bad).ok();
+            if (caught && invisible)
+                idetected++;
+            else
+                std::fprintf(stderr,
+                             "vg_lint: self-test MISS: %s site %zu "
+                             "(%s)\n",
+                             cc::miscompileName(kind), s,
+                             caught ? "visible to mverify"
+                                    : "undetected by iflow");
+        }
+    }
+    std::printf("vg_lint: self-test: 0 iflow findings clean, %zu/%zu "
+                "injected leaks detected\n",
+                idetected, iinjected);
+    return idetected == iinjected && iinjected > 0 ? 0 : 1;
 }
 
 } // namespace
@@ -682,6 +875,10 @@ main(int argc, char **argv)
             opt.requireCfi = true;
         else if (arg == "--self-test")
             opt.selfTest = true;
+        else if (arg == "--iflow")
+            opt.iflow = true;
+        else if (arg == "--dump-iflow")
+            opt.dumpIflow = true;
         else if (arg == "--dump-traces")
             opt.dumpTraces = true;
         else if (arg == "--dump-rings")
@@ -707,9 +904,10 @@ main(int argc, char **argv)
                     (size_t)std::strtoull(spec.c_str() + colon + 1,
                                           nullptr, 10);
             opt.haveInject = true;
-        } else if (arg == "--help" || arg == "-h")
-            return usage();
-        else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage(stdout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
             std::fprintf(stderr, "vg_lint: unknown option '%s'\n",
                          arg.c_str());
             return usage();
@@ -746,6 +944,8 @@ main(int argc, char **argv)
         ss << f.rdbuf();
         text = ss.str();
     }
+    if (opt.dumpIflow)
+        return dumpIflow(opt, text);
     if (opt.dumpTraces)
         return dumpTraces(opt, text);
     return lint(opt, text);
